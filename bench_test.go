@@ -1,0 +1,196 @@
+// Package fedwcm's top-level benchmarks regenerate every table and figure
+// of the paper at reduced effort (same shape, fraction of the cost) and
+// time the system's hot paths. The full-scale regeneration lives in
+// cmd/fedbench (one experiment id per table/figure; see DESIGN.md).
+//
+//	go test -bench=. -benchmem
+package fedwcm
+
+import (
+	"io"
+	"testing"
+
+	"fedwcm/internal/data"
+	"fedwcm/internal/experiments"
+	"fedwcm/internal/fl"
+	"fedwcm/internal/fl/methods"
+	"fedwcm/internal/he"
+	"fedwcm/internal/loss"
+	"fedwcm/internal/nn"
+	"fedwcm/internal/partition"
+	"fedwcm/internal/tensor"
+	"fedwcm/internal/xrand"
+)
+
+// benchExperiment runs one registered paper experiment per iteration at the
+// given effort scale.
+func benchExperiment(b *testing.B, id string, effort float64) {
+	b.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := e.Run(experiments.Options{
+			Seed:        uint64(i + 1),
+			Effort:      effort,
+			CellWorkers: 4,
+			Out:         io.Discard,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// One bench per paper table/figure.
+
+func BenchmarkFig3(b *testing.B)          { benchExperiment(b, "fig3", 0.12) }
+func BenchmarkFig4(b *testing.B)          { benchExperiment(b, "fig4", 0.12) }
+func BenchmarkTable1(b *testing.B)        { benchExperiment(b, "table1-cifar10", 0.08) }
+func BenchmarkTable2(b *testing.B)        { benchExperiment(b, "table2", 0.1) }
+func BenchmarkFig7(b *testing.B)          { benchExperiment(b, "fig7", 0.12) }
+func BenchmarkFig8(b *testing.B)          { benchExperiment(b, "fig8", 0.12) }
+func BenchmarkTable3(b *testing.B)        { benchExperiment(b, "table3", 0.1) }
+func BenchmarkFig9(b *testing.B)          { benchExperiment(b, "fig9", 0.1) }
+func BenchmarkFig10(b *testing.B)         { benchExperiment(b, "fig10", 0.1) }
+func BenchmarkTable4(b *testing.B)        { benchExperiment(b, "table4", 0.1) }
+func BenchmarkTable5(b *testing.B)        { benchExperiment(b, "table5", 0.1) }
+func BenchmarkFig11(b *testing.B)         { benchExperiment(b, "fig11", 0.5) }
+func BenchmarkFig12(b *testing.B)         { benchExperiment(b, "fig12", 0.1) }
+func BenchmarkFigB(b *testing.B)          { benchExperiment(b, "fig13", 0.12) }
+func BenchmarkTable6(b *testing.B)        { benchExperiment(b, "table6", 1) }
+func BenchmarkFig18(b *testing.B)         { benchExperiment(b, "fig18", 0.1) }
+func BenchmarkAblationScore(b *testing.B) { benchExperiment(b, "abl_score", 0.1) }
+func BenchmarkAblationParts(b *testing.B) { benchExperiment(b, "abl_parts", 0.1) }
+
+// Micro-benchmarks of the system's hot paths.
+
+func benchLocalEnv(b *testing.B) (*fl.Env, *fl.ClientCtx) {
+	b.Helper()
+	spec := data.GaussianSpec{Classes: 10, Dim: 48, Sep: 3.6, Noise: 1, SubModes: 2}
+	train := spec.Generate(1, 1, data.LongTailCounts(200, 10, 0.1))
+	test := spec.Generate(1, 2, data.UniformCounts(20, 10))
+	part := partition.EqualQuantity(xrand.New(2), train, 4, 0.1)
+	cfg := fl.Config{Rounds: 1, SampleClients: 4, LocalEpochs: 5, BatchSize: 50,
+		EtaL: 0.1, EtaG: 1, Seed: 1, EvalEvery: 1, Workers: 1}
+	env := fl.NewEnv(cfg, train, test, part, nn.MLPBuilder(48, []int{64, 32}, 10, true), loss.CrossEntropy{})
+	net := env.Build(1)
+	ctx := &fl.ClientCtx{
+		Round: 0, Client: env.Clients[0], Env: env, Net: net,
+		Global: net.Vector(), RNG: xrand.New(3),
+	}
+	return env, ctx
+}
+
+// BenchmarkClientLocalRound measures one client's full local training round
+// (5 epochs, BatchNorm MLP) — the unit of work the engine parallelises.
+func BenchmarkClientLocalRound(b *testing.B) {
+	_, ctx := benchLocalEnv(b)
+	mom := make([]float64, len(ctx.Global))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx.Net.SetVector(ctx.Global)
+		fl.RunLocalSGD(ctx, fl.LocalOpts{Alpha: 0.1, Momentum: mom})
+	}
+}
+
+// BenchmarkFedWCMAggregate measures the server-side weighting + momentum
+// refresh for a 10-client cohort.
+func BenchmarkFedWCMAggregate(b *testing.B) {
+	env, ctx := benchLocalEnv(b)
+	m := methods.NewFedWCM(methods.DefaultWCMOptions())
+	dim := len(ctx.Global)
+	m.Init(env, dim)
+	results := make([]*fl.ClientResult, 10)
+	r := xrand.New(7)
+	for i := range results {
+		delta := make([]float64, dim)
+		r.FillNorm(delta, 0, 0.01)
+		results[i] = &fl.ClientResult{ClientID: i % len(env.Clients), N: 100, Steps: 20, Delta: delta}
+	}
+	global := tensor.CopyVec(ctx.Global)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Aggregate(i, global, results)
+	}
+}
+
+// BenchmarkEvaluate measures balanced test-set evaluation.
+func BenchmarkEvaluate(b *testing.B) {
+	env, ctx := benchLocalEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fl.Evaluate(ctx.Net, env.Test, 256)
+	}
+}
+
+// BenchmarkResNetLiteForward measures the CNN path on a 32-image batch.
+func BenchmarkResNetLiteForward(b *testing.B) {
+	net := nn.NewResNetLite(1, 3, 12, 12, 10, 8)
+	x := tensor.NewDense(32, 3*12*12)
+	xrand.New(2).FillNorm(x.Data, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Forward(x, true)
+	}
+}
+
+// BenchmarkResNetLiteTrainStep measures a full CNN forward+backward+step.
+func BenchmarkResNetLiteTrainStep(b *testing.B) {
+	net := nn.NewResNetLite(1, 3, 12, 12, 10, 8)
+	x := tensor.NewDense(32, 3*12*12)
+	r := xrand.New(2)
+	r.FillNorm(x.Data, 0, 1)
+	labels := make([]int, 32)
+	for i := range labels {
+		labels[i] = r.Intn(10)
+	}
+	ce := loss.CrossEntropy{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.ZeroGrad()
+		logits := net.Forward(x, true)
+		_, dl := ce.LossAndGrad(logits, labels)
+		net.Backward(dl)
+		net.Step(0.1)
+	}
+}
+
+// BenchmarkPaillierEncrypt measures one packed-vector encryption (the
+// per-client cost of the Appendix C protocol).
+func BenchmarkPaillierEncrypt(b *testing.B) {
+	sk, err := he.GenerateKeys(1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	packer := he.NewPacker(1024, 32)
+	counts := make([]int, 10)
+	for i := range counts {
+		counts[i] = 100 + i
+	}
+	packed, err := packer.Pack(counts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, m := range packed {
+			if _, err := sk.PublicKey.Encrypt(m); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkDirichletPartition measures the paper's equal-quantity partition
+// over a 10k-sample dataset and 100 clients.
+func BenchmarkDirichletPartition(b *testing.B) {
+	spec := data.GaussianSpec{Classes: 10, Dim: 8, Sep: 2, Noise: 1}
+	train := spec.Generate(1, 1, data.UniformCounts(1000, 10))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		partition.EqualQuantity(xrand.New(uint64(i)), train, 100, 0.1)
+	}
+}

@@ -1,0 +1,88 @@
+// Command fedbench regenerates the paper's tables and figures. Each
+// experiment id corresponds to one table/figure (see DESIGN.md's
+// per-experiment index); -run all regenerates everything.
+//
+// Examples:
+//
+//	fedbench -list
+//	fedbench -run fig3
+//	fedbench -run table1 -effort 0.3
+//	fedbench -run all -effort 0.5 -out results
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"fedwcm/internal/experiments"
+)
+
+func main() {
+	var (
+		run    = flag.String("run", "", "experiment id to run, or \"all\"")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		effort = flag.Float64("effort", 1, "effort scale in (0,1]: scales rounds and data size")
+		seed   = flag.Uint64("seed", 1, "experiment seed")
+		outDir = flag.String("out", "", "also write each experiment's output to <out>/<id>.txt")
+		cells  = flag.Int("cellworkers", 3, "concurrent sweep cells")
+	)
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("available experiments:")
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-16s %s\n", e.ID, e.Title)
+		}
+		if *run == "" && !*list {
+			fmt.Println("\nuse -run <id> or -run all")
+		}
+		return
+	}
+
+	ids := []string{*run}
+	if *run == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		e, err := experiments.ByID(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fedbench:", err)
+			os.Exit(1)
+		}
+		var w io.Writer = os.Stdout
+		var f *os.File
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "fedbench:", err)
+				os.Exit(1)
+			}
+			f, err = os.Create(filepath.Join(*outDir, id+".txt"))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fedbench:", err)
+				os.Exit(1)
+			}
+			w = io.MultiWriter(os.Stdout, f)
+		}
+		fmt.Printf("=== %s: %s (effort %.2f)\n", e.ID, e.Title, *effort)
+		start := time.Now()
+		err = e.Run(experiments.Options{
+			Seed:        *seed,
+			Effort:      *effort,
+			CellWorkers: *cells,
+			Out:         w,
+		})
+		if f != nil {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fedbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s done in %s\n%s\n", e.ID, time.Since(start).Round(time.Millisecond), strings.Repeat("=", 60))
+	}
+}

@@ -1,0 +1,69 @@
+// IoT human-activity-recognition scenario — the paper's motivating example:
+// smart-home devices mostly observe common activities (sitting, walking)
+// while critical events (falls, seizures) are rare, and each home sees its
+// own skewed slice of activities. The example builds that world explicitly
+// (custom class profile, not the registry), trains FedAvg / FedCM / FedWCM,
+// and reports per-activity recall — the metric that matters when the rare
+// class is the one you deploy for.
+//
+//	go run ./examples/iot_har
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fedwcm/internal/data"
+	"fedwcm/internal/fl"
+	"fedwcm/internal/fl/methods"
+	"fedwcm/internal/loss"
+	"fedwcm/internal/nn"
+	"fedwcm/internal/partition"
+	"fedwcm/internal/xrand"
+)
+
+var activities = []string{"sitting", "walking", "standing", "cooking", "stairs", "fall"}
+
+func main() {
+	// Sensor windows as 24-dim feature vectors; activity frequencies are
+	// wildly imbalanced: 4000 sitting windows, 40 falls.
+	spec := data.GaussianSpec{Classes: len(activities), Dim: 24, Sep: 3.4, Noise: 1.0, SubModes: 2}
+	trainCounts := []int{4000, 3000, 2200, 1100, 300, 40}
+	train := spec.Generate(7, 1, trainCounts)
+	test := spec.Generate(7, 2, data.UniformCounts(150, len(activities)))
+
+	// 40 homes, each with its own activity mix (Dir(0.2): strong skew).
+	part := partition.EqualQuantity(xrand.New(8), train, 40, 0.2)
+	st := partition.ComputeStats(part, train.ClassProportions())
+	fmt.Println("federation:", st)
+	fmt.Printf("global activity profile: %v (IF=%.3f)\n\n",
+		trainCounts, data.ImbalanceFactor(trainCounts))
+
+	cfg := fl.Config{
+		Rounds: 60, SampleClients: 8, LocalEpochs: 5, BatchSize: 50,
+		EtaL: 0.1, EtaG: 1, Seed: 9, EvalEvery: 15,
+	}
+	build := nn.MLPBuilder(24, []int{48, 24}, len(activities), true)
+
+	fmt.Printf("%-8s %-8s", "method", "overall")
+	for _, a := range activities {
+		fmt.Printf(" %-8s", a)
+	}
+	fmt.Println()
+	for _, name := range []string{"fedavg", "fedcm", "fedwcm"} {
+		env := fl.NewEnv(cfg, train, test, part, build, loss.CrossEntropy{})
+		m, err := methods.New(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hist := fl.Run(env, m)
+		final := hist.Stats[len(hist.Stats)-1]
+		fmt.Printf("%-8s %-8.3f", name, final.TestAcc)
+		for _, acc := range final.PerClass {
+			fmt.Printf(" %-8.3f", acc)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nWatch the 'fall' column: momentum without correction (fedcm) tends to")
+	fmt.Println("sacrifice the rare class; FedWCM's weighted momentum keeps it alive.")
+}

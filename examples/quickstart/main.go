@@ -1,0 +1,53 @@
+// Quickstart: train FedWCM on the synthetic CIFAR-10 stand-in with a
+// long-tailed, heterogeneous partition and compare it against FedAvg and
+// FedCM. This is the smallest end-to-end use of the public experiment API.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fedwcm/internal/experiments"
+	"fedwcm/internal/fl"
+)
+
+func main() {
+	fmt.Println("FedWCM quickstart: cifar10-syn, beta=0.1 (heterogeneous), IF=0.1 (long-tailed)")
+	fmt.Println()
+
+	for _, method := range []string{"fedavg", "fedcm", "fedwcm"} {
+		spec := experiments.RunSpec{
+			Dataset: "cifar10-syn",
+			Method:  method,
+			Beta:    0.1, // Dirichlet label skew (smaller = more heterogeneous)
+			IF:      0.1, // tail/head imbalance (smaller = longer tail)
+			Clients: 50,
+			Scale:   2,
+			Cfg: fl.Config{
+				Rounds:        40,
+				SampleClients: 10,
+				LocalEpochs:   5,
+				BatchSize:     50,
+				EtaL:          0.1,
+				EtaG:          1,
+				Seed:          1,
+				EvalEvery:     10,
+			},
+		}
+		hist, err := spec.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s", method)
+		for _, s := range hist.Stats {
+			fmt.Printf("  r%d=%.3f", s.Round, s.TestAcc)
+		}
+		fmt.Printf("  (best %.3f)\n", hist.BestAcc())
+	}
+
+	fmt.Println()
+	fmt.Println("Expected shape: FedCM degrades or destabilises under the long tail,")
+	fmt.Println("FedWCM stays stable and matches or beats FedAvg.")
+}

@@ -1,0 +1,156 @@
+package collapse
+
+import (
+	"math"
+	"testing"
+
+	"fedwcm/internal/data"
+	"fedwcm/internal/fl"
+	"fedwcm/internal/loss"
+	"fedwcm/internal/nn"
+	"fedwcm/internal/partition"
+	"fedwcm/internal/tensor"
+	"fedwcm/internal/xrand"
+)
+
+func TestUnitConcentrationBounds(t *testing.T) {
+	// uniform activation mass → 1
+	uniform := tensor.NewDense(4, 8)
+	tensor.Fill(uniform.Data, 0.5)
+	if got := unitConcentration(uniform); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("uniform concentration %v, want 1", got)
+	}
+	// single dominant unit → D
+	spike := tensor.NewDense(4, 8)
+	for s := 0; s < 4; s++ {
+		spike.Set(s, 3, 5)
+	}
+	if got := unitConcentration(spike); math.Abs(got-8) > 1e-9 {
+		t.Fatalf("spike concentration %v, want 8", got)
+	}
+	// dead layer treated as fully collapsed
+	dead := tensor.NewDense(2, 8)
+	if got := unitConcentration(dead); got != 8 {
+		t.Fatalf("dead layer concentration %v, want 8", got)
+	}
+}
+
+func TestUnitConcentrationOrdering(t *testing.T) {
+	r := xrand.New(1)
+	flat := tensor.NewDense(16, 32)
+	r.FillNorm(flat.Data, 0, 1)
+	skewed := flat.Clone()
+	// amplify a few columns
+	for s := 0; s < skewed.R; s++ {
+		row := skewed.Row(s)
+		for j := 0; j < 3; j++ {
+			row[j] *= 40
+		}
+	}
+	if unitConcentration(skewed) <= unitConcentration(flat) {
+		t.Fatal("amplifying a few units must raise concentration")
+	}
+}
+
+func TestConcentrationMeasuresActivationLayers(t *testing.T) {
+	net := nn.NewMLP(3, 6, []int{10, 8}, 4, false)
+	x := tensor.NewDense(5, 6)
+	xrand.New(4).FillNorm(x.Data, 0, 1)
+	rep := Concentration(net, x)
+	if len(rep.PerLayer) != 2 { // two ReLU layers
+		t.Fatalf("expected 2 measured layers, got %d", len(rep.PerLayer))
+	}
+	if rep.Mean <= 0 {
+		t.Fatal("mean concentration should be positive")
+	}
+	for _, v := range rep.PerLayer {
+		if v < 1-1e-9 {
+			t.Fatalf("concentration below lower bound: %v", v)
+		}
+	}
+}
+
+func TestConcentrationLinearModelFallback(t *testing.T) {
+	net := nn.NewSoftmaxRegression(5, 6, 3)
+	x := tensor.NewDense(4, 6)
+	xrand.New(5).FillNorm(x.Data, 0, 1)
+	rep := Concentration(net, x)
+	if len(rep.PerLayer) != 1 {
+		t.Fatalf("linear model should measure its single layer, got %d", len(rep.PerLayer))
+	}
+}
+
+func TestClassFeaturesDetectsMergedTail(t *testing.T) {
+	// Train a small MLP on 4-class data, then compare tail cosine stats
+	// between a healthy model and one whose tail-class structure never got
+	// learned (random init barely separates classes).
+	spec := data.GaussianSpec{Classes: 4, Dim: 12, Sep: 4, Noise: 0.5}
+	train := spec.Generate(7, 1, data.UniformCounts(60, 4))
+	net := nn.NewMLP(8, 12, []int{16}, 4, false)
+	untrained := ClassFeatures(net, train, 200)
+	ce := loss.CrossEntropy{}
+	for i := 0; i < 150; i++ {
+		net.ZeroGrad()
+		logits := net.Forward(train.X, true)
+		_, dl := ce.LossAndGrad(logits, train.Y)
+		net.Backward(dl)
+		net.Step(0.2)
+	}
+	trained := ClassFeatures(net, train, 200)
+	if trained.MeanCosineAll >= untrained.MeanCosineAll {
+		t.Fatalf("training should separate class features: %v vs %v",
+			trained.MeanCosineAll, untrained.MeanCosineAll)
+	}
+	if trained.DeadTailRate > 0.5 {
+		t.Fatalf("healthy training should not kill tail features: %v", trained.DeadTailRate)
+	}
+}
+
+func TestProbeRecordsSeries(t *testing.T) {
+	spec := data.GaussianSpec{Classes: 3, Dim: 8, Sep: 3, Noise: 0.8}
+	train := spec.Generate(9, 1, data.UniformCounts(40, 3))
+	test := spec.Generate(9, 2, data.UniformCounts(20, 3))
+	part := partition.EqualQuantity(xrand.New(10), train, 4, 1)
+	cfg := fl.Config{Rounds: 6, SampleClients: 2, LocalEpochs: 1, BatchSize: 20, Seed: 11, EvalEvery: 2}
+	env := fl.NewEnv(cfg, train, test, part, nn.MLPBuilder(8, []int{12}, 3, false), nil)
+	probe, series := NewProbe(ProbeBatch(test, 30))
+	env.Probes = append(env.Probes, probe)
+	method := struct{ simpleFedAvg }{}
+	fl.Run(env, &method.simpleFedAvg)
+	if len(series.Rounds) != 3 {
+		t.Fatalf("expected 3 probe points, got %d", len(series.Rounds))
+	}
+	for i, m := range series.Mean {
+		if m < 1-1e-9 {
+			t.Fatalf("probe %d concentration %v below bound", i, m)
+		}
+		if len(series.PerLayer[i]) == 0 {
+			t.Fatal("per-layer series empty")
+		}
+	}
+}
+
+// simpleFedAvg is a minimal method for probe tests.
+type simpleFedAvg struct {
+	env *fl.Env
+}
+
+func (m *simpleFedAvg) Name() string            { return "probe-fedavg" }
+func (m *simpleFedAvg) Init(env *fl.Env, _ int) { m.env = env }
+func (m *simpleFedAvg) LocalTrain(ctx *fl.ClientCtx) *fl.ClientResult {
+	return fl.RunLocalSGD(ctx, fl.LocalOpts{})
+}
+func (m *simpleFedAvg) Aggregate(_ int, global []float64, results []*fl.ClientResult) {
+	fl.WeightedDeltaInto(global, m.env.Cfg.EtaG, results, fl.SizeWeights(results))
+}
+
+func TestProbeBatchBounds(t *testing.T) {
+	spec := data.GaussianSpec{Classes: 2, Dim: 4, Sep: 2, Noise: 1}
+	ds := spec.Generate(12, 1, []int{5, 5})
+	if ProbeBatch(ds, 100).R != 10 {
+		t.Fatal("probe batch should clamp to dataset size")
+	}
+	if ProbeBatch(ds, 3).R != 3 {
+		t.Fatal("probe batch should respect n")
+	}
+}

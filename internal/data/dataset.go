@@ -1,0 +1,127 @@
+// Package data provides the dataset substrate for the FedWCM reproduction:
+// a dense in-memory dataset type, synthetic class-conditional generators
+// standing in for Fashion-MNIST / SVHN / CIFAR-10 / CIFAR-100 / ImageNet
+// (see DESIGN.md for the substitution argument), the exponential long-tail
+// class profile parameterised by the imbalance factor IF, and minibatch
+// samplers including the class-balanced sampler used as a baseline.
+package data
+
+import (
+	"fmt"
+
+	"fedwcm/internal/tensor"
+)
+
+// Dataset is an in-memory labelled dataset. X rows are flat feature vectors;
+// image datasets use channel-outer flattening and record their geometry.
+type Dataset struct {
+	X       *tensor.Dense
+	Y       []int
+	Classes int
+	// Image geometry; zero for pure feature datasets.
+	Chans, H, W int
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return d.X.R }
+
+// Dim returns the flat feature width.
+func (d *Dataset) Dim() int { return d.X.C }
+
+// ClassCounts tallies samples per class.
+func (d *Dataset) ClassCounts() []int {
+	counts := make([]int, d.Classes)
+	for _, y := range d.Y {
+		counts[y]++
+	}
+	return counts
+}
+
+// ClassProportions returns the normalised class distribution.
+func (d *Dataset) ClassProportions() []float64 {
+	counts := d.ClassCounts()
+	out := make([]float64, len(counts))
+	n := float64(d.Len())
+	if n == 0 {
+		return out
+	}
+	for i, c := range counts {
+		out[i] = float64(c) / n
+	}
+	return out
+}
+
+// Subset copies the given rows into a new Dataset.
+func (d *Dataset) Subset(idx []int) *Dataset {
+	x := tensor.NewDense(len(idx), d.Dim())
+	y := make([]int, len(idx))
+	for i, j := range idx {
+		copy(x.Row(i), d.X.Row(j))
+		y[i] = d.Y[j]
+	}
+	return &Dataset{X: x, Y: y, Classes: d.Classes, Chans: d.Chans, H: d.H, W: d.W}
+}
+
+// Gather copies rows idx into a batch matrix and label slice, reusing the
+// provided buffers when they are large enough.
+func (d *Dataset) Gather(idx []int, x *tensor.Dense, y []int) (*tensor.Dense, []int) {
+	n := len(idx)
+	if x == nil || cap(x.Data) < n*d.Dim() {
+		x = tensor.NewDense(n, d.Dim())
+	} else {
+		x = tensor.FromSlice(n, d.Dim(), x.Data[:n*d.Dim()])
+	}
+	if cap(y) < n {
+		y = make([]int, n)
+	}
+	y = y[:n]
+	for i, j := range idx {
+		copy(x.Row(i), d.X.Row(j))
+		y[i] = d.Y[j]
+	}
+	return x, y
+}
+
+// IndicesByClass groups sample indices by label.
+func (d *Dataset) IndicesByClass() [][]int {
+	out := make([][]int, d.Classes)
+	for i, y := range d.Y {
+		out[y] = append(out[y], i)
+	}
+	return out
+}
+
+// Validate checks internal consistency; it is used by tests and when
+// loading externally constructed datasets.
+func (d *Dataset) Validate() error {
+	if d.X.R != len(d.Y) {
+		return fmt.Errorf("data: %d rows but %d labels", d.X.R, len(d.Y))
+	}
+	if d.Classes <= 0 {
+		return fmt.Errorf("data: non-positive class count %d", d.Classes)
+	}
+	for i, y := range d.Y {
+		if y < 0 || y >= d.Classes {
+			return fmt.Errorf("data: label %d out of range at row %d", y, i)
+		}
+	}
+	if d.Chans != 0 && d.Chans*d.H*d.W != d.Dim() {
+		return fmt.Errorf("data: image geometry %dx%dx%d does not match dim %d", d.Chans, d.H, d.W, d.Dim())
+	}
+	return nil
+}
+
+// Concat appends the rows of other (same dim/classes) to d, returning a new
+// dataset.
+func Concat(a, b *Dataset) *Dataset {
+	if a.Dim() != b.Dim() || a.Classes != b.Classes {
+		panic("data: Concat shape mismatch")
+	}
+	x := tensor.NewDense(a.Len()+b.Len(), a.Dim())
+	copy(x.Data[:len(a.X.Data)], a.X.Data)
+	copy(x.Data[len(a.X.Data):], b.X.Data)
+	y := make([]int, 0, a.Len()+b.Len())
+	y = append(y, a.Y...)
+	y = append(y, b.Y...)
+	return &Dataset{X: x, Y: y, Classes: a.Classes, Chans: a.Chans, H: a.H, W: a.W}
+}

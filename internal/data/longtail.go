@@ -1,0 +1,87 @@
+package data
+
+import "math"
+
+// LongTailCounts returns the exponential long-tail class profile used in the
+// paper's experiments: n_c = head · IF^{c/(C-1)} for c = 0..C-1, so class 0
+// holds `head` samples and class C-1 holds head·IF.
+//
+// Note on conventions: the paper defines IF = n_1/n_C in §3.2 but sweeps
+// IF ∈ {1, 0.5, 0.1, 0.05, 0.01} where *smaller* means *more* imbalanced,
+// i.e. its experiments use the ratio tail/head. We follow the experimental
+// convention: IF ∈ (0, 1], IF = n_tail/n_head, IF = 1 is balanced.
+func LongTailCounts(head, classes int, imbalance float64) []int {
+	if classes <= 0 {
+		panic("data: LongTailCounts with non-positive class count")
+	}
+	if imbalance <= 0 || imbalance > 1 {
+		panic("data: imbalance factor must be in (0, 1]")
+	}
+	counts := make([]int, classes)
+	if classes == 1 {
+		counts[0] = head
+		return counts
+	}
+	for c := 0; c < classes; c++ {
+		frac := float64(c) / float64(classes-1)
+		n := float64(head) * math.Pow(imbalance, frac)
+		counts[c] = int(math.Round(n))
+		if counts[c] < 1 {
+			counts[c] = 1
+		}
+	}
+	return counts
+}
+
+// UniformCounts returns the balanced profile with n samples per class.
+func UniformCounts(n, classes int) []int {
+	counts := make([]int, classes)
+	for i := range counts {
+		counts[i] = n
+	}
+	return counts
+}
+
+// ImbalanceFactor reports tail/head for a count profile (1 for balanced).
+func ImbalanceFactor(counts []int) float64 {
+	if len(counts) == 0 {
+		return 1
+	}
+	head, tail := counts[0], counts[0]
+	for _, c := range counts[1:] {
+		if c > head {
+			head = c
+		}
+		if c < tail {
+			tail = c
+		}
+	}
+	if head == 0 {
+		return 1
+	}
+	return float64(tail) / float64(head)
+}
+
+// L1Deviation returns D = Σ_c |target_c − p_c|, the total ℓ1 gap between a
+// class distribution and a target distribution. FedWCM derives both its
+// softmax temperature and its momentum range from this quantity.
+func L1Deviation(p, target []float64) float64 {
+	if len(p) != len(target) {
+		panic("data: L1Deviation length mismatch")
+	}
+	d := 0.0
+	for i := range p {
+		d += math.Abs(target[i] - p[i])
+	}
+	return d
+}
+
+// UniformTarget returns the uniform distribution over `classes` classes —
+// the default global target distribution in FedWCM.
+func UniformTarget(classes int) []float64 {
+	t := make([]float64, classes)
+	for i := range t {
+		t[i] = 1 / float64(classes)
+	}
+	return t
+}

@@ -1,0 +1,123 @@
+package data
+
+import "fedwcm/internal/xrand"
+
+// Sampler yields minibatch index lists over a local shard. Indices are
+// positions in the shard's index space [0, n); callers map them to global
+// dataset rows.
+type Sampler interface {
+	// NextBatch returns the next batch of positions; batches cycle through
+	// epochs automatically.
+	NextBatch() []int
+	// BatchesPerEpoch reports how many NextBatch calls make up one epoch.
+	BatchesPerEpoch() int
+}
+
+// ShuffleSampler is the standard sampler: each epoch is a fresh random
+// permutation split into contiguous batches (last short batch kept).
+type ShuffleSampler struct {
+	rng   *xrand.RNG
+	n     int
+	batch int
+	perm  []int
+	pos   int
+	buf   []int
+}
+
+// NewShuffleSampler creates a ShuffleSampler over n samples.
+func NewShuffleSampler(rng *xrand.RNG, n, batch int) *ShuffleSampler {
+	if n <= 0 || batch <= 0 {
+		panic("data: ShuffleSampler needs positive n and batch")
+	}
+	if batch > n {
+		batch = n
+	}
+	s := &ShuffleSampler{rng: rng, n: n, batch: batch}
+	s.reshuffle()
+	return s
+}
+
+func (s *ShuffleSampler) reshuffle() {
+	if s.perm == nil {
+		s.perm = make([]int, s.n)
+		for i := range s.perm {
+			s.perm[i] = i
+		}
+	}
+	s.rng.ShuffleInts(s.perm)
+	s.pos = 0
+}
+
+// NextBatch implements Sampler.
+func (s *ShuffleSampler) NextBatch() []int {
+	if s.pos >= s.n {
+		s.reshuffle()
+	}
+	end := s.pos + s.batch
+	if end > s.n {
+		end = s.n
+	}
+	s.buf = append(s.buf[:0], s.perm[s.pos:end]...)
+	s.pos = end
+	return s.buf
+}
+
+// BatchesPerEpoch implements Sampler.
+func (s *ShuffleSampler) BatchesPerEpoch() int {
+	return (s.n + s.batch - 1) / s.batch
+}
+
+// BalancedSampler implements the paper's "Balance Sampler" baseline: each
+// batch draws its labels uniformly over the classes present in the shard,
+// then picks a random sample of that class with replacement. Rare local
+// classes are therefore oversampled to parity.
+type BalancedSampler struct {
+	rng     *xrand.RNG
+	byClass [][]int
+	present []int // classes with at least one sample
+	batch   int
+	epochB  int
+	buf     []int
+}
+
+// NewBalancedSampler creates a BalancedSampler from shard labels (positions
+// are into the label slice).
+func NewBalancedSampler(rng *xrand.RNG, labels []int, classes, batch int) *BalancedSampler {
+	if len(labels) == 0 || batch <= 0 {
+		panic("data: BalancedSampler needs samples and positive batch")
+	}
+	if batch > len(labels) {
+		batch = len(labels)
+	}
+	byClass := make([][]int, classes)
+	for pos, y := range labels {
+		byClass[y] = append(byClass[y], pos)
+	}
+	var present []int
+	for c, idx := range byClass {
+		if len(idx) > 0 {
+			present = append(present, c)
+		}
+	}
+	return &BalancedSampler{
+		rng:     rng,
+		byClass: byClass,
+		present: present,
+		batch:   batch,
+		epochB:  (len(labels) + batch - 1) / batch,
+	}
+}
+
+// NextBatch implements Sampler.
+func (s *BalancedSampler) NextBatch() []int {
+	s.buf = s.buf[:0]
+	for i := 0; i < s.batch; i++ {
+		c := s.present[s.rng.Intn(len(s.present))]
+		pool := s.byClass[c]
+		s.buf = append(s.buf, pool[s.rng.Intn(len(pool))])
+	}
+	return s.buf
+}
+
+// BatchesPerEpoch implements Sampler.
+func (s *BalancedSampler) BatchesPerEpoch() int { return s.epochB }

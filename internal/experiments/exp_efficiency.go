@@ -1,0 +1,198 @@
+package experiments
+
+import "fmt"
+
+// fig7Methods are the convergence-curve series of Figure 7.
+var fig7Methods = []string{
+	"fedwcm", "fedavg", "balancefl", "fedgrab",
+	"fedcm+balancesampler", "fedcm+focal", "fedcm+balanceloss", "fedcm",
+}
+
+// fig7: test-accuracy curves for eight methods at β=0.6, IF=0.1.
+func init() {
+	register(&Experiment{
+		ID:    "fig7",
+		Title: "Figure 7: convergence curves of eight methods (beta=0.6, IF=0.1)",
+		Run: func(opt Options) error {
+			opt = opt.Defaults()
+			var cells []cell
+			for _, m := range fig7Methods {
+				cells = append(cells, cell{Key: m, Spec: specFor(opt, "cifar10-syn", m, 0.6, 0.1)})
+			}
+			hists, err := runCells(cells, opt.CellWorkers)
+			if err != nil {
+				return err
+			}
+			var rounds []int
+			series := make([][]float64, len(fig7Methods))
+			for i, m := range fig7Methods {
+				r, a := hists[m].AccSeries()
+				if rounds == nil {
+					rounds = r
+				}
+				series[i] = a
+			}
+			SeriesTable("Figure 7 (test accuracy over rounds)", rounds, fig7Methods, series).Render(opt.Out)
+			// Convergence-speed summary: first evaluated round reaching 60%.
+			fmt.Fprintln(opt.Out)
+			t := &Table{Title: "Rounds to reach 60% test accuracy", Headers: []string{"method", "round"}}
+			for _, m := range fig7Methods {
+				r := hists[m].RoundsToAcc(0.6)
+				cellVal := "never"
+				if r >= 0 {
+					cellVal = fmt.Sprintf("%d", r)
+				}
+				t.AddRow(m, cellVal)
+			}
+			t.Render(opt.Out)
+			return nil
+		},
+	})
+}
+
+// fig8: per-label accuracy at β=0.6, IF=0.1 (labels ordered head → tail).
+func init() {
+	register(&Experiment{
+		ID:    "fig8",
+		Title: "Figure 8: per-label accuracy (beta=0.6, IF=0.1)",
+		Run: func(opt Options) error {
+			opt = opt.Defaults()
+			methodsList := []string{"fedavg", "fedcm", "balancefl", "fedwcm"}
+			var cells []cell
+			for _, m := range methodsList {
+				cells = append(cells, cell{Key: m, Spec: specFor(opt, "cifar10-syn", m, 0.6, 0.1)})
+			}
+			hists, err := runCells(cells, opt.CellWorkers)
+			if err != nil {
+				return err
+			}
+			t := &Table{
+				Title:   "Figure 8 (final per-label accuracy; label 0 = head, label 9 = tail)",
+				Headers: append([]string{"label"}, methodsList...),
+			}
+			classes := len(hists[methodsList[0]].Stats[len(hists[methodsList[0]].Stats)-1].PerClass)
+			for c := 0; c < classes; c++ {
+				row := []string{fmt.Sprintf("%d", c)}
+				for _, m := range methodsList {
+					stats := hists[m].Stats
+					row = append(row, F(stats[len(stats)-1].PerClass[c]))
+				}
+				t.AddRow(row...)
+			}
+			t.Render(opt.Out)
+			return nil
+		},
+	})
+}
+
+// table3: client sampling rates {5,10,20,40,80}% of 100 clients.
+func init() {
+	register(&Experiment{
+		ID:    "table3",
+		Title: "Table 3: comparison under different client sampling rates",
+		Run: func(opt Options) error {
+			opt = opt.Defaults()
+			rates := []int{5, 10, 20, 40, 80}
+			methodsList := []string{"fedavg", "fedcm", "fedwcm"}
+			var cells []cell
+			for _, m := range methodsList {
+				for _, rate := range rates {
+					spec := specFor(opt, "cifar10-syn", m, 0.6, 0.1)
+					spec.Cfg.SampleClients = spec.Clients * rate / 100
+					if spec.Cfg.SampleClients < 1 {
+						spec.Cfg.SampleClients = 1
+					}
+					cells = append(cells, cell{Key: fmt.Sprintf("%s|%d", m, rate), Spec: spec})
+				}
+			}
+			hists, err := runCells(cells, opt.CellWorkers)
+			if err != nil {
+				return err
+			}
+			t := &Table{Title: "Table 3 (beta=0.6, IF=0.1)", Headers: append([]string{"sampling"}, methodsList...)}
+			for _, rate := range rates {
+				row := []string{fmt.Sprintf("%d%%", rate)}
+				for _, m := range methodsList {
+					row = append(row, F(hists[fmt.Sprintf("%s|%d", m, rate)].TailMeanAcc(3)))
+				}
+				t.AddRow(row...)
+			}
+			t.Render(opt.Out)
+			return nil
+		},
+	})
+}
+
+// fig9: accuracy versus total client count (participation held at 10%).
+func init() {
+	register(&Experiment{
+		ID:    "fig9",
+		Title: "Figure 9: test accuracy vs number of clients",
+		Run: func(opt Options) error {
+			opt = opt.Defaults()
+			clientCounts := []int{10, 20, 50, 100}
+			methodsList := []string{"fedavg", "fedcm", "fedwcm"}
+			var cells []cell
+			for _, m := range methodsList {
+				for _, n := range clientCounts {
+					spec := specFor(opt, "cifar10-syn", m, 0.6, 0.1)
+					spec.Clients = n
+					spec.Cfg.SampleClients = n / 10
+					if spec.Cfg.SampleClients < 1 {
+						spec.Cfg.SampleClients = 1
+					}
+					cells = append(cells, cell{Key: fmt.Sprintf("%s|%d", m, n), Spec: spec})
+				}
+			}
+			hists, err := runCells(cells, opt.CellWorkers)
+			if err != nil {
+				return err
+			}
+			t := &Table{Title: "Figure 9 (beta=0.6, IF=0.1)", Headers: append([]string{"clients"}, methodsList...)}
+			for _, n := range clientCounts {
+				row := []string{fmt.Sprintf("%d", n)}
+				for _, m := range methodsList {
+					row = append(row, F(hists[fmt.Sprintf("%s|%d", m, n)].TailMeanAcc(3)))
+				}
+				t.AddRow(row...)
+			}
+			t.Render(opt.Out)
+			return nil
+		},
+	})
+}
+
+// fig10: accuracy versus local epochs.
+func init() {
+	register(&Experiment{
+		ID:    "fig10",
+		Title: "Figure 10: test accuracy vs local epochs",
+		Run: func(opt Options) error {
+			opt = opt.Defaults()
+			epochsList := []int{1, 5, 10, 20}
+			methodsList := []string{"fedavg", "fedcm", "fedwcm"}
+			var cells []cell
+			for _, m := range methodsList {
+				for _, e := range epochsList {
+					spec := specFor(opt, "cifar10-syn", m, 0.6, 0.1)
+					spec.Cfg.LocalEpochs = e
+					cells = append(cells, cell{Key: fmt.Sprintf("%s|%d", m, e), Spec: spec})
+				}
+			}
+			hists, err := runCells(cells, opt.CellWorkers)
+			if err != nil {
+				return err
+			}
+			t := &Table{Title: "Figure 10 (beta=0.6, IF=0.1)", Headers: append([]string{"epochs"}, methodsList...)}
+			for _, e := range epochsList {
+				row := []string{fmt.Sprintf("%d", e)}
+				for _, m := range methodsList {
+					row = append(row, F(hists[fmt.Sprintf("%s|%d", m, e)].TailMeanAcc(3)))
+				}
+				t.AddRow(row...)
+			}
+			t.Render(opt.Out)
+			return nil
+		},
+	})
+}

@@ -1,0 +1,138 @@
+package experiments
+
+import "fmt"
+
+// table1Methods is the paper's Table 1 column set.
+var table1Methods = []string{
+	"fedavg", "balancefl", "fedcm",
+	"fedcm+focal", "fedcm+balanceloss", "fedcm+balancesampler", "fedwcm",
+}
+
+var table1Datasets = []string{
+	"fmnist-syn", "svhn-syn", "cifar10-syn", "cifar100-syn", "imagenet-syn",
+}
+
+var tableIFs = []float64{1, 0.5, 0.1, 0.05, 0.01}
+var tableBetas = []float64{0.6, 0.1}
+
+// methodBetaTable runs methods × IFs × betas on the given datasets and
+// renders one row per (dataset, IF) with method×beta accuracy cells.
+func methodBetaTable(opt Options, title string, datasets, methodNames []string, ifs, betas []float64) error {
+	var cells []cell
+	for _, ds := range datasets {
+		for _, m := range methodNames {
+			for _, f := range ifs {
+				for _, b := range betas {
+					key := fmt.Sprintf("%s|%s|%g|%g", ds, m, f, b)
+					cells = append(cells, cell{Key: key, Spec: specFor(opt, ds, m, b, f)})
+				}
+			}
+		}
+	}
+	hists, err := runCells(cells, opt.CellWorkers)
+	if err != nil {
+		return err
+	}
+	headers := []string{"dataset", "IF"}
+	for _, m := range methodNames {
+		for _, b := range betas {
+			headers = append(headers, fmt.Sprintf("%s b=%g", m, b))
+		}
+	}
+	t := &Table{Title: title, Headers: headers}
+	for _, ds := range datasets {
+		for _, f := range ifs {
+			row := []string{ds, fmt.Sprintf("%g", f)}
+			for _, m := range methodNames {
+				for _, b := range betas {
+					h := hists[fmt.Sprintf("%s|%s|%g|%g", ds, m, f, b)]
+					row = append(row, F(h.TailMeanAcc(3)))
+				}
+			}
+			t.AddRow(row...)
+		}
+	}
+	t.Render(opt.Out)
+	return nil
+}
+
+// table1: the main comparison — 7 methods × 5 datasets × 5 IFs × 2 betas.
+func init() {
+	register(&Experiment{
+		ID:    "table1",
+		Title: "Table 1: performance comparison across datasets, IFs and betas",
+		Run: func(opt Options) error {
+			opt = opt.Defaults()
+			return methodBetaTable(opt, "Table 1 (mean test accuracy, tail-3 evals)",
+				table1Datasets, table1Methods, tableIFs, tableBetas)
+		},
+	})
+	// table1-cifar10 is the single-dataset slice used for quick comparisons
+	// (the paper's prose discusses the CIFAR-10 block of Table 1).
+	register(&Experiment{
+		ID:    "table1-cifar10",
+		Title: "Table 1 (CIFAR-10 block only)",
+		Run: func(opt Options) error {
+			opt = opt.Defaults()
+			return methodBetaTable(opt, "Table 1, cifar10-syn block",
+				[]string{"cifar10-syn"}, table1Methods, tableIFs, tableBetas)
+		},
+	})
+}
+
+// table2: FedAvg vs FedGraB vs FedWCM on CIFAR-10.
+func init() {
+	register(&Experiment{
+		ID:    "table2",
+		Title: "Table 2: FedAvg / FedGraB / FedWCM on CIFAR-10",
+		Run: func(opt Options) error {
+			opt = opt.Defaults()
+			return methodBetaTable(opt, "Table 2 (cifar10-syn)",
+				[]string{"cifar10-syn"}, []string{"fedavg", "fedgrab", "fedwcm"},
+				tableIFs, tableBetas)
+		},
+	})
+}
+
+// table4: FedAvg / FedCM / FedWCM across β ∈ {0.1, 0.6} and six IFs.
+func init() {
+	register(&Experiment{
+		ID:    "table4",
+		Title: "Table 4: FedAvg/FedCM/FedWCM across beta and IF",
+		Run: func(opt Options) error {
+			opt = opt.Defaults()
+			ifs := []float64{1, 0.4, 0.1, 0.06, 0.04, 0.01}
+			methodsList := []string{"fedavg", "fedcm", "fedwcm"}
+			var cells []cell
+			for _, b := range []float64{0.1, 0.6} {
+				for _, m := range methodsList {
+					for _, f := range ifs {
+						key := fmt.Sprintf("%s|%g|%g", m, b, f)
+						cells = append(cells, cell{Key: key, Spec: specFor(opt, "cifar10-syn", m, b, f)})
+					}
+				}
+			}
+			hists, err := runCells(cells, opt.CellWorkers)
+			if err != nil {
+				return err
+			}
+			for _, b := range []float64{0.1, 0.6} {
+				headers := []string{"method"}
+				for _, f := range ifs {
+					headers = append(headers, fmt.Sprintf("IF=%g", f))
+				}
+				t := &Table{Title: fmt.Sprintf("Table 4 (beta = %g)", b), Headers: headers}
+				for _, m := range methodsList {
+					row := []string{m}
+					for _, f := range ifs {
+						row = append(row, F(hists[fmt.Sprintf("%s|%g|%g", m, b, f)].TailMeanAcc(3)))
+					}
+					t.AddRow(row...)
+				}
+				t.Render(opt.Out)
+				fmt.Fprintln(opt.Out)
+			}
+			return nil
+		},
+	})
+}

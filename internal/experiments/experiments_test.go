@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fedwcm/internal/data"
+	"fedwcm/internal/fl"
+)
+
+func TestRunSpecDefaults(t *testing.T) {
+	s := RunSpec{}.Defaults()
+	if s.Dataset == "" || s.Method == "" || s.Partition == "" || s.Clients == 0 || s.Scale == 0 {
+		t.Fatalf("defaults not filled: %+v", s)
+	}
+	s2 := RunSpec{Dataset: "fmnist-syn", Clients: 7}.Defaults()
+	if s2.Dataset != "fmnist-syn" || s2.Clients != 7 {
+		t.Fatal("explicit values must be preserved")
+	}
+}
+
+func TestBuildEnvPartitions(t *testing.T) {
+	for _, p := range []string{"equal", "fedgrab"} {
+		s := RunSpec{Partition: p, Scale: 0.1, Cfg: fl.Config{Seed: 3}}.Defaults()
+		s.Partition = p
+		env, err := s.BuildEnv()
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if len(env.Clients) != s.Clients {
+			t.Fatalf("%s: %d clients, want %d", p, len(env.Clients), s.Clients)
+		}
+	}
+	s := RunSpec{Partition: "nope", Scale: 0.1}.Defaults()
+	s.Partition = "nope"
+	if _, err := s.BuildEnv(); err == nil {
+		t.Fatal("unknown partition must error")
+	}
+}
+
+func TestBuildEnvUnknownDataset(t *testing.T) {
+	s := RunSpec{Dataset: "nope"}.Defaults()
+	if _, err := s.BuildEnv(); err == nil {
+		t.Fatal("unknown dataset must error")
+	}
+}
+
+func TestModelFor(t *testing.T) {
+	spec, _ := data.Lookup("cifar10-syn")
+	for _, m := range []string{"auto", "linear", "mlp", "mlpbn"} {
+		b, err := ModelFor(spec, m)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		net := b(1)
+		if net.Classes != spec.Classes || net.InDim != spec.Dim() {
+			t.Fatalf("%s: model shape mismatch", m)
+		}
+	}
+	if _, err := ModelFor(spec, "resnet"); err == nil {
+		t.Fatal("resnet on a feature dataset must error")
+	}
+	img, _ := data.Lookup("svhn-img")
+	if _, err := ModelFor(img, "resnet"); err != nil {
+		t.Fatalf("resnet on image dataset: %v", err)
+	}
+	if _, err := ModelFor(spec, "alexnet"); err == nil {
+		t.Fatal("unknown model must error")
+	}
+}
+
+func TestRunSpecTinyRun(t *testing.T) {
+	s := RunSpec{
+		Method: "fedavg",
+		Scale:  0.1,
+		Cfg:    fl.Config{Rounds: 3, SampleClients: 3, LocalEpochs: 1, BatchSize: 20, Seed: 5, EvalEvery: 3},
+	}
+	hist, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist.Stats) == 0 {
+		t.Fatal("no evaluations recorded")
+	}
+}
+
+func TestRunSpecModHook(t *testing.T) {
+	called := false
+	s := RunSpec{
+		Method: "fedavg",
+		Scale:  0.1,
+		Cfg:    fl.Config{Rounds: 2, SampleClients: 2, LocalEpochs: 1, BatchSize: 20, Seed: 6, EvalEvery: 2},
+		Mod:    func(env *fl.Env) { called = true },
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !called {
+		t.Fatal("Mod hook not invoked")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.Defaults()
+	if o.Seed == 0 || o.Effort != 1 || o.CellWorkers == 0 || o.Out == nil {
+		t.Fatalf("defaults not filled: %+v", o)
+	}
+	o2 := Options{Effort: 2}.Defaults()
+	if o2.Effort != 1 {
+		t.Fatal("effort must clamp to 1")
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	// Every experiment in DESIGN.md's index must be registered.
+	want := []string{
+		"fig3", "fig4", "table1", "table1-cifar10", "table2", "fig7", "fig8",
+		"table3", "fig9", "fig10", "table4", "table5", "fig11", "fig12",
+		"fig13", "table6", "fig18", "abl_score", "abl_parts",
+	}
+	for _, id := range want {
+		if _, err := ByID(id); err != nil {
+			t.Errorf("experiment %s not registered: %v", id, err)
+		}
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Fatal("unknown id must error")
+	}
+	if len(All()) != len(IDs()) {
+		t.Fatal("All and IDs disagree")
+	}
+}
+
+func TestScaleHelpers(t *testing.T) {
+	if scaleRounds(100, 0.5) != 50 {
+		t.Fatal("scaleRounds")
+	}
+	if scaleRounds(10, 0.01) != 8 {
+		t.Fatal("scaleRounds floor")
+	}
+	if scaleData(5, 0.5) != 2.5 {
+		t.Fatal("scaleData")
+	}
+	if scaleData(1, 0.01) != 0.08 {
+		t.Fatal("scaleData floor")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Title: "T", Headers: []string{"a", "bbbb"}}
+	tab.AddRow("xx", "1")
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "T\n") || !strings.Contains(out, "bbbb") || !strings.Contains(out, "xx") {
+		t.Fatalf("render output:\n%s", out)
+	}
+	st := SeriesTable("S", []int{1, 2}, []string{"m"}, [][]float64{{0.5}})
+	var buf2 bytes.Buffer
+	st.Render(&buf2)
+	if !strings.Contains(buf2.String(), "0.5000") || !strings.Contains(buf2.String(), "-") {
+		t.Fatalf("series render:\n%s", buf2.String())
+	}
+}
+
+// TestSmallExperimentsEndToEnd runs the cheap experiments at minimum effort
+// to ensure every registered pipeline executes.
+func TestSmallExperimentsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke runs skipped in -short mode")
+	}
+	for _, id := range []string{"fig11", "abl_parts", "fig8"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e, err := ByID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := e.Run(Options{Seed: 2, Effort: 0.08, CellWorkers: 4, Out: &buf}); err != nil {
+				t.Fatal(err)
+			}
+			if buf.Len() == 0 {
+				t.Fatal("experiment produced no output")
+			}
+		})
+	}
+}

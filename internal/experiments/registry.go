@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"fedwcm/internal/fl"
+)
+
+// Options control how much of an experiment runs and where output goes.
+type Options struct {
+	Seed uint64
+	// Effort ∈ (0,1] scales rounds and dataset size; 1 reproduces the
+	// registered configuration, benchmarks use small values to preserve
+	// shape at a fraction of the cost.
+	Effort float64
+	// CellWorkers is how many sweep cells run concurrently (each cell runs
+	// its clients in parallel internally too). 0 picks a default.
+	CellWorkers int
+	Out         io.Writer
+}
+
+// Defaults normalises options.
+func (o Options) Defaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Effort <= 0 || o.Effort > 1 {
+		o.Effort = 1
+	}
+	if o.CellWorkers <= 0 {
+		o.CellWorkers = 3
+	}
+	if o.Out == nil {
+		o.Out = io.Discard
+	}
+	return o
+}
+
+// Experiment regenerates one paper table or figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(opt Options) error
+}
+
+var (
+	regMu    sync.Mutex
+	registry = map[string]*Experiment{}
+)
+
+func register(e *Experiment) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[e.ID]; dup {
+		panic("experiments: duplicate id " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// ByID returns a registered experiment.
+func ByID(id string) (*Experiment, error) {
+	regMu.Lock()
+	e, ok := registry[id]
+	regMu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
+	}
+	return e, nil
+}
+
+// IDs lists registered experiment ids, sorted.
+func IDs() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns experiments in id order.
+func All() []*Experiment {
+	out := make([]*Experiment, 0)
+	for _, id := range IDs() {
+		e, _ := ByID(id)
+		out = append(out, e)
+	}
+	return out
+}
+
+// cell is one (label, spec) pair of a sweep.
+type cell struct {
+	Key  string
+	Spec RunSpec
+}
+
+// runCells executes sweep cells, up to `workers` concurrently, returning
+// histories keyed by cell key. Errors abort the sweep.
+func runCells(cells []cell, workers int) (map[string]*fl.History, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	type outcome struct {
+		key  string
+		hist *fl.History
+		err  error
+	}
+	jobs := make(chan cell)
+	results := make(chan outcome)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range jobs {
+				h, err := c.Spec.Run()
+				results <- outcome{key: c.Key, hist: h, err: err}
+			}
+		}()
+	}
+	go func() {
+		for _, c := range cells {
+			jobs <- c
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+	out := make(map[string]*fl.History, len(cells))
+	var firstErr error
+	for r := range results {
+		if r.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("cell %s: %w", r.key, r.err)
+		}
+		out[r.key] = r.hist
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// scaleRounds applies the effort multiplier with a sane floor.
+func scaleRounds(rounds int, effort float64) int {
+	r := int(float64(rounds) * effort)
+	if r < 8 {
+		r = 8
+	}
+	return r
+}
+
+// scaleData applies the effort multiplier to the dataset scale factor.
+func scaleData(scale, effort float64) float64 {
+	s := scale * effort
+	if s < 0.08 {
+		s = 0.08
+	}
+	return s
+}

@@ -1,0 +1,59 @@
+// Package fl is the federated-learning simulation engine: it owns the
+// server round loop, parallel client execution, client sampling, evaluation
+// and history recording. Algorithms plug in through the Method interface
+// (see internal/fl/methods) and share a generic local-SGD trainer whose
+// hooks cover every local update rule used in the paper: momentum mixing
+// (FedCM/FedWCM), proximal terms (FedProx/FedDyn), control variates
+// (SCAFFOLD), sharpness-aware perturbations (FedSAM family) and per-class
+// logit gradient scaling (FedGraB).
+package fl
+
+import "runtime"
+
+// Config holds the experiment hyperparameters shared by all methods. The
+// defaults follow the paper (§7.1) except for scale: rounds and client
+// counts are reduced so full sweeps run on a laptop (see DESIGN.md).
+type Config struct {
+	Rounds        int // communication rounds
+	SampleClients int // clients sampled per round
+	LocalEpochs   int // local passes over the shard per round
+	BatchSize     int
+	EtaL          float64 // local learning rate η_l
+	EtaG          float64 // global (server) learning rate η_g
+	Seed          uint64
+	EvalEvery     int // evaluate every n rounds (always evaluates the last)
+	Workers       int // parallel client workers; 0 = GOMAXPROCS
+	// DropProb simulates unreliable clients: each sampled client fails to
+	// report its update with this probability (failure injection; the
+	// engine aggregates whatever arrived, as a real server would).
+	DropProb float64
+}
+
+// Defaults fills unset fields with the paper's defaults.
+func (c Config) Defaults() Config {
+	if c.Rounds == 0 {
+		c.Rounds = 100
+	}
+	if c.SampleClients == 0 {
+		c.SampleClients = 10
+	}
+	if c.LocalEpochs == 0 {
+		c.LocalEpochs = 5
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 50
+	}
+	if c.EtaL == 0 {
+		c.EtaL = 0.1
+	}
+	if c.EtaG == 0 {
+		c.EtaG = 1
+	}
+	if c.EvalEvery == 0 {
+		c.EvalEvery = 5
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}

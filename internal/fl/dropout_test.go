@@ -1,0 +1,37 @@
+package fl
+
+import "testing"
+
+func TestRunWithClientDropout(t *testing.T) {
+	cfg := Config{Rounds: 20, SampleClients: 4, LocalEpochs: 2, BatchSize: 20,
+		EtaL: 0.2, EtaG: 1, Seed: 61, EvalEvery: 5, DropProb: 0.4}
+	env := testEnv(61, cfg, 4, 8, 100, 1)
+	hist := Run(env, &sgdMethod{})
+	if hist.FinalAcc() < 0.8 {
+		t.Fatalf("training should survive 40%% client dropout, got %v", hist.FinalAcc())
+	}
+}
+
+func TestRunWithTotalDropoutStillProgresses(t *testing.T) {
+	// DropProb = 1 would starve every round; the engine guarantees at least
+	// one report per round, so training still proceeds (slowly).
+	cfg := Config{Rounds: 10, SampleClients: 3, LocalEpochs: 2, BatchSize: 20,
+		EtaL: 0.2, EtaG: 1, Seed: 62, EvalEvery: 10, DropProb: 1}
+	env := testEnv(62, cfg, 3, 6, 100, 1)
+	hist := Run(env, &sgdMethod{})
+	if hist.FinalAcc() < 0.5 {
+		t.Fatalf("single-survivor rounds should still learn, got %v", hist.FinalAcc())
+	}
+}
+
+func TestDropoutDeterministic(t *testing.T) {
+	mk := func() float64 {
+		cfg := Config{Rounds: 6, SampleClients: 4, LocalEpochs: 1, BatchSize: 20,
+			Seed: 63, EvalEvery: 6, DropProb: 0.5}
+		env := testEnv(63, cfg, 3, 8, 1, 1)
+		return Run(env, &sgdMethod{}).FinalAcc()
+	}
+	if mk() != mk() {
+		t.Fatal("dropout pattern must be seed-deterministic")
+	}
+}

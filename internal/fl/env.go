@@ -1,0 +1,102 @@
+package fl
+
+import (
+	"fedwcm/internal/data"
+	"fedwcm/internal/loss"
+	"fedwcm/internal/nn"
+	"fedwcm/internal/partition"
+)
+
+// Client is one federated participant: a view into the shared training set.
+type Client struct {
+	ID          int
+	Indices     []int // rows of Env.Train owned by this client
+	ClassCounts []int
+	N           int
+}
+
+// Proportions returns the client's local label distribution.
+func (c *Client) Proportions() []float64 {
+	out := make([]float64, len(c.ClassCounts))
+	if c.N == 0 {
+		return out
+	}
+	for i, n := range c.ClassCounts {
+		out[i] = float64(n) / float64(c.N)
+	}
+	return out
+}
+
+// Probe is called after each evaluation with a network loaded with the
+// current global weights; experiments use probes to record neuron
+// concentration and other layer-wise statistics.
+type Probe func(round int, net *nn.Network)
+
+// Env is the immutable world a federated run executes in.
+type Env struct {
+	Cfg     Config
+	Train   *data.Dataset
+	Test    *data.Dataset
+	Clients []*Client
+	Build   nn.Builder
+	Loss    loss.Loss
+	Probes  []Probe
+}
+
+// NewEnv assembles an environment from a dataset, a partition, a model
+// builder and the default local loss.
+func NewEnv(cfg Config, train, test *data.Dataset, part *partition.Partition, build nn.Builder, lossFn loss.Loss) *Env {
+	cfg = cfg.Defaults()
+	clients := make([]*Client, part.NumClients())
+	for k := range clients {
+		idx := part.ClientIndices[k]
+		clients[k] = &Client{
+			ID:          k,
+			Indices:     idx,
+			ClassCounts: part.Counts[k],
+			N:           len(idx),
+		}
+	}
+	if lossFn == nil {
+		lossFn = loss.CrossEntropy{}
+	}
+	return &Env{Cfg: cfg, Train: train, Test: test, Clients: clients, Build: build, Loss: lossFn}
+}
+
+// GlobalCounts sums class counts across clients (equals the training set's
+// class profile).
+func (e *Env) GlobalCounts() []int {
+	out := make([]int, e.Train.Classes)
+	for _, c := range e.Clients {
+		for i, n := range c.ClassCounts {
+			out[i] += n
+		}
+	}
+	return out
+}
+
+// GlobalProportions normalises GlobalCounts.
+func (e *Env) GlobalProportions() []float64 {
+	counts := e.GlobalCounts()
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	out := make([]float64, len(counts))
+	if total == 0 {
+		return out
+	}
+	for i, c := range counts {
+		out[i] = float64(c) / float64(total)
+	}
+	return out
+}
+
+// TotalSamples returns the number of training samples across all clients.
+func (e *Env) TotalSamples() int {
+	t := 0
+	for _, c := range e.Clients {
+		t += c.N
+	}
+	return t
+}

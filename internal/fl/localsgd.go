@@ -1,0 +1,184 @@
+package fl
+
+import (
+	"fedwcm/internal/data"
+	"fedwcm/internal/loss"
+	"fedwcm/internal/tensor"
+)
+
+// LocalOpts configures the generic local-SGD loop. The zero value is plain
+// local SGD with the environment's default loss.
+type LocalOpts struct {
+	// Loss overrides the environment loss for this client (nil = default).
+	Loss loss.Loss
+	// Balanced switches to the class-balanced sampler (the paper's
+	// "Balance Sampler").
+	Balanced bool
+	// Alpha is the momentum mixing coefficient: each step uses
+	// v = Alpha·g + (1−Alpha)·Momentum. Alpha = 0 or 1 with nil Momentum
+	// degrades to plain SGD.
+	Alpha float64
+	// Momentum is the server-provided gradient-scale direction Δ_r (FedCM's
+	// global momentum). Nil disables mixing regardless of Alpha.
+	Momentum []float64
+	// ProxMu adds the FedProx proximal gradient μ·(x − x_global).
+	ProxMu float64
+	// Correction is added to every gradient (SCAFFOLD's c − c_i, FedDyn's
+	// −h_i). Nil disables.
+	Correction []float64
+	// SAMRho enables sharpness-aware minimisation with the given radius.
+	SAMRho float64
+	// SAMGlobalDir, when set with SAMRho, perturbs along this fixed global
+	// direction (FedLESAM) instead of the per-batch local gradient.
+	SAMGlobalDir []float64
+	// LogitScale rescales column c of d(loss)/d(logits) by LogitScale[c]
+	// (FedGraB's gradient balancer). Nil disables.
+	LogitScale []float64
+	// TrackPreds accumulates the client's predicted-class histogram.
+	TrackPreds bool
+	// LRScale multiplies the local learning rate (FedWCM-X). 0 = 1.
+	LRScale float64
+	// Epochs overrides Config.LocalEpochs when > 0.
+	Epochs int
+}
+
+// RunLocalSGD executes the client's local training loop starting from the
+// global weights already loaded into ctx.Net, and returns the resulting
+// ClientResult. It is the single inner loop shared by every method.
+func RunLocalSGD(ctx *ClientCtx, opts LocalOpts) *ClientResult {
+	cfg := ctx.Env.Cfg
+	lossFn := opts.Loss
+	if lossFn == nil {
+		lossFn = ctx.Env.Loss
+	}
+	epochs := cfg.LocalEpochs
+	if opts.Epochs > 0 {
+		epochs = opts.Epochs
+	}
+	lr := cfg.EtaL
+	if opts.LRScale > 0 {
+		lr *= opts.LRScale
+	}
+	client := ctx.Client
+	ds := ctx.Env.Train
+	n := client.N
+	if n == 0 {
+		return &ClientResult{ClientID: client.ID, Delta: make([]float64, len(ctx.Global))}
+	}
+
+	var sampler data.Sampler
+	if opts.Balanced {
+		labels := make([]int, n)
+		for i, gi := range client.Indices {
+			labels[i] = ds.Y[gi]
+		}
+		sampler = data.NewBalancedSampler(ctx.RNG, labels, ds.Classes, cfg.BatchSize)
+	} else {
+		sampler = data.NewShuffleSampler(ctx.RNG, n, cfg.BatchSize)
+	}
+
+	dim := len(ctx.Global)
+	net := ctx.Net
+	gbuf := make([]float64, dim)
+	dir := make([]float64, dim)
+	var xcur []float64
+	if opts.ProxMu > 0 {
+		xcur = make([]float64, dim)
+	}
+	var predHist []float64
+	if opts.TrackPreds {
+		predHist = make([]float64, ds.Classes)
+	}
+	var xb *tensor.Dense
+	var yb []int
+	gidx := make([]int, 0, cfg.BatchSize)
+
+	useMomentum := opts.Momentum != nil && opts.Alpha > 0 && opts.Alpha < 1
+
+	// computeGrad runs one forward/backward on the current batch and fills
+	// gbuf with the flat gradient, returning the batch loss.
+	computeGrad := func(trackPreds bool) float64 {
+		net.ZeroGrad()
+		logits := net.Forward(xb, true)
+		l, dl := lossFn.LossAndGrad(logits, yb)
+		if trackPreds && predHist != nil {
+			for s := 0; s < logits.R; s++ {
+				predHist[tensor.ArgMax(logits.Row(s))]++
+			}
+		}
+		if opts.LogitScale != nil {
+			for s := 0; s < dl.R; s++ {
+				row := dl.Row(s)
+				for c := range row {
+					row[c] *= opts.LogitScale[c]
+				}
+			}
+		}
+		net.Backward(dl)
+		net.GradVectorInto(gbuf)
+		return l
+	}
+
+	steps := 0
+	lossSum := 0.0
+	batches := sampler.BatchesPerEpoch()
+	for e := 0; e < epochs; e++ {
+		for b := 0; b < batches; b++ {
+			pos := sampler.NextBatch()
+			gidx = gidx[:0]
+			for _, p := range pos {
+				gidx = append(gidx, client.Indices[p])
+			}
+			xb, yb = ds.Gather(gidx, xb, yb)
+
+			l := computeGrad(true)
+			if opts.SAMRho > 0 {
+				pdir := gbuf
+				if opts.SAMGlobalDir != nil {
+					pdir = opts.SAMGlobalDir
+				}
+				norm := tensor.Norm2(pdir)
+				if norm > 1e-12 {
+					eps := opts.SAMRho / norm
+					net.StepVec(-eps, pdir) // ascend: θ ← θ + ε·dir
+					l = computeGrad(false)  // gradient at the perturbed point
+					net.StepVec(eps, pdir)  // restore
+				}
+			}
+			if opts.ProxMu > 0 {
+				net.VectorInto(xcur)
+				for j := range gbuf {
+					gbuf[j] += opts.ProxMu * (xcur[j] - ctx.Global[j])
+				}
+			}
+			if opts.Correction != nil {
+				tensor.AddVec(gbuf, opts.Correction)
+			}
+			if useMomentum {
+				tensor.Lerp(dir, opts.Alpha, gbuf, opts.Momentum)
+			} else {
+				copy(dir, gbuf)
+			}
+			net.StepVec(lr, dir)
+			steps++
+			lossSum += l
+		}
+	}
+
+	xEnd := net.Vector()
+	delta := make([]float64, dim)
+	for j := range delta {
+		delta[j] = ctx.Global[j] - xEnd[j]
+	}
+	res := &ClientResult{
+		ClientID: client.ID,
+		N:        n,
+		Steps:    steps,
+		Delta:    delta,
+		PredHist: predHist,
+	}
+	if steps > 0 {
+		res.MeanLoss = lossSum / float64(steps)
+	}
+	return res
+}

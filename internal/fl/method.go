@@ -1,0 +1,121 @@
+package fl
+
+import (
+	"fedwcm/internal/nn"
+	"fedwcm/internal/xrand"
+)
+
+// Method is a federated learning algorithm. The engine guarantees:
+//   - Init is called exactly once before the first round;
+//   - LocalTrain is called once per sampled client per round, possibly from
+//     multiple goroutines concurrently (methods must only write to state
+//     that is disjoint per client, e.g. per-client control variates);
+//   - Aggregate is called once per round, single-threaded, after all
+//     LocalTrain calls return; it must update global in place.
+type Method interface {
+	Name() string
+	Init(env *Env, dim int)
+	LocalTrain(ctx *ClientCtx) *ClientResult
+	Aggregate(round int, global []float64, results []*ClientResult)
+}
+
+// MetricsReporter lets a method expose per-round diagnostics (e.g. FedWCM's
+// adaptive alpha) that the engine attaches to the history.
+type MetricsReporter interface {
+	RoundMetrics() map[string]float64
+}
+
+// ClientCtx is everything a method needs to run one client's local work.
+type ClientCtx struct {
+	Round  int
+	Client *Client
+	Env    *Env
+	// Net is a worker-local network pre-loaded with the global weights.
+	Net *nn.Network
+	// Global is the read-only global weight vector at round start.
+	Global []float64
+	// RNG is the deterministic per-(round, client) stream.
+	RNG *xrand.RNG
+}
+
+// ClientResult carries a client's round contribution back to the server.
+type ClientResult struct {
+	ClientID int
+	N        int // local sample count
+	Steps    int // local gradient steps actually taken
+	// Delta = x_global − x_local_end: the gradient-like accumulated update
+	// (η_l · Σ_b v_b). Aggregations average Deltas; dividing by η_l·Steps
+	// recovers the gradient-scale momentum direction.
+	Delta    []float64
+	MeanLoss float64
+	// PredHist optionally reports the client's predicted-class histogram
+	// over its local training batches (used by FedGraB's balancer).
+	PredHist []float64
+	// Payload carries method-specific vectors (e.g. SCAFFOLD's control
+	// variate update).
+	Payload []float64
+}
+
+// WeightedDeltaInto accumulates dst -= etaG · Σ w_k Delta_k applied to the
+// global vector — the common server update shared by most methods. Weights
+// must be aligned with results; they are used as-is (callers normalise).
+func WeightedDeltaInto(global []float64, etaG float64, results []*ClientResult, weights []float64) {
+	for i, res := range results {
+		if res == nil {
+			continue
+		}
+		w := weights[i]
+		if w == 0 {
+			continue
+		}
+		s := etaG * w
+		for j, d := range res.Delta {
+			global[j] -= s * d
+		}
+	}
+}
+
+// UniformWeights returns 1/n for each of n results.
+func UniformWeights(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1 / float64(n)
+	}
+	return w
+}
+
+// SizeWeights returns weights proportional to client sample counts.
+func SizeWeights(results []*ClientResult) []float64 {
+	w := make([]float64, len(results))
+	total := 0.0
+	for i, r := range results {
+		if r != nil {
+			w[i] = float64(r.N)
+			total += w[i]
+		}
+	}
+	if total == 0 {
+		return UniformWeights(len(results))
+	}
+	for i := range w {
+		w[i] /= total
+	}
+	return w
+}
+
+// MomentumFrom computes the gradient-scale momentum direction
+// Δ = Σ w_k · Delta_k / (η_l · Steps_k), writing into dst.
+func MomentumFrom(dst []float64, etaL float64, results []*ClientResult, weights []float64) {
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i, res := range results {
+		if res == nil || res.Steps == 0 {
+			continue
+		}
+		s := weights[i] / (etaL * float64(res.Steps))
+		for j, d := range res.Delta {
+			dst[j] += s * d
+		}
+	}
+}

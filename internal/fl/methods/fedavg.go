@@ -1,0 +1,76 @@
+// Package methods implements the federated algorithms evaluated in the
+// paper: the contribution (FedWCM, FedWCM-X), the momentum baseline family
+// (FedCM and its loss/sampler variants), long-tail baselines (BalanceFL,
+// FedGraB — simplified re-implementations, see DESIGN.md) and the
+// heterogeneous-FL baselines of Appendix D (FedProx, SCAFFOLD, FedDyn and
+// the SAM family). All methods plug into the fl engine through fl.Method
+// and share the generic local-SGD trainer.
+package methods
+
+import (
+	"fedwcm/internal/fl"
+	"fedwcm/internal/tensor"
+)
+
+// FedAvg is vanilla federated averaging (McMahan et al.).
+type FedAvg struct {
+	env *fl.Env
+}
+
+// NewFedAvg returns a FedAvg method.
+func NewFedAvg() *FedAvg { return &FedAvg{} }
+
+// Name implements fl.Method.
+func (m *FedAvg) Name() string { return "fedavg" }
+
+// Init implements fl.Method.
+func (m *FedAvg) Init(env *fl.Env, dim int) { m.env = env }
+
+// LocalTrain implements fl.Method: plain local SGD.
+func (m *FedAvg) LocalTrain(ctx *fl.ClientCtx) *fl.ClientResult {
+	return fl.RunLocalSGD(ctx, fl.LocalOpts{})
+}
+
+// Aggregate implements fl.Method: size-weighted parameter averaging.
+func (m *FedAvg) Aggregate(round int, global []float64, results []*fl.ClientResult) {
+	w := fl.SizeWeights(results)
+	fl.WeightedDeltaInto(global, m.env.Cfg.EtaG, results, w)
+}
+
+// FedAvgM adds server-side momentum over the aggregated delta (SlowMo /
+// server-momentum style).
+type FedAvgM struct {
+	Beta float64
+	env  *fl.Env
+	mom  []float64
+}
+
+// NewFedAvgM returns FedAvg with server momentum coefficient beta.
+func NewFedAvgM(beta float64) *FedAvgM { return &FedAvgM{Beta: beta} }
+
+// Name implements fl.Method.
+func (m *FedAvgM) Name() string { return "fedavgm" }
+
+// Init implements fl.Method.
+func (m *FedAvgM) Init(env *fl.Env, dim int) {
+	m.env = env
+	m.mom = make([]float64, dim)
+}
+
+// LocalTrain implements fl.Method.
+func (m *FedAvgM) LocalTrain(ctx *fl.ClientCtx) *fl.ClientResult {
+	return fl.RunLocalSGD(ctx, fl.LocalOpts{})
+}
+
+// Aggregate implements fl.Method: m ← β·m + Σ w·Δ; x ← x − η_g·m.
+func (m *FedAvgM) Aggregate(round int, global []float64, results []*fl.ClientResult) {
+	w := fl.SizeWeights(results)
+	tensor.Scale(m.mom, m.Beta)
+	for i, res := range results {
+		if res == nil {
+			continue
+		}
+		tensor.Axpy(m.mom, w[i], res.Delta)
+	}
+	tensor.Axpy(global, -m.env.Cfg.EtaG, m.mom)
+}

@@ -1,0 +1,94 @@
+package methods
+
+import (
+	"fedwcm/internal/fl"
+	"fedwcm/internal/loss"
+)
+
+// FedCM is client-level momentum federated learning (Xu et al. 2021):
+// every local step uses v = α·g + (1−α)·Δ_r, where Δ_r is the server's
+// aggregate gradient direction from the previous round. The first round
+// runs plain SGD (Δ_0 is undefined), matching common implementations.
+//
+// LossFor and Balanced implement the paper's "FedCM + Focal Loss",
+// "FedCM + Balance Loss" and "FedCM + Balance Sampler" baselines without
+// separate method types.
+type FedCM struct {
+	Alpha float64
+	// LossFor, when set, builds a per-client loss (e.g. PriorCE over the
+	// client's local class counts). Nil uses the environment default.
+	LossFor func(c *fl.Client) loss.Loss
+	// Balanced switches local training to the class-balanced sampler.
+	Balanced bool
+
+	name         string
+	env          *fl.Env
+	momentum     []float64
+	haveMomentum bool
+}
+
+// NewFedCM returns FedCM with mixing coefficient alpha (the paper uses 0.1).
+func NewFedCM(alpha float64) *FedCM {
+	return &FedCM{Alpha: alpha, name: "fedcm"}
+}
+
+// NewFedCMFocal returns the FedCM + Focal Loss baseline.
+func NewFedCMFocal(alpha, gamma float64) *FedCM {
+	return &FedCM{
+		Alpha:   alpha,
+		name:    "fedcm+focal",
+		LossFor: func(*fl.Client) loss.Loss { return loss.Focal{Gamma: gamma} },
+	}
+}
+
+// NewFedCMBalanceLoss returns the FedCM + Balance Loss (PriorCE over local
+// class counts) baseline.
+func NewFedCMBalanceLoss(alpha, tau float64) *FedCM {
+	return &FedCM{
+		Alpha: alpha,
+		name:  "fedcm+balanceloss",
+		LossFor: func(c *fl.Client) loss.Loss {
+			counts := make([]float64, len(c.ClassCounts))
+			for i, n := range c.ClassCounts {
+				counts[i] = float64(n)
+			}
+			return loss.NewPriorCE(tau, counts)
+		},
+	}
+}
+
+// NewFedCMBalanceSampler returns the FedCM + Balance Sampler baseline.
+func NewFedCMBalanceSampler(alpha float64) *FedCM {
+	return &FedCM{Alpha: alpha, name: "fedcm+balancesampler", Balanced: true}
+}
+
+// Name implements fl.Method.
+func (m *FedCM) Name() string { return m.name }
+
+// Init implements fl.Method.
+func (m *FedCM) Init(env *fl.Env, dim int) {
+	m.env = env
+	m.momentum = make([]float64, dim)
+	m.haveMomentum = false
+}
+
+// LocalTrain implements fl.Method.
+func (m *FedCM) LocalTrain(ctx *fl.ClientCtx) *fl.ClientResult {
+	opts := fl.LocalOpts{Alpha: m.Alpha, Balanced: m.Balanced}
+	if m.haveMomentum {
+		opts.Momentum = m.momentum
+	}
+	if m.LossFor != nil {
+		opts.Loss = m.LossFor(ctx.Client)
+	}
+	return fl.RunLocalSGD(ctx, opts)
+}
+
+// Aggregate implements fl.Method: uniform delta averaging plus momentum
+// refresh Δ_{r+1} = Σ w_k·Delta_k/(η_l·B_k).
+func (m *FedCM) Aggregate(round int, global []float64, results []*fl.ClientResult) {
+	w := fl.UniformWeights(len(results))
+	fl.WeightedDeltaInto(global, m.env.Cfg.EtaG, results, w)
+	fl.MomentumFrom(m.momentum, m.env.Cfg.EtaL, results, w)
+	m.haveMomentum = true
+}

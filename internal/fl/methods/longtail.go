@@ -1,0 +1,118 @@
+package methods
+
+import (
+	"math"
+
+	"fedwcm/internal/fl"
+	"fedwcm/internal/loss"
+)
+
+// BalanceFL is a simplified BalanceFL (Shuai et al.): the local update
+// scheme forces each client to behave as if trained on a uniform label
+// distribution, here via class-balanced resampling plus a logit-adjusted
+// loss over the local class counts (BalanceFL-lite; see DESIGN.md).
+type BalanceFL struct {
+	Tau float64
+	env *fl.Env
+}
+
+// NewBalanceFL returns BalanceFL-lite with logit-adjustment strength tau.
+func NewBalanceFL(tau float64) *BalanceFL { return &BalanceFL{Tau: tau} }
+
+// Name implements fl.Method.
+func (m *BalanceFL) Name() string { return "balancefl" }
+
+// Init implements fl.Method.
+func (m *BalanceFL) Init(env *fl.Env, dim int) { m.env = env }
+
+// LocalTrain implements fl.Method.
+func (m *BalanceFL) LocalTrain(ctx *fl.ClientCtx) *fl.ClientResult {
+	counts := make([]float64, len(ctx.Client.ClassCounts))
+	for i, n := range ctx.Client.ClassCounts {
+		counts[i] = float64(n)
+	}
+	return fl.RunLocalSGD(ctx, fl.LocalOpts{
+		Balanced: true,
+		Loss:     loss.NewPriorCE(m.Tau, counts),
+	})
+}
+
+// Aggregate implements fl.Method.
+func (m *BalanceFL) Aggregate(round int, global []float64, results []*fl.ClientResult) {
+	fl.WeightedDeltaInto(global, m.env.Cfg.EtaG, results, fl.SizeWeights(results))
+}
+
+// FedGraB is a simplified FedGraB (Xiao et al.): a self-adjusting gradient
+// balancer. The server maintains per-class logit-gradient gains b_c; clients
+// scale column c of d(loss)/d(logits) by b_c, and after each round the
+// server nudges b using the aggregated predicted-class histogram toward the
+// target (uniform) prediction share (FedGraB-lite; see DESIGN.md).
+type FedGraB struct {
+	Rho     float64 // balancer step size
+	MinGain float64
+	MaxGain float64
+	env     *fl.Env
+	gains   []float64
+	target  []float64
+}
+
+// NewFedGraB returns FedGraB-lite with balancer step rho.
+func NewFedGraB(rho float64) *FedGraB {
+	return &FedGraB{Rho: rho, MinGain: 0.2, MaxGain: 5}
+}
+
+// Name implements fl.Method.
+func (m *FedGraB) Name() string { return "fedgrab" }
+
+// Init implements fl.Method.
+func (m *FedGraB) Init(env *fl.Env, dim int) {
+	m.env = env
+	classes := env.Train.Classes
+	m.gains = make([]float64, classes)
+	for i := range m.gains {
+		m.gains[i] = 1
+	}
+	m.target = make([]float64, classes)
+	for i := range m.target {
+		m.target[i] = 1 / float64(classes)
+	}
+}
+
+// LocalTrain implements fl.Method. The gains slice is read concurrently by
+// workers and only written in Aggregate, which the engine serialises.
+func (m *FedGraB) LocalTrain(ctx *fl.ClientCtx) *fl.ClientResult {
+	return fl.RunLocalSGD(ctx, fl.LocalOpts{LogitScale: m.gains, TrackPreds: true})
+}
+
+// Aggregate implements fl.Method: standard averaging plus the balancer
+// update b_c ← clip(b_c·exp(−ρ·(share_c − target_c))).
+func (m *FedGraB) Aggregate(round int, global []float64, results []*fl.ClientResult) {
+	fl.WeightedDeltaInto(global, m.env.Cfg.EtaG, results, fl.SizeWeights(results))
+	hist := make([]float64, len(m.gains))
+	total := 0.0
+	for _, res := range results {
+		if res == nil || res.PredHist == nil {
+			continue
+		}
+		for c, v := range res.PredHist {
+			hist[c] += v
+			total += v
+		}
+	}
+	if total == 0 {
+		return
+	}
+	for c := range m.gains {
+		share := hist[c] / total
+		m.gains[c] *= math.Exp(-m.Rho * (share - m.target[c]))
+		if m.gains[c] < m.MinGain {
+			m.gains[c] = m.MinGain
+		}
+		if m.gains[c] > m.MaxGain {
+			m.gains[c] = m.MaxGain
+		}
+	}
+}
+
+// Gains exposes the balancer state (for tests and diagnostics).
+func (m *FedGraB) Gains() []float64 { return m.gains }

@@ -1,0 +1,85 @@
+package methods
+
+import (
+	"fmt"
+	"sort"
+
+	"fedwcm/internal/fl"
+)
+
+// factories maps method names to constructors with the hyperparameters used
+// throughout the evaluation (α = 0.1 as in the paper; SAM ρ and proximal μ
+// set to the usual literature defaults).
+var factories = map[string]func() fl.Method{
+	"fedavg":  func() fl.Method { return NewFedAvg() },
+	"fedavgm": func() fl.Method { return NewFedAvgM(0.9) },
+	"fedcm":   func() fl.Method { return NewFedCM(0.1) },
+	"fedcm+focal": func() fl.Method {
+		return NewFedCMFocal(0.1, 2)
+	},
+	"fedcm+balanceloss": func() fl.Method {
+		return NewFedCMBalanceLoss(0.1, 1)
+	},
+	"fedcm+balancesampler": func() fl.Method {
+		return NewFedCMBalanceSampler(0.1)
+	},
+	"fedwcm": func() fl.Method { return NewFedWCM(DefaultWCMOptions()) },
+	"fedwcm-x": func() fl.Method {
+		opt := DefaultWCMOptions()
+		opt.QuantityWeighted = true
+		return NewFedWCM(opt)
+	},
+	"fedwcm-absscore": func() fl.Method {
+		opt := DefaultWCMOptions()
+		opt.Score = ScoreAbsDeviation
+		return NewFedWCM(opt)
+	},
+	"fedwcm-weightonly": func() fl.Method {
+		opt := DefaultWCMOptions()
+		opt.DisableAdaptiveAlpha = true
+		return NewFedWCM(opt)
+	},
+	"fedwcm-alphaonly": func() fl.Method {
+		opt := DefaultWCMOptions()
+		opt.DisableWeighting = true
+		return NewFedWCM(opt)
+	},
+	"fedprox":   func() fl.Method { return NewFedProx(0.01) },
+	"scaffold":  func() fl.Method { return NewSCAFFOLD() },
+	"feddyn":    func() fl.Method { return NewFedDyn(0.01) },
+	"balancefl": func() fl.Method { return NewBalanceFL(0.5) },
+	"fedgrab":   func() fl.Method { return NewFedGraB(0.5) },
+	"fedsam":    func() fl.Method { return NewFedSAM(0.05) },
+	"mofedsam":  func() fl.Method { return NewMoFedSAM(0.1, 0.05) },
+	"fedlesam":  func() fl.Method { return NewFedLESAM(0.05) },
+	"fedsmoo":   func() fl.Method { return NewFedSMOO(0.05, 0.01) },
+	"fedspeed":  func() fl.Method { return NewFedSpeed(0.05, 0.01) },
+}
+
+// New constructs a method by registry name.
+func New(name string) (fl.Method, error) {
+	f, ok := factories[name]
+	if !ok {
+		return nil, fmt.Errorf("methods: unknown method %q (known: %v)", name, Names())
+	}
+	return f(), nil
+}
+
+// MustNew is New that panics on unknown names (for experiment tables).
+func MustNew(name string) fl.Method {
+	m, err := New(name)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Names lists registered method names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(factories))
+	for n := range factories {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,132 @@
+package fl
+
+import (
+	"fmt"
+
+	"fedwcm/internal/data"
+	"fedwcm/internal/nn"
+	"fedwcm/internal/tensor"
+)
+
+// Evaluate runs the network over ds in chunks and returns overall accuracy
+// plus per-class accuracy.
+func Evaluate(net *nn.Network, ds *data.Dataset, chunk int) (float64, []float64) {
+	if chunk <= 0 {
+		chunk = 256
+	}
+	correct := make([]int, ds.Classes)
+	totals := make([]int, ds.Classes)
+	var xb *tensor.Dense
+	var yb []int
+	idx := make([]int, 0, chunk)
+	n := ds.Len()
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		idx = idx[:0]
+		for i := lo; i < hi; i++ {
+			idx = append(idx, i)
+		}
+		xb, yb = ds.Gather(idx, xb, yb)
+		pred := net.Predict(xb)
+		for i, p := range pred {
+			y := yb[i]
+			totals[y]++
+			if p == y {
+				correct[y]++
+			}
+		}
+	}
+	perClass := make([]float64, ds.Classes)
+	sumCorrect, sumTotal := 0, 0
+	for c := range perClass {
+		if totals[c] > 0 {
+			perClass[c] = float64(correct[c]) / float64(totals[c])
+		}
+		sumCorrect += correct[c]
+		sumTotal += totals[c]
+	}
+	acc := 0.0
+	if sumTotal > 0 {
+		acc = float64(sumCorrect) / float64(sumTotal)
+	}
+	return acc, perClass
+}
+
+// RoundStat is one evaluation snapshot.
+type RoundStat struct {
+	Round     int
+	TestAcc   float64
+	PerClass  []float64
+	TrainLoss float64
+	Metrics   map[string]float64
+}
+
+// History is the recorded trajectory of one federated run.
+type History struct {
+	Method string
+	Stats  []RoundStat
+}
+
+// FinalAcc returns the last evaluated accuracy (0 if never evaluated).
+func (h *History) FinalAcc() float64 {
+	if len(h.Stats) == 0 {
+		return 0
+	}
+	return h.Stats[len(h.Stats)-1].TestAcc
+}
+
+// BestAcc returns the best evaluated accuracy.
+func (h *History) BestAcc() float64 {
+	best := 0.0
+	for _, s := range h.Stats {
+		if s.TestAcc > best {
+			best = s.TestAcc
+		}
+	}
+	return best
+}
+
+// TailMeanAcc averages the last k evaluations — a stabler "final accuracy"
+// than a single point for noisy runs.
+func (h *History) TailMeanAcc(k int) float64 {
+	if len(h.Stats) == 0 {
+		return 0
+	}
+	if k > len(h.Stats) {
+		k = len(h.Stats)
+	}
+	sum := 0.0
+	for _, s := range h.Stats[len(h.Stats)-k:] {
+		sum += s.TestAcc
+	}
+	return sum / float64(k)
+}
+
+// RoundsToAcc returns the first evaluated round whose accuracy reaches the
+// threshold, or -1 if never reached (used for convergence-speed reporting).
+func (h *History) RoundsToAcc(threshold float64) int {
+	for _, s := range h.Stats {
+		if s.TestAcc >= threshold {
+			return s.Round
+		}
+	}
+	return -1
+}
+
+// AccSeries returns (rounds, accuracies) for plotting/printing curves.
+func (h *History) AccSeries() ([]int, []float64) {
+	rounds := make([]int, len(h.Stats))
+	accs := make([]float64, len(h.Stats))
+	for i, s := range h.Stats {
+		rounds[i] = s.Round
+		accs[i] = s.TestAcc
+	}
+	return rounds, accs
+}
+
+func (h *History) String() string {
+	return fmt.Sprintf("%s: final=%.4f best=%.4f evals=%d", h.Method, h.FinalAcc(), h.BestAcc(), len(h.Stats))
+}

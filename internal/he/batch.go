@@ -1,0 +1,92 @@
+package he
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Packer packs non-negative integer vectors into big-integer plaintexts with
+// fixed-width slots, BatchCrypt style. Slot width must leave headroom for
+// the homomorphic sums: summing counts over K clients needs
+// slotBits ≥ bits(maxCount·K).
+type Packer struct {
+	SlotBits int
+	Slots    int // slots per plaintext
+}
+
+// NewPacker creates a Packer for a key of the given modulus bit length.
+// One slot is sacrificed as headroom so packed values stay below n.
+func NewPacker(modulusBits, slotBits int) *Packer {
+	if slotBits <= 0 {
+		panic("he: slotBits must be positive")
+	}
+	slots := (modulusBits - slotBits) / slotBits
+	if slots < 1 {
+		slots = 1
+	}
+	return &Packer{SlotBits: slotBits, Slots: slots}
+}
+
+// PlaintextsNeeded reports how many packed plaintexts a vector of the given
+// length occupies.
+func (p *Packer) PlaintextsNeeded(vecLen int) int {
+	if vecLen == 0 {
+		return 0
+	}
+	return (vecLen + p.Slots - 1) / p.Slots
+}
+
+// Pack encodes vec into packed big integers. Every element must fit in a
+// slot.
+func (p *Packer) Pack(vec []int) ([]*big.Int, error) {
+	limit := new(big.Int).Lsh(one, uint(p.SlotBits))
+	out := make([]*big.Int, 0, p.PlaintextsNeeded(len(vec)))
+	for base := 0; base < len(vec); base += p.Slots {
+		m := new(big.Int)
+		hi := base + p.Slots
+		if hi > len(vec) {
+			hi = len(vec)
+		}
+		for i := hi - 1; i >= base; i-- {
+			v := vec[i]
+			if v < 0 {
+				return nil, fmt.Errorf("he: cannot pack negative value %d", v)
+			}
+			bv := big.NewInt(int64(v))
+			if bv.Cmp(limit) >= 0 {
+				return nil, fmt.Errorf("he: value %d exceeds %d-bit slot", v, p.SlotBits)
+			}
+			m.Lsh(m, uint(p.SlotBits))
+			m.Add(m, bv)
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// Unpack decodes packed plaintexts back into a vector of length vecLen.
+func (p *Packer) Unpack(packed []*big.Int, vecLen int) []int {
+	mask := new(big.Int).Sub(new(big.Int).Lsh(one, uint(p.SlotBits)), one)
+	out := make([]int, vecLen)
+	for pi, m := range packed {
+		cur := new(big.Int).Set(m)
+		for s := 0; s < p.Slots; s++ {
+			idx := pi*p.Slots + s
+			if idx >= vecLen {
+				break
+			}
+			v := new(big.Int).And(cur, mask)
+			out[idx] = int(v.Int64())
+			cur.Rsh(cur, uint(p.SlotBits))
+		}
+	}
+	return out
+}
+
+// SumBudgetOK reports whether summing `clients` vectors whose entries are at
+// most maxCount can overflow a slot.
+func (p *Packer) SumBudgetOK(maxCount, clients int) bool {
+	sum := new(big.Int).Mul(big.NewInt(int64(maxCount)), big.NewInt(int64(clients)))
+	limit := new(big.Int).Lsh(one, uint(p.SlotBits))
+	return sum.Cmp(limit) < 0
+}

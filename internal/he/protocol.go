@@ -1,0 +1,133 @@
+package he
+
+import (
+	"fmt"
+	"math/big"
+	"time"
+)
+
+// Report records the cost accounting of one protocol run — the quantities
+// Table 6 and Appendix C report.
+type Report struct {
+	Clients          int
+	Classes          int
+	PlaintextBytes   int // serialised class-count vector, per client
+	CiphertextBytes  int // serialised ciphertexts, per client
+	CiphertextsEach  int // ciphertexts per client
+	TotalUploadBytes int // across all clients
+	EncryptPerClient time.Duration
+	AggregateTotal   time.Duration
+	DecryptTotal     time.Duration
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("clients=%d classes=%d plain=%dB cipher=%dB (%d ct) upload=%dB enc=%v agg=%v dec=%v",
+		r.Clients, r.Classes, r.PlaintextBytes, r.CiphertextBytes, r.CiphertextsEach,
+		r.TotalUploadBytes, r.EncryptPerClient, r.AggregateTotal, r.DecryptTotal)
+}
+
+// Protocol is the BatchCrypt-style distribution-gathering protocol of §5.5:
+// a randomly chosen key-holder client generates the key pair; every client
+// encrypts its packed local class counts; the server aggregates ciphertexts
+// homomorphically; the key holder decrypts the aggregate and publishes the
+// global class distribution. The server never sees individual counts.
+type Protocol struct {
+	KeyBits  int
+	SlotBits int
+}
+
+// DefaultProtocol returns the configuration used in the experiments:
+// 1024-bit Paillier with 32-bit slots.
+func DefaultProtocol() Protocol { return Protocol{KeyBits: 1024, SlotBits: 32} }
+
+// Run executes the protocol over each client's class-count vector and
+// returns the (exact) global counts plus the cost report.
+func (p Protocol) Run(clientCounts [][]int) ([]int, Report, error) {
+	if len(clientCounts) == 0 {
+		return nil, Report{}, fmt.Errorf("he: no clients")
+	}
+	classes := len(clientCounts[0])
+	for _, c := range clientCounts {
+		if len(c) != classes {
+			return nil, Report{}, fmt.Errorf("he: inconsistent class counts")
+		}
+	}
+
+	// Key generation at the key-holder client.
+	sk, err := GenerateKeys(p.KeyBits)
+	if err != nil {
+		return nil, Report{}, err
+	}
+	packer := NewPacker(p.KeyBits, p.SlotBits)
+	maxCount := 0
+	for _, counts := range clientCounts {
+		for _, v := range counts {
+			if v > maxCount {
+				maxCount = v
+			}
+		}
+	}
+	if !packer.SumBudgetOK(maxCount, len(clientCounts)) {
+		return nil, Report{}, fmt.Errorf("he: %d-bit slots would overflow summing %d clients", p.SlotBits, len(clientCounts))
+	}
+
+	// Encryption and upload.
+	encStart := time.Now()
+	uploads := make([][]*Ciphertext, len(clientCounts))
+	cipherBytes := 0
+	for k, counts := range clientCounts {
+		packed, err := packer.Pack(counts)
+		if err != nil {
+			return nil, Report{}, err
+		}
+		cts := make([]*Ciphertext, len(packed))
+		for i, m := range packed {
+			ct, err := sk.PublicKey.Encrypt(m)
+			if err != nil {
+				return nil, Report{}, err
+			}
+			cts[i] = ct
+		}
+		uploads[k] = cts
+		if k == 0 {
+			cipherBytes = len(cts) * sk.PublicKey.CiphertextSize()
+		}
+	}
+	encElapsed := time.Since(encStart) / time.Duration(len(clientCounts))
+
+	// Homomorphic aggregation at the (semi-honest) server.
+	aggStart := time.Now()
+	agg := uploads[0]
+	for _, cts := range uploads[1:] {
+		for i := range agg {
+			agg[i] = sk.PublicKey.Add(agg[i], cts[i])
+		}
+	}
+	aggElapsed := time.Since(aggStart)
+
+	// Decryption and reconstruction at the key holder.
+	decStart := time.Now()
+	packedSums := make([]*big.Int, len(agg))
+	for i, ct := range agg {
+		packedSums[i] = sk.Decrypt(ct)
+	}
+	global := packer.Unpack(packedSums, classes)
+	decElapsed := time.Since(decStart)
+
+	report := Report{
+		Clients:          len(clientCounts),
+		Classes:          classes,
+		PlaintextBytes:   PlaintextSize(classes),
+		CiphertextBytes:  cipherBytes,
+		CiphertextsEach:  len(agg),
+		TotalUploadBytes: cipherBytes * len(clientCounts),
+		EncryptPerClient: encElapsed,
+		AggregateTotal:   aggElapsed,
+		DecryptTotal:     decElapsed,
+	}
+	return global, report, nil
+}
+
+// PlaintextSize reports the serialised size of a raw class-count vector the
+// way Appendix C counts it: a small fixed header plus 8 bytes per class.
+func PlaintextSize(classes int) int { return 56 + 8*classes }

@@ -1,0 +1,118 @@
+package nn
+
+import (
+	"math"
+
+	"fedwcm/internal/tensor"
+)
+
+// ReLU applies max(0, x) elementwise.
+type ReLU struct {
+	mask []bool
+}
+
+// NewReLU returns a ReLU activation layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward computes max(0, x).
+func (l *ReLU) Forward(x *tensor.Dense, train bool) *tensor.Dense {
+	out := x.Clone()
+	if cap(l.mask) < len(out.Data) {
+		l.mask = make([]bool, len(out.Data))
+	}
+	l.mask = l.mask[:len(out.Data)]
+	for i, v := range out.Data {
+		if v <= 0 {
+			out.Data[i] = 0
+			l.mask[i] = false
+		} else {
+			l.mask[i] = true
+		}
+	}
+	return out
+}
+
+// Backward zeroes gradients where the activation was clamped.
+func (l *ReLU) Backward(dout *tensor.Dense) *tensor.Dense {
+	dx := dout.Clone()
+	for i := range dx.Data {
+		if !l.mask[i] {
+			dx.Data[i] = 0
+		}
+	}
+	return dx
+}
+
+// Params returns nil: ReLU has no parameters.
+func (l *ReLU) Params() []*Param { return nil }
+
+// LeakyReLU applies x for x>0 and slope*x otherwise.
+type LeakyReLU struct {
+	Slope float64
+	mask  []bool
+}
+
+// NewLeakyReLU returns a LeakyReLU with the given negative slope.
+func NewLeakyReLU(slope float64) *LeakyReLU { return &LeakyReLU{Slope: slope} }
+
+// Forward applies the leaky rectifier.
+func (l *LeakyReLU) Forward(x *tensor.Dense, train bool) *tensor.Dense {
+	out := x.Clone()
+	if cap(l.mask) < len(out.Data) {
+		l.mask = make([]bool, len(out.Data))
+	}
+	l.mask = l.mask[:len(out.Data)]
+	for i, v := range out.Data {
+		if v <= 0 {
+			out.Data[i] = l.Slope * v
+			l.mask[i] = false
+		} else {
+			l.mask[i] = true
+		}
+	}
+	return out
+}
+
+// Backward scales gradients by the slope on the negative side.
+func (l *LeakyReLU) Backward(dout *tensor.Dense) *tensor.Dense {
+	dx := dout.Clone()
+	for i := range dx.Data {
+		if !l.mask[i] {
+			dx.Data[i] *= l.Slope
+		}
+	}
+	return dx
+}
+
+// Params returns nil.
+func (l *LeakyReLU) Params() []*Param { return nil }
+
+// Tanh applies the hyperbolic tangent elementwise.
+type Tanh struct {
+	out []float64
+}
+
+// NewTanh returns a Tanh activation layer.
+func NewTanh() *Tanh { return &Tanh{} }
+
+// Forward computes tanh(x).
+func (l *Tanh) Forward(x *tensor.Dense, train bool) *tensor.Dense {
+	out := x.Clone()
+	for i, v := range out.Data {
+		out.Data[i] = math.Tanh(v)
+	}
+	l.out = out.Data
+	return out
+}
+
+// Backward multiplies by 1 - tanh².
+func (l *Tanh) Backward(dout *tensor.Dense) *tensor.Dense {
+	dx := dout.Clone()
+	for i := range dx.Data {
+		dx.Data[i] *= 1 - l.out[i]*l.out[i]
+	}
+	return dx
+}
+
+// Params returns nil.
+func (l *Tanh) Params() []*Param { return nil }

@@ -1,0 +1,133 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Checkpoint format: a tiny self-describing binary container for a network's
+// flat parameter vector. It exists so long experiments can persist/restore
+// global models and so examples can hand models between processes.
+//
+//	magic "FWCM" | version u32 | paramCount u32 |
+//	for each param: nameLen u32, name, dataLen u32 |
+//	all float64 values, little-endian, in parameter order
+const (
+	checkpointMagic   = "FWCM"
+	checkpointVersion = 1
+)
+
+// SaveCheckpoint writes the network's parameters to w.
+func SaveCheckpoint(w io.Writer, net *Network) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(checkpointMagic); err != nil {
+		return err
+	}
+	params := net.Params()
+	if err := binary.Write(bw, binary.LittleEndian, uint32(checkpointVersion)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(params))); err != nil {
+		return err
+	}
+	for _, p := range params {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(p.Name))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(p.Name); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(p.Data))); err != nil {
+			return err
+		}
+	}
+	for _, p := range params {
+		for _, v := range p.Data {
+			if err := binary.Write(bw, binary.LittleEndian, math.Float64bits(v)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadCheckpoint restores parameters saved by SaveCheckpoint into net.
+// The network must have the same architecture (names and sizes must match).
+func LoadCheckpoint(r io.Reader, net *Network) error {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(checkpointMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return err
+	}
+	if string(magic) != checkpointMagic {
+		return fmt.Errorf("nn: not a checkpoint (bad magic %q)", magic)
+	}
+	var version, count uint32
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return err
+	}
+	if version != checkpointVersion {
+		return fmt.Errorf("nn: unsupported checkpoint version %d", version)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return err
+	}
+	params := net.Params()
+	if int(count) != len(params) {
+		return fmt.Errorf("nn: checkpoint has %d params, network has %d", count, len(params))
+	}
+	for _, p := range params {
+		var nameLen uint32
+		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+			return err
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return err
+		}
+		if string(name) != p.Name {
+			return fmt.Errorf("nn: checkpoint param %q does not match network param %q", name, p.Name)
+		}
+		var dataLen uint32
+		if err := binary.Read(br, binary.LittleEndian, &dataLen); err != nil {
+			return err
+		}
+		if int(dataLen) != len(p.Data) {
+			return fmt.Errorf("nn: checkpoint param %q has %d values, network expects %d", p.Name, dataLen, len(p.Data))
+		}
+	}
+	for _, p := range params {
+		for i := range p.Data {
+			var bits uint64
+			if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
+				return err
+			}
+			p.Data[i] = math.Float64frombits(bits)
+		}
+	}
+	return nil
+}
+
+// SaveCheckpointFile writes a checkpoint to path.
+func SaveCheckpointFile(path string, net *Network) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return SaveCheckpoint(f, net)
+}
+
+// LoadCheckpointFile restores a checkpoint from path.
+func LoadCheckpointFile(path string, net *Network) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return LoadCheckpoint(f, net)
+}

@@ -1,0 +1,82 @@
+package nn
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fedwcm/internal/tensor"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	src := NewMLP(5, 6, []int{8}, 3, true)
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewMLP(99, 6, []int{8}, 3, true) // different init
+	if tensor.L2Dist(src.Vector(), dst.Vector()) == 0 {
+		t.Fatal("test setup: networks should differ before load")
+	}
+	if err := LoadCheckpoint(&buf, dst); err != nil {
+		t.Fatal(err)
+	}
+	if tensor.L2Dist(src.Vector(), dst.Vector()) != 0 {
+		t.Fatal("checkpoint roundtrip drifted")
+	}
+}
+
+func TestCheckpointRejectsArchMismatch(t *testing.T) {
+	src := NewMLP(1, 6, []int{8}, 3, false)
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	wrong := NewMLP(1, 6, []int{9}, 3, false)
+	err := LoadCheckpoint(&buf, wrong)
+	if err == nil {
+		t.Fatal("size mismatch must be rejected")
+	}
+	if !strings.Contains(err.Error(), "values") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestCheckpointRejectsParamCountMismatch(t *testing.T) {
+	src := NewMLP(1, 6, []int{8}, 3, false)
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	wrong := NewMLP(1, 6, []int{8, 4}, 3, false)
+	if err := LoadCheckpoint(&buf, wrong); err == nil {
+		t.Fatal("param count mismatch must be rejected")
+	}
+}
+
+func TestCheckpointRejectsGarbage(t *testing.T) {
+	net := NewMLP(1, 4, []int{4}, 2, false)
+	if err := LoadCheckpoint(bytes.NewReader([]byte("not a checkpoint at all")), net); err == nil {
+		t.Fatal("garbage must be rejected")
+	}
+}
+
+func TestCheckpointFileHelpers(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.fwcm")
+	src := NewSoftmaxRegression(7, 5, 3)
+	if err := SaveCheckpointFile(path, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewSoftmaxRegression(8, 5, 3)
+	if err := LoadCheckpointFile(path, dst); err != nil {
+		t.Fatal(err)
+	}
+	if tensor.L2Dist(src.Vector(), dst.Vector()) != 0 {
+		t.Fatal("file roundtrip drifted")
+	}
+	if err := LoadCheckpointFile(filepath.Join(dir, "missing"), dst); err == nil {
+		t.Fatal("missing file must error")
+	}
+}

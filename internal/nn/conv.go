@@ -1,0 +1,185 @@
+package nn
+
+import (
+	"sync"
+
+	"fedwcm/internal/tensor"
+	"fedwcm/internal/xrand"
+)
+
+// Conv2D is a 2-D convolution over channel-outer flattened images.
+// Weights are stored as (outC × inC·kh·kw) so each sample's forward pass is
+// one matmul against its im2col matrix.
+type Conv2D struct {
+	InC, H, W    int // input geometry
+	OutC, KH, KW int
+	Stride, Pad  int
+	OutH, OutW   int
+	Wt, B        *Param
+
+	x    *tensor.Dense   // cached input
+	cols []*tensor.Dense // cached im2col matrices, one per sample
+}
+
+// NewConv2D creates a convolution layer with He initialisation.
+func NewConv2D(r *xrand.RNG, inC, h, w, outC, k, stride, pad int) *Conv2D {
+	outH := (h+2*pad-k)/stride + 1
+	outW := (w+2*pad-k)/stride + 1
+	if outH <= 0 || outW <= 0 {
+		panic("nn: Conv2D output would be empty")
+	}
+	l := &Conv2D{
+		InC: inC, H: h, W: w,
+		OutC: outC, KH: k, KW: k,
+		Stride: stride, Pad: pad,
+		OutH: outH, OutW: outW,
+		Wt: NewParam("conv.W", outC*inC*k*k),
+		B:  NewParam("conv.B", outC),
+	}
+	heInit(r, l.Wt.Data, inC*k*k)
+	return l
+}
+
+// OutDim returns the flattened output width (outC·outH·outW).
+func (l *Conv2D) OutDim() int { return l.OutC * l.OutH * l.OutW }
+
+// im2col fills cols (K × P) from one sample's flattened image.
+func (l *Conv2D) im2col(img []float64, cols *tensor.Dense) {
+	p := l.OutW * l.OutH
+	for c := 0; c < l.InC; c++ {
+		chanBase := c * l.H * l.W
+		for ky := 0; ky < l.KH; ky++ {
+			for kx := 0; kx < l.KW; kx++ {
+				rowIdx := (c*l.KH+ky)*l.KW + kx
+				row := cols.Data[rowIdx*p : (rowIdx+1)*p]
+				pi := 0
+				for oy := 0; oy < l.OutH; oy++ {
+					iy := oy*l.Stride + ky - l.Pad
+					if iy < 0 || iy >= l.H {
+						for ox := 0; ox < l.OutW; ox++ {
+							row[pi] = 0
+							pi++
+						}
+						continue
+					}
+					rowBase := chanBase + iy*l.W
+					for ox := 0; ox < l.OutW; ox++ {
+						ix := ox*l.Stride + kx - l.Pad
+						if ix < 0 || ix >= l.W {
+							row[pi] = 0
+						} else {
+							row[pi] = img[rowBase+ix]
+						}
+						pi++
+					}
+				}
+			}
+		}
+	}
+}
+
+// col2im scatter-adds a (K × P) gradient matrix back into one sample's
+// flattened image gradient.
+func (l *Conv2D) col2im(cols *tensor.Dense, dimg []float64) {
+	p := l.OutW * l.OutH
+	for c := 0; c < l.InC; c++ {
+		chanBase := c * l.H * l.W
+		for ky := 0; ky < l.KH; ky++ {
+			for kx := 0; kx < l.KW; kx++ {
+				rowIdx := (c*l.KH+ky)*l.KW + kx
+				row := cols.Data[rowIdx*p : (rowIdx+1)*p]
+				pi := 0
+				for oy := 0; oy < l.OutH; oy++ {
+					iy := oy*l.Stride + ky - l.Pad
+					if iy < 0 || iy >= l.H {
+						pi += l.OutW
+						continue
+					}
+					rowBase := chanBase + iy*l.W
+					for ox := 0; ox < l.OutW; ox++ {
+						ix := ox*l.Stride + kx - l.Pad
+						if ix >= 0 && ix < l.W {
+							dimg[rowBase+ix] += row[pi]
+						}
+						pi++
+					}
+				}
+			}
+		}
+	}
+}
+
+// Forward convolves each sample (parallel across the batch).
+func (l *Conv2D) Forward(x *tensor.Dense, train bool) *tensor.Dense {
+	if x.C != l.InC*l.H*l.W {
+		panic("nn: Conv2D input width mismatch")
+	}
+	l.x = x
+	n := x.R
+	k := l.InC * l.KH * l.KW
+	p := l.OutH * l.OutW
+	if cap(l.cols) < n {
+		l.cols = make([]*tensor.Dense, n)
+	}
+	l.cols = l.cols[:n]
+	out := tensor.NewDense(n, l.OutDim())
+	wt := tensor.FromSlice(l.OutC, k, l.Wt.Data)
+	tensor.ParallelFor(n, 1, func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			if l.cols[s] == nil || l.cols[s].R != k || l.cols[s].C != p {
+				l.cols[s] = tensor.NewDense(k, p)
+			}
+			l.im2col(x.Row(s), l.cols[s])
+			oseg := tensor.FromSlice(l.OutC, p, out.Row(s))
+			tensor.MatMulInto(oseg, wt, l.cols[s])
+			for oc := 0; oc < l.OutC; oc++ {
+				b := l.B.Data[oc]
+				row := oseg.Row(oc)
+				for i := range row {
+					row[i] += b
+				}
+			}
+		}
+	})
+	return out
+}
+
+// Backward accumulates weight/bias gradients and returns the input gradient.
+// Samples are processed in parallel with per-chunk weight-gradient partials
+// merged under a mutex, so results are independent of scheduling.
+func (l *Conv2D) Backward(dout *tensor.Dense) *tensor.Dense {
+	if l.x == nil {
+		panic("nn: Conv2D Backward before Forward")
+	}
+	n := l.x.R
+	k := l.InC * l.KH * l.KW
+	p := l.OutH * l.OutW
+	dx := tensor.NewDense(n, l.x.C)
+	wt := tensor.FromSlice(l.OutC, k, l.Wt.Data)
+	var mu sync.Mutex
+	tensor.ParallelFor(n, 1, func(lo, hi int) {
+		dwPart := make([]float64, len(l.Wt.Data))
+		dbPart := make([]float64, len(l.B.Data))
+		dwMat := tensor.FromSlice(l.OutC, k, dwPart)
+		for s := lo; s < hi; s++ {
+			dseg := tensor.FromSlice(l.OutC, p, dout.Row(s))
+			// dW += dOut·colsᵀ
+			dw := tensor.MatMulBT(dseg, l.cols[s])
+			tensor.AddVec(dwMat.Data, dw.Data)
+			for oc := 0; oc < l.OutC; oc++ {
+				dbPart[oc] += tensor.Sum(dseg.Row(oc))
+			}
+			// dcols = Wᵀ·dOut, scattered back to image space
+			dcols := tensor.MatMulAT(wt, dseg)
+			l.col2im(dcols, dx.Row(s))
+		}
+		mu.Lock()
+		tensor.AddVec(l.Wt.Grad, dwPart)
+		tensor.AddVec(l.B.Grad, dbPart)
+		mu.Unlock()
+	})
+	return dx
+}
+
+// Params returns [W, B].
+func (l *Conv2D) Params() []*Param { return []*Param{l.Wt, l.B} }

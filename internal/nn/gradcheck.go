@@ -1,0 +1,75 @@
+package nn
+
+import (
+	"math"
+
+	"fedwcm/internal/tensor"
+)
+
+// GradCheckResult reports the worst relative discrepancy found by GradCheck.
+type GradCheckResult struct {
+	MaxRelErr float64
+	Param     string
+	Index     int
+}
+
+// GradCheck verifies a network's analytic gradients against central finite
+// differences of the scalar loss lossOf(forward(x)). It checks every
+// parameter of every layer plus the input gradient, and is intended for
+// small networks in tests.
+//
+// lossOf must be deterministic and return both the scalar loss and
+// d(loss)/d(output).
+func GradCheck(net *Network, x *tensor.Dense, lossOf func(out *tensor.Dense) (float64, *tensor.Dense), eps float64) GradCheckResult {
+	// Analytic pass.
+	net.ZeroGrad()
+	out := net.Forward(x, true)
+	_, dout := lossOf(out)
+	dx := net.Backward(dout)
+
+	res := GradCheckResult{}
+	evalLoss := func() float64 {
+		o := net.Forward(x, true)
+		l, _ := lossOf(o)
+		return l
+	}
+	update := func(rel float64, name string, idx int) {
+		if rel > res.MaxRelErr {
+			res.MaxRelErr = rel
+			res.Param = name
+			res.Index = idx
+		}
+	}
+
+	for _, p := range net.Params() {
+		if p.Stat {
+			continue // running statistics get no gradient by design
+		}
+		for i := range p.Data {
+			orig := p.Data[i]
+			p.Data[i] = orig + eps
+			lp := evalLoss()
+			p.Data[i] = orig - eps
+			lm := evalLoss()
+			p.Data[i] = orig
+			num := (lp - lm) / (2 * eps)
+			update(relErr(num, p.Grad[i]), p.Name, i)
+		}
+	}
+	for i := range x.Data {
+		orig := x.Data[i]
+		x.Data[i] = orig + eps
+		lp := evalLoss()
+		x.Data[i] = orig - eps
+		lm := evalLoss()
+		x.Data[i] = orig
+		num := (lp - lm) / (2 * eps)
+		update(relErr(num, dx.Data[i]), "input", i)
+	}
+	return res
+}
+
+func relErr(a, b float64) float64 {
+	denom := math.Max(math.Max(math.Abs(a), math.Abs(b)), 1e-4)
+	return math.Abs(a-b) / denom
+}

@@ -1,0 +1,62 @@
+package nn
+
+import (
+	"fedwcm/internal/tensor"
+	"fedwcm/internal/xrand"
+)
+
+// Linear is a fully connected layer: Y = X·W + b, with W stored as
+// (in × out) so the forward pass is a single row-major matmul.
+type Linear struct {
+	In, Out int
+	W, B    *Param
+
+	x *tensor.Dense // cached input for backward
+}
+
+// NewLinear creates a Linear layer with He-initialised weights.
+func NewLinear(r *xrand.RNG, in, out int) *Linear {
+	l := &Linear{
+		In:  in,
+		Out: out,
+		W:   NewParam("linear.W", in*out),
+		B:   NewParam("linear.B", out),
+	}
+	heInit(r, l.W.Data, in)
+	return l
+}
+
+// NewLinearXavier creates a Linear layer with Xavier initialisation,
+// appropriate for the final classification head.
+func NewLinearXavier(r *xrand.RNG, in, out int) *Linear {
+	l := NewLinear(r, in, out)
+	xavierInit(r, l.W.Data, in, out)
+	return l
+}
+
+// Forward computes X·W + b.
+func (l *Linear) Forward(x *tensor.Dense, train bool) *tensor.Dense {
+	if x.C != l.In {
+		panic("nn: Linear input width mismatch")
+	}
+	l.x = x
+	w := tensor.FromSlice(l.In, l.Out, l.W.Data)
+	out := tensor.MatMul(x, w)
+	out.AddRowVec(l.B.Data)
+	return out
+}
+
+// Backward accumulates dW = Xᵀ·dY, db = Σ rows(dY) and returns dX = dY·Wᵀ.
+func (l *Linear) Backward(dout *tensor.Dense) *tensor.Dense {
+	if l.x == nil {
+		panic("nn: Linear Backward before Forward")
+	}
+	dw := tensor.MatMulAT(l.x, dout)
+	tensor.AddVec(l.W.Grad, dw.Data)
+	tensor.AddVec(l.B.Grad, dout.ColSums())
+	w := tensor.FromSlice(l.In, l.Out, l.W.Data)
+	return tensor.MatMulBT(dout, w)
+}
+
+// Params returns [W, B].
+func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }

@@ -1,0 +1,106 @@
+package nn
+
+import (
+	"fedwcm/internal/tensor"
+)
+
+// Network is a Sequential with the bookkeeping the federated engine needs:
+// flat parameter-vector access and classifier metadata.
+type Network struct {
+	*Sequential
+	InDim   int
+	Classes int
+
+	params []*Param // cached Params() result (layer param sets are stable)
+}
+
+// WrapNetwork builds a Network from layers plus metadata.
+func WrapNetwork(inDim, classes int, layers ...Layer) *Network {
+	n := &Network{Sequential: NewSequential(layers...), InDim: inDim, Classes: classes}
+	n.params = n.Sequential.Params()
+	return n
+}
+
+// Params returns the cached flat parameter list.
+func (n *Network) Params() []*Param { return n.params }
+
+// NumParams returns the total scalar parameter count.
+func (n *Network) NumParams() int { return ParamSize(n.params) }
+
+// Vector copies all parameters into a fresh flat vector.
+func (n *Network) Vector() []float64 {
+	return FlattenParams(n.params, make([]float64, n.NumParams()))
+}
+
+// VectorInto copies all parameters into dst.
+func (n *Network) VectorInto(dst []float64) { FlattenParams(n.params, dst) }
+
+// SetVector loads all parameters from a flat vector.
+func (n *Network) SetVector(v []float64) { UnflattenParams(n.params, v) }
+
+// GradVector copies all gradients into a fresh flat vector.
+func (n *Network) GradVector() []float64 {
+	return FlattenGrads(n.params, make([]float64, n.NumParams()))
+}
+
+// GradVectorInto copies all gradients into dst.
+func (n *Network) GradVectorInto(dst []float64) { FlattenGrads(n.params, dst) }
+
+// ZeroGrad clears every gradient accumulator.
+func (n *Network) ZeroGrad() {
+	for _, p := range n.params {
+		p.ZeroGrad()
+	}
+}
+
+// Step applies params -= lr·grad to learnable parameters (Stat params are
+// skipped; their values evolve inside Forward).
+func (n *Network) Step(lr float64) {
+	for _, p := range n.params {
+		if p.Stat {
+			continue
+		}
+		tensor.Axpy(p.Data, -lr, p.Grad)
+	}
+}
+
+// StepVec applies params -= lr·dir where dir is a flat vector over all
+// parameters (Stat segments included; pass zeros there to leave them alone).
+func (n *Network) StepVec(lr float64, dir []float64) {
+	if len(dir) != n.NumParams() {
+		panic("nn: StepVec length mismatch")
+	}
+	off := 0
+	for _, p := range n.params {
+		if !p.Stat {
+			tensor.Axpy(p.Data, -lr, dir[off:off+len(p.Data)])
+		}
+		off += len(p.Data)
+	}
+}
+
+// StatMask returns a boolean vector marking which flat-vector positions
+// belong to Stat (non-learnable) parameters.
+func (n *Network) StatMask() []bool {
+	mask := make([]bool, n.NumParams())
+	off := 0
+	for _, p := range n.params {
+		if p.Stat {
+			for i := 0; i < len(p.Data); i++ {
+				mask[off+i] = true
+			}
+		}
+		off += len(p.Data)
+	}
+	return mask
+}
+
+// Predict returns the argmax class for each row of x (inference mode).
+func (n *Network) Predict(x *tensor.Dense) []int {
+	logits := n.Forward(x, false)
+	out := make([]int, logits.R)
+	for i := 0; i < logits.R; i++ {
+		out[i] = tensor.ArgMax(logits.Row(i))
+	}
+	return out
+}

@@ -1,0 +1,155 @@
+package nn
+
+import (
+	"math"
+
+	"fedwcm/internal/tensor"
+)
+
+// BatchNorm normalises activations per channel. With Spatial == 1 it is the
+// 1-D variant over features; with Spatial == H·W it is the 2-D variant over
+// channel-outer feature maps. Running statistics are exposed as Stat params
+// so the federated engine transports and averages them with the weights
+// (gradients on them stay zero, so local SGD never touches them directly).
+type BatchNorm struct {
+	Channels, Spatial int
+	Momentum, Eps     float64
+	Gamma, Beta       *Param
+	RunMean, RunVar   *Param
+
+	// caches for backward
+	xmu    []float64 // x - mean, same layout as input
+	invstd []float64 // per channel
+	nIn    int       // batch size of the cached forward
+	train  bool
+}
+
+// NewBatchNorm creates a BatchNorm over the given channel count and spatial
+// extent (1 for dense features, H·W for conv maps).
+func NewBatchNorm(channels, spatial int) *BatchNorm {
+	l := &BatchNorm{
+		Channels: channels,
+		Spatial:  spatial,
+		Momentum: 0.1,
+		Eps:      1e-5,
+		Gamma:    NewParam("bn.gamma", channels),
+		Beta:     NewParam("bn.beta", channels),
+		RunMean:  NewParam("bn.runmean", channels),
+		RunVar:   NewParam("bn.runvar", channels),
+	}
+	l.RunMean.Stat = true
+	l.RunVar.Stat = true
+	tensor.Fill(l.Gamma.Data, 1)
+	tensor.Fill(l.RunVar.Data, 1)
+	return l
+}
+
+// Forward normalises by batch statistics (train) or running statistics.
+func (l *BatchNorm) Forward(x *tensor.Dense, train bool) *tensor.Dense {
+	if x.C != l.Channels*l.Spatial {
+		panic("nn: BatchNorm input width mismatch")
+	}
+	n := x.R
+	sp := l.Spatial
+	m := float64(n * sp)
+	out := tensor.NewDense(n, x.C)
+	if cap(l.xmu) < len(x.Data) {
+		l.xmu = make([]float64, len(x.Data))
+	}
+	l.xmu = l.xmu[:len(x.Data)]
+	if cap(l.invstd) < l.Channels {
+		l.invstd = make([]float64, l.Channels)
+	}
+	l.invstd = l.invstd[:l.Channels]
+	l.nIn = n
+	l.train = train
+
+	for c := 0; c < l.Channels; c++ {
+		var mean, variance float64
+		if train {
+			sum := 0.0
+			for s := 0; s < n; s++ {
+				seg := x.Row(s)[c*sp : (c+1)*sp]
+				sum += tensor.Sum(seg)
+			}
+			mean = sum / m
+			sq := 0.0
+			for s := 0; s < n; s++ {
+				seg := x.Row(s)[c*sp : (c+1)*sp]
+				for _, v := range seg {
+					d := v - mean
+					sq += d * d
+				}
+			}
+			variance = sq / m
+			l.RunMean.Data[c] = (1-l.Momentum)*l.RunMean.Data[c] + l.Momentum*mean
+			l.RunVar.Data[c] = (1-l.Momentum)*l.RunVar.Data[c] + l.Momentum*variance
+		} else {
+			mean = l.RunMean.Data[c]
+			variance = l.RunVar.Data[c]
+		}
+		inv := 1 / math.Sqrt(variance+l.Eps)
+		l.invstd[c] = inv
+		g, b := l.Gamma.Data[c], l.Beta.Data[c]
+		for s := 0; s < n; s++ {
+			off := s*x.C + c*sp
+			for j := 0; j < sp; j++ {
+				d := x.Data[off+j] - mean
+				l.xmu[off+j] = d
+				out.Data[off+j] = g*d*inv + b
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements the standard batch-norm gradient. In inference mode
+// the statistics are constants, so the layer behaves as a per-channel
+// affine map.
+func (l *BatchNorm) Backward(dout *tensor.Dense) *tensor.Dense {
+	n := l.nIn
+	sp := l.Spatial
+	m := float64(n * sp)
+	dx := tensor.NewDense(n, dout.C)
+	for c := 0; c < l.Channels; c++ {
+		inv := l.invstd[c]
+		g := l.Gamma.Data[c]
+		var sumD, sumDXmu float64
+		for s := 0; s < n; s++ {
+			off := s*dout.C + c*sp
+			for j := 0; j < sp; j++ {
+				d := dout.Data[off+j]
+				sumD += d
+				sumDXmu += d * l.xmu[off+j]
+			}
+		}
+		l.Beta.Grad[c] += sumD
+		l.Gamma.Grad[c] += sumDXmu * inv
+		if !l.train {
+			for s := 0; s < n; s++ {
+				off := s*dout.C + c*sp
+				for j := 0; j < sp; j++ {
+					dx.Data[off+j] = dout.Data[off+j] * g * inv
+				}
+			}
+			continue
+		}
+		// dxhat = dout*gamma; dx = inv/m * (m*dxhat - Σdxhat - xhat*Σ(dxhat·xhat))
+		// expressed with xmu: xhat = xmu*inv.
+		k1 := g * inv
+		k2 := g * inv / m * sumD
+		k3 := g * inv * inv * inv / m * sumDXmu
+		for s := 0; s < n; s++ {
+			off := s*dout.C + c*sp
+			for j := 0; j < sp; j++ {
+				dx.Data[off+j] = k1*dout.Data[off+j] - k2 - k3*l.xmu[off+j]
+			}
+		}
+	}
+	return dx
+}
+
+// Params returns [gamma, beta, running mean, running var].
+func (l *BatchNorm) Params() []*Param {
+	return []*Param{l.Gamma, l.Beta, l.RunMean, l.RunVar}
+}

@@ -1,0 +1,106 @@
+package tensor
+
+import "fmt"
+
+// Dense is a row-major matrix of float64. The zero value is not usable;
+// construct with NewDense or FromSlice.
+//
+// Most NN math works on (batch × features) matrices, so Dense is 2-D.
+// Higher-rank activations (e.g. conv feature maps) are stored as a Dense
+// whose column dimension is channels*height*width, with the layout managed
+// by the layer that owns it.
+type Dense struct {
+	R, C int
+	Data []float64 // len == R*C, row-major
+}
+
+// NewDense allocates an r×c zero matrix.
+func NewDense(r, c int) *Dense {
+	if r < 0 || c < 0 {
+		panic("tensor: NewDense with negative dimension")
+	}
+	return &Dense{R: r, C: c, Data: make([]float64, r*c)}
+}
+
+// FromSlice wraps data (not copied) as an r×c matrix.
+func FromSlice(r, c int, data []float64) *Dense {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("tensor: FromSlice %dx%d needs %d elements, got %d", r, c, r*c, len(data)))
+	}
+	return &Dense{R: r, C: c, Data: data}
+}
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 { return m.Data[i*m.C+j] }
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.Data[i*m.C+j] = v }
+
+// Row returns row i as a slice view (not a copy).
+func (m *Dense) Row(i int) []float64 { return m.Data[i*m.C : (i+1)*m.C] }
+
+// Clone returns a deep copy.
+func (m *Dense) Clone() *Dense {
+	return &Dense{R: m.R, C: m.C, Data: CopyVec(m.Data)}
+}
+
+// Reshape reinterprets the matrix as r×c sharing the same backing data.
+func (m *Dense) Reshape(r, c int) *Dense {
+	if r*c != len(m.Data) {
+		panic("tensor: Reshape size mismatch")
+	}
+	return &Dense{R: r, C: c, Data: m.Data}
+}
+
+// ZeroAll sets all elements to zero.
+func (m *Dense) ZeroAll() { Zero(m.Data) }
+
+// T returns a newly allocated transpose.
+func (m *Dense) T() *Dense {
+	out := NewDense(m.C, m.R)
+	for i := 0; i < m.R; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.Data[j*m.R+i] = v
+		}
+	}
+	return out
+}
+
+// AddRowVec adds vector v (len C) to every row.
+func (m *Dense) AddRowVec(v []float64) {
+	if len(v) != m.C {
+		panic("tensor: AddRowVec length mismatch")
+	}
+	for i := 0; i < m.R; i++ {
+		AddVec(m.Row(i), v)
+	}
+}
+
+// ColSums returns the per-column sums (a length-C vector).
+func (m *Dense) ColSums() []float64 {
+	out := make([]float64, m.C)
+	for i := 0; i < m.R; i++ {
+		AddVec(out, m.Row(i))
+	}
+	return out
+}
+
+// Equal reports whether two matrices have identical shape and elements
+// within tolerance tol.
+func Equal(a, b *Dense, tol float64) bool {
+	if a.R != b.R || a.C != b.C {
+		return false
+	}
+	for i, v := range a.Data {
+		d := v - b.Data[i]
+		if d < -tol || d > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *Dense) String() string {
+	return fmt.Sprintf("Dense(%dx%d)", m.R, m.C)
+}

@@ -1,0 +1,115 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fedwcm/internal/xrand"
+)
+
+func TestDenseBasics(t *testing.T) {
+	m := NewDense(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(1, 2, 5)
+	if m.At(0, 0) != 1 || m.At(1, 2) != 5 {
+		t.Fatal("Set/At broken")
+	}
+	row := m.Row(1)
+	row[0] = 7
+	if m.At(1, 0) != 7 {
+		t.Fatal("Row should be a view, not a copy")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := FromSlice(1, 2, []float64{1, 2})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone shares backing storage")
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed uint64, rRaw, cRaw uint8) bool {
+		rows := int(rRaw%8) + 1
+		cols := int(cRaw%8) + 1
+		rng := xrand.New(seed)
+		m := randDense(rng, rows, cols)
+		return Equal(m.T().T(), m, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReshapeSharesData(t *testing.T) {
+	m := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	r := m.Reshape(3, 2)
+	r.Set(0, 0, 42)
+	if m.At(0, 0) != 42 {
+		t.Fatal("Reshape should share data")
+	}
+	if r.At(2, 1) != 6 {
+		t.Fatalf("Reshape layout wrong: %v", r.Data)
+	}
+}
+
+func TestReshapePanicsOnSizeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDense(2, 3).Reshape(4, 2)
+}
+
+func TestAddRowVecAndColSums(t *testing.T) {
+	m := FromSlice(2, 2, []float64{1, 2, 3, 4})
+	m.AddRowVec([]float64{10, 20})
+	if m.At(0, 0) != 11 || m.At(1, 1) != 24 {
+		t.Fatalf("AddRowVec got %v", m.Data)
+	}
+	cs := m.ColSums()
+	if cs[0] != 24 || cs[1] != 46 {
+		t.Fatalf("ColSums got %v", cs)
+	}
+}
+
+func TestEqualShapes(t *testing.T) {
+	if Equal(NewDense(1, 2), NewDense(2, 1), 1) {
+		t.Fatal("different shapes must not be Equal")
+	}
+}
+
+func TestFromSlicePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromSlice(2, 2, []float64{1, 2, 3})
+}
+
+func TestParallelForCoversRange(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100, 1001} {
+		hits := make([]int32, n)
+		ParallelFor(n, 3, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				hits[i]++
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d index %d visited %d times", n, i, h)
+			}
+		}
+	}
+}
+
+func TestSetMaxWorkersRestores(t *testing.T) {
+	prev := SetMaxWorkers(1)
+	if got := SetMaxWorkers(prev); got != 1 {
+		t.Fatalf("SetMaxWorkers returned %d, want 1", got)
+	}
+}

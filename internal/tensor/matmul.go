@@ -1,0 +1,126 @@
+package tensor
+
+// The three matmul variants below cover forward and backward passes of a
+// Linear layer without materialising transposes:
+//
+//	forward:      Y = X·W            → MatMul
+//	grad input:   dX = dY·Wᵀ         → MatMulBT
+//	grad weight:  dW = Xᵀ·dY         → MatMulAT
+//
+// Each parallelises over output rows when the work is large enough to pay
+// for goroutine startup; the inner loops are written k-outer so the compiler
+// keeps a scalar of A in a register and streams B rows.
+
+// matmulMinFlops is the approximate flop count under which a matmul stays
+// serial. Client models in the sweep harness are small; parallelism pays off
+// mainly for the conv/im2col path.
+const matmulMinFlops = 64 * 1024
+
+// MatMul returns A·B. Panics on inner-dimension mismatch.
+func MatMul(a, b *Dense) *Dense {
+	if a.C != b.R {
+		panic("tensor: MatMul dimension mismatch")
+	}
+	out := NewDense(a.R, b.C)
+	MatMulInto(out, a, b)
+	return out
+}
+
+// MatMulInto computes dst = A·B, overwriting dst (which must be a.R×b.C).
+func MatMulInto(dst, a, b *Dense) {
+	if a.C != b.R || dst.R != a.R || dst.C != b.C {
+		panic("tensor: MatMulInto dimension mismatch")
+	}
+	Zero(dst.Data)
+	n, k, m := a.R, a.C, b.C
+	minRows := rowsForFlops(n, k, m)
+	ParallelFor(n, minRows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			crow := dst.Data[i*m : (i+1)*m]
+			for p, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[p*m : (p+1)*m]
+				for j, bv := range brow {
+					crow[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// MatMulBT returns A·Bᵀ, where B is given untransposed (m×k against A n×k).
+func MatMulBT(a, b *Dense) *Dense {
+	if a.C != b.C {
+		panic("tensor: MatMulBT dimension mismatch")
+	}
+	out := NewDense(a.R, b.R)
+	n, k, m := a.R, a.C, b.R
+	minRows := rowsForFlops(n, k, m)
+	ParallelFor(n, minRows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			crow := out.Data[i*m : (i+1)*m]
+			for j := 0; j < m; j++ {
+				crow[j] = Dot(arow, b.Data[j*k:(j+1)*k])
+			}
+		}
+	})
+	return out
+}
+
+// MatMulAT returns Aᵀ·B, where A is given untransposed (n×r against B n×c).
+// The result is r×c. This is the weight-gradient product, parallelised over
+// result rows (columns of A) so goroutines never write the same cell.
+func MatMulAT(a, b *Dense) *Dense {
+	if a.R != b.R {
+		panic("tensor: MatMulAT dimension mismatch")
+	}
+	n, r, c := a.R, a.C, b.C
+	out := NewDense(r, c)
+	minRows := rowsForFlops(r, n, c)
+	ParallelFor(r, minRows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			crow := out.Data[i*c : (i+1)*c]
+			for p := 0; p < n; p++ {
+				av := a.Data[p*r+i]
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[p*c : (p+1)*c]
+				for j, bv := range brow {
+					crow[j] += av * bv
+				}
+			}
+		}
+	})
+	return out
+}
+
+// MatVec returns A·x for a length-C vector x.
+func MatVec(a *Dense, x []float64) []float64 {
+	if a.C != len(x) {
+		panic("tensor: MatVec dimension mismatch")
+	}
+	out := make([]float64, a.R)
+	for i := 0; i < a.R; i++ {
+		out[i] = Dot(a.Row(i), x)
+	}
+	return out
+}
+
+// rowsForFlops returns the minimum number of rows each goroutine chunk
+// should own so that a chunk performs at least matmulMinFlops work.
+func rowsForFlops(n, k, m int) int {
+	perRow := 2 * k * m
+	if perRow <= 0 {
+		return n + 1
+	}
+	rows := matmulMinFlops / perRow
+	if rows < 1 {
+		rows = 1
+	}
+	return rows
+}

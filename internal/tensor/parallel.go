@@ -1,0 +1,56 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// maxWorkers reports how many goroutines parallel loops may use.
+// It is a variable so tests can force serial execution.
+var maxWorkers = runtime.GOMAXPROCS(0)
+
+// SetMaxWorkers overrides the parallelism degree (n <= 1 forces serial
+// execution) and returns the previous value.
+func SetMaxWorkers(n int) int {
+	prev := maxWorkers
+	if n < 1 {
+		n = 1
+	}
+	maxWorkers = n
+	return prev
+}
+
+// ParallelFor runs fn over [0, n) split into contiguous chunks, using up to
+// maxWorkers goroutines. Work smaller than minChunk stays on the calling
+// goroutine: spawning has a real cost and the simulator calls this from hot
+// loops with tiny matrices.
+func ParallelFor(n, minChunk int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers := maxWorkers
+	if minChunk < 1 {
+		minChunk = 1
+	}
+	if maxChunks := (n + minChunk - 1) / minChunk; workers > maxChunks {
+		workers = maxChunks
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,163 @@
+// Package trace persists experiment histories as CSV and JSON lines so
+// table/figure outputs can be post-processed outside the harness (plotted,
+// diffed across runs, committed as artefacts).
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+
+	"fedwcm/internal/fl"
+)
+
+// WriteCSV writes one row per evaluation of each history: run label, round,
+// test accuracy, train loss, then any method metrics (sorted by key) and
+// per-class accuracies.
+func WriteCSV(w io.Writer, runs map[string]*fl.History) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+
+	// Collect the union of metric keys for a stable header.
+	metricKeys := map[string]bool{}
+	classes := 0
+	for _, h := range runs {
+		for _, s := range h.Stats {
+			for k := range s.Metrics {
+				metricKeys[k] = true
+			}
+			if len(s.PerClass) > classes {
+				classes = len(s.PerClass)
+			}
+		}
+	}
+	keys := make([]string, 0, len(metricKeys))
+	for k := range metricKeys {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	header := []string{"run", "method", "round", "test_acc", "train_loss"}
+	header = append(header, keys...)
+	for c := 0; c < classes; c++ {
+		header = append(header, fmt.Sprintf("acc_class_%d", c))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+
+	labels := make([]string, 0, len(runs))
+	for l := range runs {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, label := range labels {
+		h := runs[label]
+		if h == nil {
+			continue
+		}
+		for _, s := range h.Stats {
+			row := []string{
+				label,
+				h.Method,
+				strconv.Itoa(s.Round),
+				formatF(s.TestAcc),
+				formatF(s.TrainLoss),
+			}
+			for _, k := range keys {
+				if v, ok := s.Metrics[k]; ok {
+					row = append(row, formatF(v))
+				} else {
+					row = append(row, "")
+				}
+			}
+			for c := 0; c < classes; c++ {
+				if c < len(s.PerClass) {
+					row = append(row, formatF(s.PerClass[c]))
+				} else {
+					row = append(row, "")
+				}
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func formatF(v float64) string { return strconv.FormatFloat(v, 'f', 6, 64) }
+
+// SaveCSV writes runs to a file, creating parent directories.
+func SaveCSV(path string, runs map[string]*fl.History) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return WriteCSV(f, runs)
+}
+
+// Record is the JSONL form of one evaluation point.
+type Record struct {
+	Run      string             `json:"run"`
+	Method   string             `json:"method"`
+	Round    int                `json:"round"`
+	TestAcc  float64            `json:"test_acc"`
+	Loss     float64            `json:"train_loss"`
+	Metrics  map[string]float64 `json:"metrics,omitempty"`
+	PerClass []float64          `json:"per_class,omitempty"`
+}
+
+// WriteJSONL writes one JSON object per evaluation point.
+func WriteJSONL(w io.Writer, runs map[string]*fl.History) error {
+	labels := make([]string, 0, len(runs))
+	for l := range runs {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	enc := json.NewEncoder(w)
+	for _, label := range labels {
+		h := runs[label]
+		if h == nil {
+			continue
+		}
+		for _, s := range h.Stats {
+			rec := Record{
+				Run:      label,
+				Method:   h.Method,
+				Round:    s.Round,
+				TestAcc:  s.TestAcc,
+				Loss:     s.TrainLoss,
+				Metrics:  s.Metrics,
+				PerClass: s.PerClass,
+			}
+			if err := enc.Encode(rec); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ReadJSONL parses records written by WriteJSONL.
+func ReadJSONL(r io.Reader) ([]Record, error) {
+	dec := json.NewDecoder(r)
+	var out []Record
+	for dec.More() {
+		var rec Record
+		if err := dec.Decode(&rec); err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}

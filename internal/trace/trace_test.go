@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fedwcm/internal/fl"
+)
+
+func sampleRuns() map[string]*fl.History {
+	return map[string]*fl.History{
+		"b-run": {
+			Method: "fedcm",
+			Stats: []fl.RoundStat{
+				{Round: 5, TestAcc: 0.4, TrainLoss: 1.2, PerClass: []float64{0.5, 0.3}},
+			},
+		},
+		"a-run": {
+			Method: "fedwcm",
+			Stats: []fl.RoundStat{
+				{Round: 5, TestAcc: 0.5, TrainLoss: 1.0,
+					Metrics: map[string]float64{"alpha": 0.3}, PerClass: []float64{0.6, 0.4}},
+				{Round: 10, TestAcc: 0.6, TrainLoss: 0.8,
+					Metrics: map[string]float64{"alpha": 0.5}, PerClass: []float64{0.7, 0.5}},
+			},
+		},
+	}
+}
+
+func TestWriteCSVStructure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, sampleRuns()); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 4 { // header + 3 data rows
+		t.Fatalf("got %d rows, want 4", len(records))
+	}
+	header := strings.Join(records[0], ",")
+	for _, want := range []string{"run", "round", "test_acc", "alpha", "acc_class_1"} {
+		if !strings.Contains(header, want) {
+			t.Fatalf("header missing %q: %s", want, header)
+		}
+	}
+	// sorted by run label: a-run rows first
+	if records[1][0] != "a-run" || records[3][0] != "b-run" {
+		t.Fatalf("rows not sorted by run: %v", records)
+	}
+	// b-run has no alpha metric → empty cell in that column
+	alphaCol := -1
+	for i, h := range records[0] {
+		if h == "alpha" {
+			alphaCol = i
+		}
+	}
+	if records[3][alphaCol] != "" {
+		t.Fatalf("missing metric should render empty, got %q", records[3][alphaCol])
+	}
+}
+
+func TestSaveCSVCreatesDirs(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "nested", "out.csv")
+	if err := SaveCSV(path, sampleRuns()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "fedwcm") {
+		t.Fatal("csv content missing method name")
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, sampleRuns()); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	if recs[0].Run != "a-run" || recs[0].Method != "fedwcm" {
+		t.Fatalf("first record %+v", recs[0])
+	}
+	if recs[1].Metrics["alpha"] != 0.5 {
+		t.Fatalf("metrics lost: %+v", recs[1])
+	}
+	if len(recs[2].PerClass) != 2 {
+		t.Fatalf("per-class lost: %+v", recs[2])
+	}
+}
+
+func TestJSONLHandlesNilHistory(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, map[string]*fl.History{"x": nil}); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatal("nil history should produce no records")
+	}
+}

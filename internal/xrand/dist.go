@@ -1,0 +1,195 @@
+package xrand
+
+import "math"
+
+// Gamma returns a Gamma(shape, 1) variate using the Marsaglia–Tsang method.
+// For shape < 1 it uses the boosting identity
+// Gamma(a) = Gamma(a+1) * U^{1/a}.
+func (r *RNG) Gamma(shape float64) float64 {
+	if shape <= 0 {
+		panic("xrand: Gamma with non-positive shape")
+	}
+	if shape < 1 {
+		u := r.Float64()
+		for u == 0 {
+			u = r.Float64()
+		}
+		return r.Gamma(shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1.0 / math.Sqrt(9*d)
+	for {
+		var x, v float64
+		for {
+			x = r.NormFloat64()
+			v = 1 + c*x
+			if v > 0 {
+				break
+			}
+		}
+		v = v * v * v
+		u := r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// Dirichlet samples a probability vector from Dirichlet(alpha,...,alpha) of
+// the given dimension. Smaller alpha produces spikier (more heterogeneous)
+// vectors; this is the client class-mix sampler behind the paper's
+// Dir(beta) non-IID partition.
+func (r *RNG) Dirichlet(alpha float64, dim int) []float64 {
+	if dim <= 0 {
+		panic("xrand: Dirichlet with non-positive dim")
+	}
+	p := make([]float64, dim)
+	sum := 0.0
+	for i := range p {
+		p[i] = r.Gamma(alpha)
+		sum += p[i]
+	}
+	if sum == 0 {
+		// Astronomically unlikely; fall back to one-hot at a random index.
+		p[r.Intn(dim)] = 1
+		return p
+	}
+	for i := range p {
+		p[i] /= sum
+	}
+	return p
+}
+
+// DirichletVec samples from Dirichlet(alphas). Every alphas[i] must be > 0.
+func (r *RNG) DirichletVec(alphas []float64) []float64 {
+	p := make([]float64, len(alphas))
+	sum := 0.0
+	for i, a := range alphas {
+		p[i] = r.Gamma(a)
+		sum += p[i]
+	}
+	if sum == 0 {
+		p[r.Intn(len(p))] = 1
+		return p
+	}
+	for i := range p {
+		p[i] /= sum
+	}
+	return p
+}
+
+// Categorical draws an index with probability proportional to weights[i].
+// Weights need not be normalised; negative weights are treated as zero.
+func (r *RNG) Categorical(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return r.Intn(len(weights))
+	}
+	u := r.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		acc += w
+		if u < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Multinomial distributes n draws across categories with the given
+// (unnormalised) probabilities, returning per-category counts.
+func (r *RNG) Multinomial(n int, probs []float64) []int {
+	counts := make([]int, len(probs))
+	total := 0.0
+	for _, p := range probs {
+		if p > 0 {
+			total += p
+		}
+	}
+	if total <= 0 {
+		for i := 0; i < n; i++ {
+			counts[r.Intn(len(probs))]++
+		}
+		return counts
+	}
+	// Sequential conditional binomial would be exact and O(k); simple
+	// categorical draws are fine at simulator scale and easier to audit.
+	for i := 0; i < n; i++ {
+		counts[r.Categorical(probs)]++
+	}
+	return counts
+}
+
+// SampleWithoutReplacement returns k distinct integers drawn uniformly from
+// [0, n), in random order. It panics if k > n or k < 0.
+func (r *RNG) SampleWithoutReplacement(n, k int) []int {
+	if k < 0 || k > n {
+		panic("xrand: SampleWithoutReplacement with k out of range")
+	}
+	// Partial Fisher-Yates over an index array: O(n) memory, O(n) time,
+	// which is fine for client sampling (n = number of clients).
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + r.Intn(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	return idx[:k]
+}
+
+// Binomial returns a Binomial(n, p) variate by direct simulation. The
+// simulator only uses it for modest n.
+func (r *RNG) Binomial(n int, p float64) int {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	c := 0
+	for i := 0; i < n; i++ {
+		if r.Float64() < p {
+			c++
+		}
+	}
+	return c
+}
+
+// Exponential returns an Exp(rate) variate.
+func (r *RNG) Exponential(rate float64) float64 {
+	if rate <= 0 {
+		panic("xrand: Exponential with non-positive rate")
+	}
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -math.Log(u) / rate
+}
+
+// FillNorm fills dst with independent N(mu, sigma^2) samples.
+func (r *RNG) FillNorm(dst []float64, mu, sigma float64) {
+	for i := range dst {
+		dst[i] = mu + sigma*r.NormFloat64()
+	}
+}
+
+// FillUniform fills dst with independent U[lo, hi) samples.
+func (r *RNG) FillUniform(dst []float64, lo, hi float64) {
+	for i := range dst {
+		dst[i] = r.Float64Range(lo, hi)
+	}
+}
