@@ -1,0 +1,76 @@
+// Command fedserve runs the experiment run service: an HTTP API over the
+// content-addressed result store, so repeated sweep cells are computed once
+// and served from cache thereafter.
+//
+// Example:
+//
+//	fedserve -addr :8080 -store ./results -workers 4
+//	curl -s localhost:8080/v1/experiments
+//	curl -s -X POST localhost:8080/v1/runs -d '{"dataset":"cifar10-syn","method":"fedwcm"}'
+//	curl -s localhost:8080/v1/runs/<id>
+//	curl -N localhost:8080/v1/runs/<id>/events
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"fedwcm/internal/serve"
+	"fedwcm/internal/store"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		root    = flag.String("store", "results/store", "result store root directory")
+		workers = flag.Int("workers", max(1, runtime.GOMAXPROCS(0)/2), "concurrent training runs")
+		queue   = flag.Int("queue", 64, "max queued (not yet running) submissions")
+		lru     = flag.Int("lru", store.DefaultLRUSize, "in-memory history cache size")
+	)
+	flag.Parse()
+
+	st, err := store.Open(*root, *lru)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fedserve:", err)
+		os.Exit(1)
+	}
+	srv, err := serve.New(serve.Config{Store: st, Workers: *workers, QueueDepth: *queue})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fedserve:", err)
+		os.Exit(1)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Println("fedserve: shutting down")
+		// Graceful: in-flight responses (incl. SSE on live runs) finish;
+		// runs still training when the grace period lapses are completed
+		// by srv.Close below, only their streams are cut.
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			httpSrv.Close()
+		}
+	}()
+
+	log.Printf("fedserve: listening on %s (store %s, %d workers)", *addr, *root, *workers)
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "fedserve:", err)
+		os.Exit(1)
+	}
+	srv.Close()    // finish in-flight runs so their artifacts land in the store
+	<-shutdownDone // let in-flight responses (SSE done events) drain before exit
+}

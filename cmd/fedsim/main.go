@@ -40,6 +40,7 @@ func main() {
 		evalEvery = flag.Int("eval", 5, "evaluate every n rounds")
 		quiet     = flag.Bool("q", false, "only print the final summary line")
 		csvPath   = flag.String("csv", "", "also write the history as CSV to this path")
+		jsonPath  = flag.String("json", "", "also write the history as trace JSONL to this path")
 	)
 	flag.Parse()
 
@@ -83,6 +84,13 @@ func main() {
 		runs := map[string]*fl.History{*method: hist}
 		if err := trace.SaveCSV(*csvPath, runs); err != nil {
 			fmt.Fprintln(os.Stderr, "fedsim: csv:", err)
+			os.Exit(1)
+		}
+	}
+	if *jsonPath != "" {
+		runs := map[string]*fl.History{*method: hist}
+		if err := trace.SaveJSONL(*jsonPath, runs); err != nil {
+			fmt.Fprintln(os.Stderr, "fedsim: json:", err)
 			os.Exit(1)
 		}
 	}

@@ -1,0 +1,3 @@
+module fedwcm
+
+go 1.24

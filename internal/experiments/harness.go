@@ -16,20 +16,23 @@ import (
 )
 
 // RunSpec pins down a single experiment cell: dataset, method, distribution
-// parameters and engine configuration.
+// parameters and engine configuration. The JSON form is the wire/storage
+// encoding used by internal/store and internal/serve; Mod is a process-local
+// hook and is deliberately excluded (specs carrying a Mod are not
+// content-addressable — see Fingerprint).
 type RunSpec struct {
-	Dataset   string
-	Method    string
-	Beta      float64 // Dirichlet concentration (label skew; smaller = worse)
-	IF        float64 // imbalance factor (tail/head; smaller = worse)
-	Partition string  // "equal" (paper's) or "fedgrab" (quantity-skewed)
-	Clients   int
-	Model     string  // "auto", "linear", "mlp", "resnet"
-	Scale     float64 // dataset scale factor (1 = registry default)
-	Cfg       fl.Config
+	Dataset   string    `json:"dataset"`
+	Method    string    `json:"method"`
+	Beta      float64   `json:"beta"`      // Dirichlet concentration (label skew; smaller = worse)
+	IF        float64   `json:"if"`        // imbalance factor (tail/head; smaller = worse)
+	Partition string    `json:"partition"` // "equal" (paper's) or "fedgrab" (quantity-skewed)
+	Clients   int       `json:"clients"`
+	Model     string    `json:"model"` // "auto", "linear", "mlp", "resnet"
+	Scale     float64   `json:"scale"` // dataset scale factor (1 = registry default)
+	Cfg       fl.Config `json:"cfg"`
 	// Mod, when set, adjusts the environment before the run (attach probes,
 	// override the loss, ...).
-	Mod func(env *fl.Env)
+	Mod func(env *fl.Env) `json:"-"`
 }
 
 // Defaults fills unset fields with the evaluation defaults used throughout
@@ -63,6 +66,62 @@ func (s RunSpec) Defaults() RunSpec {
 	return s
 }
 
+// Validate resolves the spec's symbolic fields against the dataset, method
+// and model registries and sanity-checks the numeric ones, without building
+// an environment. Serving layers call it to reject bad specs at submission
+// time instead of failing the queued run.
+func (s RunSpec) Validate() error {
+	s = s.Defaults()
+	spec, err := data.Lookup(s.Dataset)
+	if err != nil {
+		return err
+	}
+	if _, err := methods.New(s.Method); err != nil {
+		return err
+	}
+	if _, err := partitionFor(s.Partition); err != nil {
+		return err
+	}
+	if _, err := ModelFor(spec, s.Model); err != nil {
+		return err
+	}
+	if s.Beta <= 0 || s.IF <= 0 || s.IF > 1 || s.Clients <= 0 || s.Scale <= 0 {
+		return fmt.Errorf("experiments: out-of-range spec: beta=%v if=%v clients=%d scale=%v",
+			s.Beta, s.IF, s.Clients, s.Scale)
+	}
+	c := s.Cfg
+	if c.Rounds <= 0 || c.SampleClients <= 0 || c.LocalEpochs <= 0 || c.BatchSize <= 0 || c.EvalEvery <= 0 {
+		return fmt.Errorf("experiments: out-of-range config: %+v", c)
+	}
+	if c.EtaL <= 0 || c.EtaG <= 0 || c.DropProb < 0 || c.DropProb >= 1 {
+		return fmt.Errorf("experiments: out-of-range config: eta_l=%v eta_g=%v drop_prob=%v",
+			c.EtaL, c.EtaG, c.DropProb)
+	}
+	// Upper bounds protect a serving deployment from a single submission
+	// occupying a worker indefinitely (there is no cancellation path). They
+	// sit far above anything the evaluation uses.
+	if s.Clients > 100_000 || s.Scale > 100 ||
+		c.Rounds > 1_000_000 || c.LocalEpochs > 10_000 || c.BatchSize > 1_000_000 ||
+		c.EtaL > 1000 || c.EtaG > 1000 {
+		return fmt.Errorf("experiments: spec exceeds serving limits: clients=%d scale=%v rounds=%d epochs=%d batch=%d eta_l=%v eta_g=%v",
+			s.Clients, s.Scale, c.Rounds, c.LocalEpochs, c.BatchSize, c.EtaL, c.EtaG)
+	}
+	return nil
+}
+
+// partitionFor maps a partition name to its constructor; the single place
+// the known names live, shared by Validate and BuildEnv.
+func partitionFor(name string) (func(prng *xrand.RNG, ds *data.Dataset, clients int, beta float64) *partition.Partition, error) {
+	switch name {
+	case "equal":
+		return partition.EqualQuantity, nil
+	case "fedgrab":
+		return partition.FedGraBStyle, nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown partition %q", name)
+	}
+}
+
 // BuildEnv constructs the federated environment for this spec (without
 // running anything).
 func (s RunSpec) BuildEnv() (*fl.Env, error) {
@@ -71,17 +130,13 @@ func (s RunSpec) BuildEnv() (*fl.Env, error) {
 	if err != nil {
 		return nil, err
 	}
+	makePart, err := partitionFor(s.Partition)
+	if err != nil {
+		return nil, err
+	}
 	train, test := spec.MakeScaled(s.Cfg.Seed, s.IF, s.Scale)
 	prng := xrand.New(xrand.DeriveSeed(s.Cfg.Seed, 0x9a27))
-	var part *partition.Partition
-	switch s.Partition {
-	case "equal":
-		part = partition.EqualQuantity(prng, train, s.Clients, s.Beta)
-	case "fedgrab":
-		part = partition.FedGraBStyle(prng, train, s.Clients, s.Beta)
-	default:
-		return nil, fmt.Errorf("experiments: unknown partition %q", s.Partition)
-	}
+	part := makePart(prng, train, s.Clients, s.Beta)
 	build, err := ModelFor(spec, s.Model)
 	if err != nil {
 		return nil, err
@@ -91,6 +146,14 @@ func (s RunSpec) BuildEnv() (*fl.Env, error) {
 
 // Run executes the spec and returns its history.
 func (s RunSpec) Run() (*fl.History, error) {
+	return s.RunWithProgress(nil)
+}
+
+// RunWithProgress executes the spec, invoking onRound with each recorded
+// RoundStat (see fl.RunWithProgress). The callback does not influence the
+// result.
+func (s RunSpec) RunWithProgress(onRound func(fl.RoundStat)) (*fl.History, error) {
+	s = s.Defaults() // a spec relying on defaults must run, not fail on Method ""
 	env, err := s.BuildEnv()
 	if err != nil {
 		return nil, err
@@ -102,7 +165,7 @@ func (s RunSpec) Run() (*fl.History, error) {
 	if err != nil {
 		return nil, err
 	}
-	return fl.Run(env, m), nil
+	return fl.RunWithProgress(env, m, onRound), nil
 }
 
 // ModelFor maps a dataset spec and model name to a network builder. "auto"

@@ -13,20 +13,23 @@ import "runtime"
 // Config holds the experiment hyperparameters shared by all methods. The
 // defaults follow the paper (§7.1) except for scale: rounds and client
 // counts are reduced so full sweeps run on a laptop (see DESIGN.md).
+// Workers is deliberately excluded from the JSON form: it changes how a run
+// is scheduled, never its result (see Run), so content-addressed caches must
+// not distinguish specs by it.
 type Config struct {
-	Rounds        int // communication rounds
-	SampleClients int // clients sampled per round
-	LocalEpochs   int // local passes over the shard per round
-	BatchSize     int
-	EtaL          float64 // local learning rate η_l
-	EtaG          float64 // global (server) learning rate η_g
-	Seed          uint64
-	EvalEvery     int // evaluate every n rounds (always evaluates the last)
-	Workers       int // parallel client workers; 0 = GOMAXPROCS
+	Rounds        int     `json:"rounds"`         // communication rounds
+	SampleClients int     `json:"sample_clients"` // clients sampled per round
+	LocalEpochs   int     `json:"local_epochs"`   // local passes over the shard per round
+	BatchSize     int     `json:"batch_size"`
+	EtaL          float64 `json:"eta_l"` // local learning rate η_l
+	EtaG          float64 `json:"eta_g"` // global (server) learning rate η_g
+	Seed          uint64  `json:"seed"`
+	EvalEvery     int     `json:"eval_every"` // evaluate every n rounds (always evaluates the last)
+	Workers       int     `json:"-"`          // parallel client workers; 0 = GOMAXPROCS
 	// DropProb simulates unreliable clients: each sampled client fails to
 	// report its update with this probability (failure injection; the
 	// engine aggregates whatever arrived, as a real server would).
-	DropProb float64
+	DropProb float64 `json:"drop_prob,omitempty"`
 }
 
 // Defaults fills unset fields with the paper's defaults.

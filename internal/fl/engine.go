@@ -17,6 +17,16 @@ import (
 // the sampled position, and aggregation happens single-threaded afterwards,
 // so the run is deterministic regardless of scheduling.
 func Run(env *Env, m Method) *History {
+	return RunWithProgress(env, m, nil)
+}
+
+// RunWithProgress is Run with a per-round progress hook: onRound, when
+// non-nil, is invoked synchronously from the round loop with each RoundStat
+// as it is recorded (the same values appended to the returned History).
+// Serving layers use it to stream live progress; it has no effect on the
+// run itself, so Run(env, m) and RunWithProgress(env, m, cb) produce
+// identical histories.
+func RunWithProgress(env *Env, m Method, onRound func(RoundStat)) *History {
 	cfg := env.Cfg
 	globalNet := env.Build(cfg.Seed)
 	global := globalNet.Vector()
@@ -127,6 +137,9 @@ func Run(env *Env, m Method) *History {
 				probe(r+1, globalNet)
 			}
 			hist.Stats = append(hist.Stats, stat)
+			if onRound != nil {
+				onRound(stat)
+			}
 		}
 	}
 	return hist

@@ -57,17 +57,17 @@ func Evaluate(net *nn.Network, ds *data.Dataset, chunk int) (float64, []float64)
 
 // RoundStat is one evaluation snapshot.
 type RoundStat struct {
-	Round     int
-	TestAcc   float64
-	PerClass  []float64
-	TrainLoss float64
-	Metrics   map[string]float64
+	Round     int                `json:"round"`
+	TestAcc   float64            `json:"test_acc"`
+	PerClass  []float64          `json:"per_class,omitempty"`
+	TrainLoss float64            `json:"train_loss"`
+	Metrics   map[string]float64 `json:"metrics,omitempty"`
 }
 
 // History is the recorded trajectory of one federated run.
 type History struct {
-	Method string
-	Stats  []RoundStat
+	Method string      `json:"method"`
+	Stats  []RoundStat `json:"stats"`
 }
 
 // FinalAcc returns the last evaluated accuracy (0 if never evaluated).

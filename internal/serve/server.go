@@ -1,0 +1,422 @@
+// Package serve exposes the experiment harness as an HTTP service backed by
+// the content-addressed store (internal/store): specs come in as JSON, run
+// ids are spec fingerprints, and results are cached so any grid cell is
+// computed at most once no matter how many clients ask for it.
+//
+// Endpoints:
+//
+//	POST /v1/runs             submit a RunSpec; cache hits return the stored
+//	                          history immediately (status "cached"), misses
+//	                          are queued on a bounded worker pool (202)
+//	GET  /v1/runs/{id}        status + progress + history for a run id
+//	GET  /v1/runs/{id}/events SSE per-round progress ("round" events, then
+//	                          one terminal "done" event)
+//	GET  /v1/experiments      registry listing: experiment ids, methods,
+//	                          datasets
+//
+// Identical in-flight submissions coalesce onto one execution
+// (single-flight); identical finished submissions are store hits. The
+// worker pool bounds concurrent training; the queue bounds memory, and a
+// full queue is reported as 503 rather than accepted unboundedly.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+
+	"fedwcm/internal/data"
+	"fedwcm/internal/experiments"
+	"fedwcm/internal/fl"
+	"fedwcm/internal/fl/methods"
+	"fedwcm/internal/store"
+)
+
+// Runner executes one spec, reporting per-round progress. The default is
+// experiments.RunSpec.RunWithProgress; tests substitute counting or canned
+// runners.
+type Runner func(spec experiments.RunSpec, onRound func(fl.RoundStat)) (*fl.History, error)
+
+// Config wires a Server.
+type Config struct {
+	Store      *store.Store                     // required: result cache and artifact store
+	Workers    int                              // concurrent training runs; 0 = 2
+	QueueDepth int                              // queued (not yet running) submissions; 0 = 64
+	Runner     Runner                           // nil = run specs for real
+	Logf       func(format string, args ...any) // nil = log.Printf
+}
+
+// Server is the run service. Create with New, serve with net/http, stop
+// with Close.
+type Server struct {
+	cfg  Config
+	mux  *http.ServeMux
+	jobs chan *run
+
+	mu      sync.Mutex
+	runs    map[string]*run // fingerprint → in-process record
+	closing bool            // set by Close under mu; no enqueue once true
+
+	closeOnce sync.Once
+	closed    chan struct{}
+	wg        sync.WaitGroup
+}
+
+// New validates cfg, starts the worker pool and returns the server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("serve: Config.Store is required")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.Runner == nil {
+		cfg.Runner = func(spec experiments.RunSpec, onRound func(fl.RoundStat)) (*fl.History, error) {
+			return spec.RunWithProgress(onRound)
+		}
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	s := &Server{
+		cfg:    cfg,
+		mux:    http.NewServeMux(),
+		jobs:   make(chan *run, cfg.QueueDepth),
+		runs:   make(map[string]*run),
+		closed: make(chan struct{}),
+	}
+	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/experiments", s.handleRegistry)
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close stops accepting new work and waits for the workers to drain the
+// queue and finish in-flight runs. Enqueueing holds s.mu and checks
+// s.closing, so once the flag is set no submission can slip into the queue
+// behind the exiting workers; the drain below is belt-and-braces for jobs
+// accepted before that point.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		s.mu.Lock()
+		s.closing = true
+		s.mu.Unlock()
+		close(s.closed)
+	})
+	s.wg.Wait()
+	for {
+		select {
+		case r := <-s.jobs:
+			r.finish(nil, fmt.Errorf("serve: server closed before run started"))
+		default:
+			return
+		}
+	}
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.closed:
+			// Drain what was already accepted, then exit.
+			select {
+			case r := <-s.jobs:
+				s.execute(r)
+			default:
+				return
+			}
+		case r := <-s.jobs:
+			s.execute(r)
+		}
+	}
+}
+
+func (s *Server) execute(r *run) {
+	r.setRunning()
+	hist, err := s.cfg.Runner(r.spec, r.onRound)
+	persisted := false
+	if err == nil {
+		if perr := s.cfg.Store.Put(r.id, hist); perr != nil {
+			// The run itself succeeded; callers still get the history from
+			// the in-process record, only re-serving after restart is lost.
+			s.cfg.Logf("serve: persisting run %s: %v", r.id, perr)
+		} else {
+			persisted = true
+		}
+	}
+	r.finish(hist, err)
+	if persisted {
+		// The store serves this cell from here on; dropping the record
+		// bounds s.runs by in-flight + failed work instead of every spec
+		// ever submitted. Failed (and unpersisted) runs stay queryable.
+		s.dropRun(r.id, r)
+	}
+}
+
+// runResponse is the JSON shape shared by submit and status responses.
+type runResponse struct {
+	ID       string         `json:"id"`
+	Status   string         `json:"status"`
+	Progress []fl.RoundStat `json:"progress,omitempty"`
+	History  *fl.History    `json:"history,omitempty"`
+	Error    string         `json:"error,omitempty"`
+}
+
+// writeJSON encodes v before touching the response so an encode failure
+// (e.g. a NaN in a diverged run's history — json.Marshal rejects NaN) turns
+// into a well-formed 500 instead of a 200 with a truncated body.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		b, _ = json.Marshal(map[string]string{"error": "encoding response: " + err.Error()})
+		code = http.StatusInternalServerError
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(b, '\n'))
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
+	dec := json.NewDecoder(req.Body)
+	dec.DisallowUnknownFields() // a typo'd field means a different cell than intended
+	var spec experiments.RunSpec
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding spec: %v", err)
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid spec: %v", err)
+		return
+	}
+	fp, err := spec.Fingerprint()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// Fast path, outside the lock: the grid cell has been computed before.
+	if hist, ok, err := s.cfg.Store.Get(fp); err != nil {
+		httpError(w, http.StatusInternalServerError, "store: %v", err)
+		return
+	} else if ok {
+		writeJSON(w, http.StatusOK, runResponse{ID: fp, Status: StatusCached, History: hist})
+		return
+	}
+
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	}
+	// Single-flight: identical in-flight submissions share one record. A
+	// done record only lingers here when persisting it failed (or in the
+	// instant before execute drops it), so it is served as a cache hit.
+	if r, ok := s.runs[fp]; ok {
+		status, _, hist, _ := r.snapshot()
+		switch status {
+		case StatusDone:
+			s.mu.Unlock()
+			writeJSON(w, http.StatusOK, runResponse{ID: fp, Status: StatusCached, History: hist})
+			return
+		case StatusFailed:
+			// A failed attempt does not pin the cell failed forever; fall
+			// through and replace the record with a fresh attempt.
+		default:
+			s.mu.Unlock()
+			writeJSON(w, http.StatusAccepted, runResponse{ID: fp, Status: status})
+			return
+		}
+	}
+	// Re-check the store under the lock: a run can Put its artifact and
+	// drop its record between the unlocked Get above and here, and
+	// re-executing a computed cell would break compute-at-most-once. On a
+	// true miss this is a cheap ENOENT probe.
+	if hist, ok, err := s.cfg.Store.Get(fp); err != nil {
+		s.mu.Unlock()
+		httpError(w, http.StatusInternalServerError, "store: %v", err)
+		return
+	} else if ok {
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, runResponse{ID: fp, Status: StatusCached, History: hist})
+		return
+	}
+	// Record and enqueue atomically (the send is non-blocking, so holding
+	// the lock is fine): either both happen or neither does.
+	r := newRun(fp, spec)
+	select {
+	case s.jobs <- r:
+		s.runs[fp] = r
+		s.mu.Unlock()
+		writeJSON(w, http.StatusAccepted, runResponse{ID: fp, Status: StatusQueued})
+	default:
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, "run queue full (%d pending)", s.cfg.QueueDepth)
+	}
+}
+
+// dropRun removes a run's record once its artifact is in the store (or the
+// record was superseded), so s.runs stays bounded by live + failed work.
+func (s *Server) dropRun(fp string, r *run) {
+	s.mu.Lock()
+	if s.runs[fp] == r {
+		delete(s.runs, fp)
+	}
+	s.mu.Unlock()
+}
+
+// lookup resolves a run id against in-process records first, then the
+// store. The bool reports whether the id is known at all; a malformed id
+// cannot name anything, so it is "not found" rather than an error (errors
+// mean the store itself failed and map to 500).
+func (s *Server) lookup(id string) (*run, *fl.History, bool, error) {
+	if !store.ValidFingerprint(id) {
+		return nil, nil, false, nil
+	}
+	s.mu.Lock()
+	r, ok := s.runs[id]
+	s.mu.Unlock()
+	if ok {
+		return r, nil, true, nil
+	}
+	hist, ok, err := s.cfg.Store.Get(id)
+	if err != nil || !ok {
+		return nil, nil, false, err
+	}
+	return nil, hist, true, nil
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	r, stored, ok, err := s.lookup(id)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown run %s", id)
+		return
+	}
+	if r == nil {
+		writeJSON(w, http.StatusOK, runResponse{ID: id, Status: StatusCached, History: stored})
+		return
+	}
+	status, progress, hist, errMsg := r.snapshot()
+	if hist != nil {
+		progress = nil // history carries the same stats; don't send both
+	}
+	writeJSON(w, http.StatusOK, runResponse{ID: id, Status: status, Progress: progress, History: hist, Error: errMsg})
+}
+
+// handleEvents streams per-round progress as Server-Sent Events: one
+// "round" event per RoundStat (replayed from the start for late joiners),
+// then a terminal "done" event carrying the final status.
+func (s *Server) handleEvents(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	r, stored, ok, err := s.lookup(id)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown run %s", id)
+		return
+	}
+	flusher, canFlush := w.(http.Flusher)
+	if !canFlush {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	emit := func(event string, v any) {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return // never send an event with an empty payload
+		}
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b)
+		flusher.Flush()
+	}
+
+	if r == nil { // artifact with no live record: replay and finish
+		for _, st := range stored.Stats {
+			emit("round", st)
+		}
+		emit("done", map[string]string{"status": StatusCached})
+		return
+	}
+
+	replay, ch, terminal := r.subscribe()
+	defer r.unsubscribe(ch)
+	for _, st := range replay {
+		emit("round", st)
+	}
+	for !terminal {
+		select {
+		case st := <-ch:
+			emit("round", st)
+		case <-r.done:
+			// Drain events that raced with completion, then terminate.
+			for {
+				select {
+				case st := <-ch:
+					emit("round", st)
+				default:
+					terminal = true
+				}
+				if terminal {
+					break
+				}
+			}
+		case <-req.Context().Done():
+			return
+		}
+	}
+	status, _, _, errMsg := r.snapshot()
+	final := map[string]string{"status": status}
+	if errMsg != "" {
+		final["error"] = errMsg
+	}
+	emit("done", final)
+}
+
+// registryResponse lists what can be submitted: the paper's registered
+// experiments plus the method and dataset registries specs draw from.
+type registryResponse struct {
+	Experiments []experimentInfo `json:"experiments"`
+	Methods     []string         `json:"methods"`
+	Datasets    []string         `json:"datasets"`
+}
+
+type experimentInfo struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+}
+
+func (s *Server) handleRegistry(w http.ResponseWriter, req *http.Request) {
+	resp := registryResponse{Methods: methods.Names(), Datasets: data.Names()}
+	for _, e := range experiments.All() {
+		resp.Experiments = append(resp.Experiments, experimentInfo{ID: e.ID, Title: e.Title})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,247 @@
+// Package store is the content-addressed, on-disk result store behind the
+// experiment run service (internal/serve): histories are filed under the
+// SHA-256 fingerprint of their spec's canonical JSON (see
+// experiments.RunSpec.Fingerprint), so identical specs always resolve to
+// the same artifact and a sweep's repeated cells cost one run each.
+//
+// Layout mirrors git's object store: <root>/<fp[:2]>/<fp>.json, one JSONL
+// file per history in the internal/trace encoding (the same format fedsim
+// -json emits, so CLI output round-trips into the store). Writes are
+// atomic — temp file in the target directory, then rename — so a crashed
+// writer never leaves a half-written artifact where a reader could find
+// it. A small in-memory LRU fronts the disk for the hot cells of a sweep.
+package store
+
+import (
+	"container/list"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"fedwcm/internal/fl"
+	"fedwcm/internal/trace"
+)
+
+// DefaultLRUSize is the in-memory cache capacity Open uses when given 0.
+const DefaultLRUSize = 128
+
+// Stats counts cache traffic since Open (monotonic; read via Store.Stats).
+type Stats struct {
+	MemHits  int64 // Get served from the in-memory LRU
+	DiskHits int64 // Get served from disk (and promoted into the LRU)
+	Misses   int64 // Get found nothing
+	Puts     int64 // successful Put calls
+}
+
+type entry struct {
+	fp   string
+	hist *fl.History
+}
+
+// Store is a content-addressed history store. All methods are safe for
+// concurrent use. Histories handed out by Get are shared with the cache and
+// must be treated as immutable by callers.
+type Store struct {
+	root string
+
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used; element value is *entry
+	idx   map[string]*list.Element
+	stats Stats
+}
+
+// Open creates (if needed) the root directory and returns a store over it.
+// lruSize 0 selects DefaultLRUSize; negative disables the in-memory cache.
+func Open(root string, lruSize int) (*Store, error) {
+	if root == "" {
+		return nil, fmt.Errorf("store: empty root")
+	}
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if lruSize == 0 {
+		lruSize = DefaultLRUSize
+	}
+	return &Store{
+		root:  root,
+		cap:   lruSize,
+		order: list.New(),
+		idx:   make(map[string]*list.Element),
+	}, nil
+}
+
+// ValidFingerprint accepts lowercase-hex SHA-256 digests only: fingerprints
+// become path components, so anything else (traversal, case aliasing) is
+// rejected before touching the filesystem. Serving layers use it to tell
+// malformed ids (which cannot name anything) from store failures.
+func ValidFingerprint(fp string) bool {
+	if len(fp) != 64 {
+		return false
+	}
+	for i := 0; i < len(fp); i++ {
+		c := fp[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Path returns the on-disk location for a fingerprint (whether or not it
+// exists yet), or "" if fp is not a valid fingerprint.
+func (s *Store) Path(fp string) string {
+	if !ValidFingerprint(fp) {
+		return ""
+	}
+	return filepath.Join(s.root, fp[:2], fp+".json")
+}
+
+// Get returns the stored history for fp, or ok=false if none exists.
+func (s *Store) Get(fp string) (*fl.History, bool, error) {
+	if !ValidFingerprint(fp) {
+		return nil, false, fmt.Errorf("store: invalid fingerprint %q", fp)
+	}
+	s.mu.Lock()
+	if el, ok := s.idx[fp]; ok {
+		s.order.MoveToFront(el)
+		h := el.Value.(*entry).hist
+		s.stats.MemHits++
+		s.mu.Unlock()
+		return h, true, nil
+	}
+	s.mu.Unlock()
+
+	f, err := os.Open(s.Path(fp))
+	if err != nil {
+		if os.IsNotExist(err) {
+			s.mu.Lock()
+			s.stats.Misses++
+			s.mu.Unlock()
+			return nil, false, nil
+		}
+		return nil, false, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	recs, err := trace.ReadJSONL(f)
+	if err != nil {
+		return nil, false, fmt.Errorf("store: decode %s: %w", fp, err)
+	}
+	h := historyFromRecords(recs)
+	s.mu.Lock()
+	s.stats.DiskHits++
+	s.insertLocked(fp, h)
+	s.mu.Unlock()
+	return h, true, nil
+}
+
+// Put persists the history under fp, atomically replacing any previous
+// artifact, and promotes it into the in-memory cache.
+func (s *Store) Put(fp string, h *fl.History) error {
+	if !ValidFingerprint(fp) {
+		return fmt.Errorf("store: invalid fingerprint %q", fp)
+	}
+	if h == nil {
+		return fmt.Errorf("store: nil history")
+	}
+	if len(h.Stats) == 0 {
+		// The JSONL encoding is one record per evaluation point, so an
+		// empty history would round-trip with its Method lost — and worse,
+		// pin the cell as a permanently "cached" degenerate artifact.
+		return fmt.Errorf("store: refusing to persist empty history for %s", fp)
+	}
+	dir := filepath.Dir(s.Path(fp))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, "."+fp[:8]+"-*.tmp")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	err = trace.WriteJSONL(tmp, map[string]*fl.History{fp: h})
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("store: write %s: %w", fp, err)
+	}
+	if err := os.Rename(tmp.Name(), s.Path(fp)); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.mu.Lock()
+	s.stats.Puts++
+	s.insertLocked(fp, h)
+	s.mu.Unlock()
+	return nil
+}
+
+// insertLocked adds or refreshes an LRU entry, evicting from the back once
+// over capacity. Caller holds s.mu.
+func (s *Store) insertLocked(fp string, h *fl.History) {
+	if s.cap < 0 {
+		return
+	}
+	if el, ok := s.idx[fp]; ok {
+		el.Value.(*entry).hist = h
+		s.order.MoveToFront(el)
+		return
+	}
+	s.idx[fp] = s.order.PushFront(&entry{fp: fp, hist: h})
+	for s.order.Len() > s.cap {
+		back := s.order.Back()
+		s.order.Remove(back)
+		delete(s.idx, back.Value.(*entry).fp)
+	}
+}
+
+// Keys walks the store directory and returns every stored fingerprint
+// (unordered). It reads the directory, not the LRU, so it reflects what
+// would survive a restart.
+func (s *Store) Keys() ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(s.root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		name := d.Name()
+		fp, ok := strings.CutSuffix(name, ".json")
+		if ok && ValidFingerprint(fp) {
+			out = append(out, fp)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return out, nil
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// historyFromRecords reassembles a History from its JSONL rows. Rows carry
+// the method name redundantly; the first one wins.
+func historyFromRecords(recs []trace.Record) *fl.History {
+	h := &fl.History{}
+	for _, r := range recs {
+		if h.Method == "" {
+			h.Method = r.Method
+		}
+		h.Stats = append(h.Stats, fl.RoundStat{
+			Round:     r.Round,
+			TestAcc:   r.TestAcc,
+			PerClass:  r.PerClass,
+			TrainLoss: r.Loss,
+			Metrics:   r.Metrics,
+		})
+	}
+	return h
+}

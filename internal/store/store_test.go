@@ -1,0 +1,187 @@
+package store
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"fedwcm/internal/experiments"
+	"fedwcm/internal/fl"
+)
+
+func testHistory(seed float64) *fl.History {
+	return &fl.History{
+		Method: "fedwcm",
+		Stats: []fl.RoundStat{
+			{Round: 5, TestAcc: 0.4 + seed/100, TrainLoss: 1.2, PerClass: []float64{0.5, 0.3}, Metrics: map[string]float64{"alpha": 0.1}},
+			{Round: 10, TestAcc: 0.6 + seed/100, TrainLoss: 0.8, PerClass: []float64{0.7, 0.5}},
+		},
+	}
+}
+
+func fpOf(t *testing.T, spec experiments.RunSpec) string {
+	t.Helper()
+	fp, err := spec.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fp
+}
+
+func TestFingerprintCanonicalisesDefaults(t *testing.T) {
+	empty := fpOf(t, experiments.RunSpec{})
+	spelled := fpOf(t, experiments.RunSpec{}.Defaults())
+	if empty != spelled {
+		t.Fatal("zero spec and spelled-out defaults must share a fingerprint")
+	}
+	other := fpOf(t, experiments.RunSpec{Method: "fedavg"})
+	if other == empty {
+		t.Fatal("different specs must not collide")
+	}
+	// Workers is a scheduling knob, not part of the result's identity.
+	w1 := fpOf(t, experiments.RunSpec{Cfg: fl.Config{Workers: 1}})
+	w4 := fpOf(t, experiments.RunSpec{Cfg: fl.Config{Workers: 4}})
+	if w1 != w4 {
+		t.Fatal("Workers must not affect the fingerprint")
+	}
+	if _, err := (experiments.RunSpec{Mod: func(*fl.Env) {}}).Fingerprint(); err == nil {
+		t.Fatal("specs with Mod hooks must refuse to fingerprint")
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := fpOf(t, experiments.RunSpec{})
+	if _, ok, err := s.Get(fp); err != nil || ok {
+		t.Fatalf("empty store Get: ok=%v err=%v", ok, err)
+	}
+	want := testHistory(1)
+	if err := s.Put(fp, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get(fp)
+	if err != nil || !ok {
+		t.Fatalf("Get after Put: ok=%v err=%v", ok, err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	// The artifact lives where content addressing says it should.
+	if _, err := os.Stat(filepath.Join(s.root, fp[:2], fp+".json")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGetSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	fp := fpOf(t, experiments.RunSpec{})
+	want := testHistory(2)
+	s1, _ := Open(dir, 0)
+	if err := s1.Put(fp, want); err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := Open(dir, 0)
+	got, ok, err := s2.Get(fp)
+	if err != nil || !ok {
+		t.Fatalf("reopened Get: ok=%v err=%v", ok, err)
+	}
+	if math.Abs(got.FinalAcc()-want.FinalAcc()) > 1e-12 || got.Method != want.Method {
+		t.Fatalf("reopened history mismatch: %v vs %v", got, want)
+	}
+	st := s2.Stats()
+	if st.DiskHits != 1 || st.MemHits != 0 {
+		t.Fatalf("expected one disk hit, got %+v", st)
+	}
+	// Second Get must come from the LRU.
+	if _, _, err := s2.Get(fp); err != nil {
+		t.Fatal(err)
+	}
+	if st := s2.Stats(); st.MemHits != 1 {
+		t.Fatalf("expected a mem hit, got %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, 2)
+	fps := []string{
+		fpOf(t, experiments.RunSpec{}),
+		fpOf(t, experiments.RunSpec{Method: "fedavg"}),
+		fpOf(t, experiments.RunSpec{Method: "fedcm"}),
+	}
+	for i, fp := range fps {
+		if err := s.Put(fp, testHistory(float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Capacity 2: the first Put must have been evicted from memory but
+	// still be readable from disk.
+	if _, ok, err := s.Get(fps[0]); err != nil || !ok {
+		t.Fatalf("evicted entry lost: ok=%v err=%v", ok, err)
+	}
+	st := s.Stats()
+	if st.DiskHits != 1 {
+		t.Fatalf("eviction should force a disk read, stats %+v", st)
+	}
+}
+
+func TestInvalidFingerprintRejected(t *testing.T) {
+	s, _ := Open(t.TempDir(), 0)
+	for _, fp := range []string{"", "short", "../../etc/passwd", strings.Repeat("Z", 64)} {
+		if err := s.Put(fp, testHistory(0)); err == nil {
+			t.Fatalf("Put accepted invalid fingerprint %q", fp)
+		}
+		if _, _, err := s.Get(fp); err == nil {
+			t.Fatalf("Get accepted invalid fingerprint %q", fp)
+		}
+		if p := s.Path(fp); p != "" {
+			t.Fatalf("Path(%q) = %q, want empty", fp, p)
+		}
+	}
+}
+
+func TestPutRejectsEmptyHistory(t *testing.T) {
+	s, _ := Open(t.TempDir(), 0)
+	fp := fpOf(t, experiments.RunSpec{})
+	if err := s.Put(fp, nil); err == nil {
+		t.Fatal("Put accepted nil history")
+	}
+	// A zero-stat history cannot round-trip through the JSONL encoding
+	// (Method would be lost) and must not become a permanent cache hit.
+	if err := s.Put(fp, &fl.History{Method: "fedavg"}); err == nil {
+		t.Fatal("Put accepted empty history")
+	}
+	if _, ok, err := s.Get(fp); err != nil || ok {
+		t.Fatalf("rejected Put left an artifact: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestKeysListsArtifacts(t *testing.T) {
+	s, _ := Open(t.TempDir(), 0)
+	want := map[string]bool{}
+	for _, m := range []string{"fedavg", "fedcm", "fedwcm"} {
+		fp := fpOf(t, experiments.RunSpec{Method: m})
+		want[fp] = true
+		if err := s.Put(fp, testHistory(0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys, err := s.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != len(want) {
+		t.Fatalf("Keys returned %d entries, want %d", len(keys), len(want))
+	}
+	for _, k := range keys {
+		if !want[k] {
+			t.Fatalf("unexpected key %s", k)
+		}
+	}
+}

@@ -21,12 +21,14 @@ import (
 // per-class accuracies.
 func WriteCSV(w io.Writer, runs map[string]*fl.History) error {
 	cw := csv.NewWriter(w)
-	defer cw.Flush()
 
 	// Collect the union of metric keys for a stable header.
 	metricKeys := map[string]bool{}
 	classes := 0
 	for _, h := range runs {
+		if h == nil {
+			continue
+		}
 		for _, s := range h.Stats {
 			for k := range s.Metrics {
 				metricKeys[k] = true
@@ -88,13 +90,23 @@ func WriteCSV(w io.Writer, runs map[string]*fl.History) error {
 			}
 		}
 	}
-	return nil
+	// Rows buffer inside the csv writer; flush and surface any write error
+	// (a full disk would otherwise be reported as success).
+	cw.Flush()
+	return cw.Error()
 }
 
 func formatF(v float64) string { return strconv.FormatFloat(v, 'f', 6, 64) }
 
 // SaveCSV writes runs to a file, creating parent directories.
 func SaveCSV(path string, runs map[string]*fl.History) error {
+	return saveTo(path, runs, WriteCSV)
+}
+
+// saveTo creates path (and parents) and writes runs with write, reporting
+// errors surfaced at Close (e.g. a full disk flushing buffered data) rather
+// than discarding them.
+func saveTo(path string, runs map[string]*fl.History, write func(io.Writer, map[string]*fl.History) error) error {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return err
 	}
@@ -102,8 +114,11 @@ func SaveCSV(path string, runs map[string]*fl.History) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	return WriteCSV(f, runs)
+	err = write(f, runs)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Record is the JSONL form of one evaluation point.
@@ -146,6 +161,13 @@ func WriteJSONL(w io.Writer, runs map[string]*fl.History) error {
 		}
 	}
 	return nil
+}
+
+// SaveJSONL writes runs to a JSONL file, creating parent directories (the
+// same encoding internal/store persists, so saved files round-trip into the
+// run service's cache).
+func SaveJSONL(path string, runs map[string]*fl.History) error {
+	return saveTo(path, runs, WriteJSONL)
 }
 
 // ReadJSONL parses records written by WriteJSONL.
