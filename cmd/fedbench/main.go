@@ -2,12 +2,19 @@
 // experiment id corresponds to one table/figure (see DESIGN.md's
 // per-experiment index); -run all regenerates everything.
 //
+// Declarative experiments execute through the sweep layer against a
+// content-addressed result store (-store), so cells shared across tables —
+// and whole repeated invocations — are cache hits instead of recompute.
+// Each experiment prints a "[sweep ...]" line reporting how many cells were
+// cached versus computed.
+//
 // Examples:
 //
 //	fedbench -list
 //	fedbench -run fig3
 //	fedbench -run table1 -effort 0.3
 //	fedbench -run all -effort 0.5 -out results
+//	fedbench -run table1 -store ""          # disable the result store
 package main
 
 import (
@@ -20,16 +27,18 @@ import (
 	"time"
 
 	"fedwcm/internal/experiments"
+	"fedwcm/internal/store"
 )
 
 func main() {
 	var (
-		run    = flag.String("run", "", "experiment id to run, or \"all\"")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
-		effort = flag.Float64("effort", 1, "effort scale in (0,1]: scales rounds and data size")
-		seed   = flag.Uint64("seed", 1, "experiment seed")
-		outDir = flag.String("out", "", "also write each experiment's output to <out>/<id>.txt")
-		cells  = flag.Int("cellworkers", 3, "concurrent sweep cells")
+		run      = flag.String("run", "", "experiment id to run, or \"all\"")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		effort   = flag.Float64("effort", 1, "effort scale in (0,1]: scales rounds and data size")
+		seed     = flag.Uint64("seed", 1, "experiment seed")
+		outDir   = flag.String("out", "", "also write each experiment's output to <out>/<id>.txt")
+		cells    = flag.Int("cellworkers", 3, "concurrent sweep cells")
+		storeDir = flag.String("store", "results/store", "result store root (empty disables caching)")
 	)
 	flag.Parse()
 
@@ -42,6 +51,16 @@ func main() {
 			fmt.Println("\nuse -run <id> or -run all")
 		}
 		return
+	}
+
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(*storeDir, 0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fedbench:", err)
+			os.Exit(1)
+		}
 	}
 
 	ids := []string{*run}
@@ -70,10 +89,11 @@ func main() {
 		}
 		fmt.Printf("=== %s: %s (effort %.2f)\n", e.ID, e.Title, *effort)
 		start := time.Now()
-		err = e.Run(experiments.Options{
+		err = e.Execute(experiments.Options{
 			Seed:        *seed,
 			Effort:      *effort,
 			CellWorkers: *cells,
+			Store:       st,
 			Out:         w,
 		})
 		if f != nil {

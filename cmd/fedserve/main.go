@@ -1,6 +1,9 @@
 // Command fedserve runs the experiment run service: an HTTP API over the
 // content-addressed result store, so repeated sweep cells are computed once
-// and served from cache thereafter.
+// and served from cache thereafter. Single cells go through /v1/runs;
+// whole grids go through /v1/sweeps, which expands a declarative spec,
+// recomputes only the missing fingerprints and aggregates mean±std
+// server-side. Full endpoint reference: docs/API.md.
 //
 // Example:
 //
@@ -9,6 +12,9 @@
 //	curl -s -X POST localhost:8080/v1/runs -d '{"dataset":"cifar10-syn","method":"fedwcm"}'
 //	curl -s localhost:8080/v1/runs/<id>
 //	curl -N localhost:8080/v1/runs/<id>/events
+//	curl -s -X POST localhost:8080/v1/sweeps \
+//	  -d '{"methods":["fedavg","fedwcm"],"ifs":[1,0.1],"seed_count":3,"effort":0.2}'
+//	curl -s localhost:8080/v1/sweeps/<id>/result
 package main
 
 import (

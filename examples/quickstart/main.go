@@ -3,9 +3,11 @@
 // FedCM. This is the smallest end-to-end use of the public experiment API.
 //
 //	go run ./examples/quickstart
+//	go run ./examples/quickstart -rounds 6 -scale 0.3 -clients 10   # CI smoke
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -14,6 +16,11 @@ import (
 )
 
 func main() {
+	rounds := flag.Int("rounds", 40, "communication rounds")
+	scale := flag.Float64("scale", 2, "dataset scale factor")
+	clients := flag.Int("clients", 50, "total clients")
+	flag.Parse()
+
 	fmt.Println("FedWCM quickstart: cifar10-syn, beta=0.1 (heterogeneous), IF=0.1 (long-tailed)")
 	fmt.Println()
 
@@ -23,17 +30,17 @@ func main() {
 			Method:  method,
 			Beta:    0.1, // Dirichlet label skew (smaller = more heterogeneous)
 			IF:      0.1, // tail/head imbalance (smaller = longer tail)
-			Clients: 50,
-			Scale:   2,
+			Clients: *clients,
+			Scale:   *scale,
 			Cfg: fl.Config{
-				Rounds:        40,
-				SampleClients: 10,
+				Rounds:        *rounds,
+				SampleClients: max(1, *clients/5),
 				LocalEpochs:   5,
 				BatchSize:     50,
 				EtaL:          0.1,
 				EtaG:          1,
 				Seed:          1,
-				EvalEvery:     10,
+				EvalEvery:     max(1, *rounds/4),
 			},
 		}
 		hist, err := spec.Run()

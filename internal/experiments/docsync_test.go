@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// indexRow matches one row of DESIGN.md's per-experiment index table:
+// "| `id` | reproduces ... |".
+var indexRow = regexp.MustCompile("^\\|\\s*`([^`]+)`\\s*\\|")
+
+// designIndexIDs parses the experiment ids out of DESIGN.md's
+// "Per-experiment index" section.
+func designIndexIDs(t *testing.T) []string {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join("..", "..", "DESIGN.md"))
+	if err != nil {
+		t.Fatalf("reading DESIGN.md: %v", err)
+	}
+	var ids []string
+	inSection := false
+	for _, line := range strings.Split(string(raw), "\n") {
+		switch {
+		case strings.HasPrefix(line, "## "):
+			inSection = strings.Contains(line, "Per-experiment index")
+		case inSection:
+			if m := indexRow.FindStringSubmatch(line); m != nil && m[1] != "id" {
+				ids = append(ids, m[1])
+			}
+		}
+	}
+	if len(ids) == 0 {
+		t.Fatal("found no index rows in DESIGN.md — was the per-experiment index renamed or reformatted?")
+	}
+	return ids
+}
+
+// TestDesignIndexMatchesRegistry fails when DESIGN.md's per-experiment
+// index drifts from the experiment registry: an id documented but not
+// registered is stale; an id registered but not documented is missing.
+// Registering a new experiment therefore requires documenting it (and vice
+// versa).
+func TestDesignIndexMatchesRegistry(t *testing.T) {
+	documented := map[string]bool{}
+	for _, id := range designIndexIDs(t) {
+		if documented[id] {
+			t.Errorf("DESIGN.md index lists %q twice", id)
+		}
+		documented[id] = true
+	}
+	registered := map[string]bool{}
+	for _, id := range IDs() {
+		registered[id] = true
+	}
+	for id := range documented {
+		if !registered[id] {
+			t.Errorf("DESIGN.md index documents %q, which is not a registered experiment (stale row?)", id)
+		}
+	}
+	for id := range registered {
+		if !documented[id] {
+			t.Errorf("experiment %q is registered but missing from DESIGN.md's per-experiment index", id)
+		}
+	}
+}

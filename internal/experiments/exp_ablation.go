@@ -1,40 +1,38 @@
 package experiments
 
-import "fmt"
+import (
+	"fmt"
+
+	"fedwcm/internal/sweep"
+)
 
 // abl_score: paper-literal Eq. 3 scoring (absolute deviation) versus the
 // intent-preserving scarcity scoring this reproduction defaults to (see
 // DESIGN.md "Interpretation decisions").
 func init() {
+	methodsList := []string{"fedavg", "fedcm", "fedwcm-absscore", "fedwcm"}
+	ifs := []float64{0.1, 0.05}
 	register(&Experiment{
 		ID:    "abl_score",
 		Title: "Ablation: literal |target−p| scoring vs scarcity scoring",
-		Run: func(opt Options) error {
-			opt = opt.Defaults()
-			methodsList := []string{"fedavg", "fedcm", "fedwcm-absscore", "fedwcm"}
-			ifs := []float64{0.1, 0.05}
-			var cells []cell
-			for _, m := range methodsList {
-				for _, f := range ifs {
-					cells = append(cells, cell{
-						Key:  fmt.Sprintf("%s|%g", m, f),
-						Spec: specFor(opt, "cifar10-syn", m, 0.1, f),
-					})
-				}
+		Sweep: func(opt Options) sweep.Spec {
+			return sweep.Spec{
+				Methods: methodsList,
+				IFs:     ifs,
+				Seeds:   []uint64{opt.Seed},
+				Effort:  opt.Effort,
 			}
-			hists, err := runCells(cells, opt.CellWorkers)
-			if err != nil {
-				return err
-			}
+		},
+		Render: func(opt Options, res *sweep.Result) error {
 			headers := []string{"method"}
 			for _, f := range ifs {
 				headers = append(headers, fmt.Sprintf("IF=%g", f))
 			}
-			t := &Table{Title: "Score-mode ablation (beta=0.1)", Headers: headers}
+			t := &sweep.Table{Title: "Score-mode ablation (beta=0.1)", Headers: headers}
 			for _, m := range methodsList {
 				row := []string{m}
 				for _, f := range ifs {
-					row = append(row, F(hists[fmt.Sprintf("%s|%g", m, f)].TailMeanAcc(3)))
+					row = append(row, res.CellValue(sweep.Axes{Method: m, IF: f}))
 				}
 				t.AddRow(row...)
 			}
@@ -47,27 +45,30 @@ func init() {
 // abl_parts: which of FedWCM's two mechanisms (weighted aggregation,
 // adaptive alpha) carries the long-tail fix.
 func init() {
+	methodsList := []string{"fedcm", "fedwcm-weightonly", "fedwcm-alphaonly", "fedwcm"}
 	register(&Experiment{
 		ID:    "abl_parts",
 		Title: "Ablation: FedWCM mechanism decomposition",
-		Run: func(opt Options) error {
-			opt = opt.Defaults()
-			methodsList := []string{"fedcm", "fedwcm-weightonly", "fedwcm-alphaonly", "fedwcm"}
-			var cells []cell
-			for _, m := range methodsList {
-				cells = append(cells, cell{Key: m, Spec: specFor(opt, "cifar10-syn", m, 0.1, 0.1)})
+		Sweep: func(opt Options) sweep.Spec {
+			return sweep.Spec{
+				Methods: methodsList,
+				Seeds:   []uint64{opt.Seed},
+				Effort:  opt.Effort,
 			}
-			hists, err := runCells(cells, opt.CellWorkers)
-			if err != nil {
-				return err
-			}
-			t := &Table{
+		},
+		Render: func(opt Options, res *sweep.Result) error {
+			t := &sweep.Table{
 				Title:   "Mechanism ablation (beta=0.1, IF=0.1)",
 				Headers: []string{"variant", "final", "best", "tail3"},
 			}
 			for _, m := range methodsList {
-				h := hists[m]
-				t.AddRow(m, F(h.FinalAcc()), F(h.BestAcc()), F(h.TailMeanAcc(3)))
+				g := res.Find(sweep.Axes{Method: m})
+				if g == nil || len(g.Hists) == 0 {
+					t.AddRow(m, "-", "-", "-")
+					continue
+				}
+				h := g.Hists[0]
+				t.AddRow(m, sweep.F(h.FinalAcc()), sweep.F(h.BestAcc()), g.MeanStd())
 			}
 			t.Render(opt.Out)
 			return nil

@@ -8,40 +8,37 @@ import (
 	"fedwcm/internal/he"
 	"fedwcm/internal/nn"
 	"fedwcm/internal/partition"
+	"fedwcm/internal/sweep"
 	"fedwcm/internal/xrand"
 )
 
 // table5 (Appendix A): FedGraB-style quantity-skewed partition, comparing
 // FedAvg / FedCM / FedWCM-X across IFs at β=0.1.
 func init() {
+	ifs := []float64{1, 0.4, 0.1, 0.06, 0.04, 0.01}
+	methodsList := []string{"fedavg", "fedcm", "fedwcm-x"}
 	register(&Experiment{
 		ID:    "table5",
 		Title: "Table 5 (Appendix A): FedGraB partition, FedAvg/FedCM/FedWCM-X",
-		Run: func(opt Options) error {
-			opt = opt.Defaults()
-			ifs := []float64{1, 0.4, 0.1, 0.06, 0.04, 0.01}
-			methodsList := []string{"fedavg", "fedcm", "fedwcm-x"}
-			var cells []cell
-			for _, m := range methodsList {
-				for _, f := range ifs {
-					spec := specFor(opt, "cifar10-syn", m, 0.1, f)
-					spec.Partition = "fedgrab"
-					cells = append(cells, cell{Key: fmt.Sprintf("%s|%g", m, f), Spec: spec})
-				}
+		Sweep: func(opt Options) sweep.Spec {
+			return sweep.Spec{
+				Methods:   methodsList,
+				IFs:       ifs,
+				Partition: "fedgrab",
+				Seeds:     []uint64{opt.Seed},
+				Effort:    opt.Effort,
 			}
-			hists, err := runCells(cells, opt.CellWorkers)
-			if err != nil {
-				return err
-			}
+		},
+		Render: func(opt Options, res *sweep.Result) error {
 			headers := []string{"method"}
 			for _, f := range ifs {
 				headers = append(headers, fmt.Sprintf("IF=%g", f))
 			}
-			t := &Table{Title: "Table 5 (beta=0.1, FedGraB partition)", Headers: headers}
+			t := &sweep.Table{Title: "Table 5 (beta=0.1, FedGraB partition)", Headers: headers}
 			for _, m := range methodsList {
 				row := []string{m}
 				for _, f := range ifs {
-					row = append(row, F(hists[fmt.Sprintf("%s|%g", m, f)].TailMeanAcc(3)))
+					row = append(row, res.CellValue(sweep.Axes{Method: m, IF: f}))
 				}
 				t.AddRow(row...)
 			}
@@ -52,18 +49,18 @@ func init() {
 }
 
 // fig11 (Appendix A): the data distribution produced by the FedGraB-style
-// partition — quantity-skew statistics and a size histogram.
+// partition — quantity-skew statistics and a size histogram. Hand-rolled:
+// it measures the partitioner, not a training run.
 func init() {
 	register(&Experiment{
 		ID:    "fig11",
 		Title: "Figure 11 (Appendix A): client size distribution under FedGraB partition",
 		Run: func(opt Options) error {
-			opt = opt.Defaults()
 			spec, err := data.Lookup("cifar10-syn")
 			if err != nil {
 				return err
 			}
-			train, _ := spec.MakeScaled(opt.Seed, 0.1, scaleData(5, opt.Effort))
+			train, _ := spec.MakeScaled(opt.Seed, 0.1, sweep.ScaleData(5, opt.Effort))
 			rng := xrand.New(xrand.DeriveSeed(opt.Seed, 0x9a27))
 			for _, mode := range []string{"fedgrab", "equal"} {
 				var part *partition.Partition
@@ -84,51 +81,48 @@ func init() {
 // fig12 (Appendix A): method curves under the FedGraB partition, with
 // FedWCM-X as "ours".
 func init() {
+	methodsList := []string{
+		"fedwcm-x", "fedavg", "balancefl", "fedgrab",
+		"fedcm", "fedcm+focal", "fedcm+balancesampler",
+	}
 	register(&Experiment{
 		ID:    "fig12",
 		Title: "Figure 12 (Appendix A): methods under FedGraB partition (beta=0.1, IF=0.1)",
-		Run: func(opt Options) error {
-			opt = opt.Defaults()
-			methodsList := []string{
-				"fedwcm-x", "fedavg", "balancefl", "fedgrab",
-				"fedcm", "fedcm+focal", "fedcm+balancesampler",
+		Sweep: func(opt Options) sweep.Spec {
+			return sweep.Spec{
+				Methods:   methodsList,
+				Partition: "fedgrab",
+				Seeds:     []uint64{opt.Seed},
+				Effort:    opt.Effort,
 			}
-			var cells []cell
-			for _, m := range methodsList {
-				spec := specFor(opt, "cifar10-syn", m, 0.1, 0.1)
-				spec.Partition = "fedgrab"
-				cells = append(cells, cell{Key: m, Spec: spec})
-			}
-			hists, err := runCells(cells, opt.CellWorkers)
-			if err != nil {
-				return err
-			}
+		},
+		Render: func(opt Options, res *sweep.Result) error {
 			var rounds []int
 			series := make([][]float64, len(methodsList))
 			for i, m := range methodsList {
-				r, a := hists[m].AccSeries()
+				r, a := res.CurveOf(sweep.Axes{Method: m})
 				if rounds == nil {
 					rounds = r
 				}
 				series[i] = a
 			}
-			SeriesTable("Figure 12 (test accuracy, FedGraB partition)", rounds, methodsList, series).Render(opt.Out)
+			sweep.SeriesTable("Figure 12 (test accuracy, FedGraB partition)", rounds, methodsList, series).Render(opt.Out)
 			return nil
 		},
 	})
 }
 
 // table6 (Appendix C): plaintext vs ciphertext sizes for the HE-protected
-// distribution gathering, across class counts.
+// distribution gathering, across class counts. Hand-rolled: it measures the
+// HE protocol, not a training run.
 func init() {
 	register(&Experiment{
 		ID:    "table6",
 		Title: "Table 6 (Appendix C): HE plaintext/ciphertext sizes",
 		Run: func(opt Options) error {
-			opt = opt.Defaults()
 			rng := xrand.New(opt.Seed)
 			proto := he.DefaultProtocol()
-			t := &Table{
+			t := &sweep.Table{
 				Title: "Table 6 (Paillier 1024-bit, 32-bit slots, 100 clients)",
 				Headers: []string{"classes", "plaintext(B)", "ciphertext(B)", "ciphertexts",
 					"upload-total(B)", "enc/client", "aggregate", "decrypt"},
@@ -164,12 +158,12 @@ func init() {
 
 // fig18 (Appendix D): ten heterogeneous-FL methods on the balanced (IF=1)
 // non-IID setting — train accuracy (fig 18) and test accuracy (fig 19).
+// Hand-rolled: each cell probes train accuracy via the Mod hook.
 func init() {
 	register(&Experiment{
 		ID:    "fig18",
 		Title: "Figures 18-19 (Appendix D): heterogeneous-FL baselines (beta=0.1, IF=1)",
 		Run: func(opt Options) error {
-			opt = opt.Defaults()
 			methodsList := []string{
 				"fedavg", "fedcm", "fedprox", "scaffold", "feddyn",
 				"fedsam", "mofedsam", "fedspeed", "fedsmoo", "fedlesam",
@@ -212,9 +206,9 @@ func init() {
 				testSeries[i] = a
 				trainSeries[i] = *trainAcc[m]
 			}
-			SeriesTable("Figure 18 (train accuracy over rounds)", rounds, methodsList, trainSeries).Render(opt.Out)
+			sweep.SeriesTable("Figure 18 (train accuracy over rounds)", rounds, methodsList, trainSeries).Render(opt.Out)
 			fmt.Fprintln(opt.Out)
-			SeriesTable("Figure 19 (test accuracy over rounds)", rounds, methodsList, testSeries).Render(opt.Out)
+			sweep.SeriesTable("Figure 19 (test accuracy over rounds)", rounds, methodsList, testSeries).Render(opt.Out)
 			return nil
 		},
 	})

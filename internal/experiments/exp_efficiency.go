@@ -1,6 +1,11 @@
 package experiments
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+
+	"fedwcm/internal/sweep"
+)
 
 // fig7Methods are the convergence-curve series of Figure 7.
 var fig7Methods = []string{
@@ -13,34 +18,35 @@ func init() {
 	register(&Experiment{
 		ID:    "fig7",
 		Title: "Figure 7: convergence curves of eight methods (beta=0.6, IF=0.1)",
-		Run: func(opt Options) error {
-			opt = opt.Defaults()
-			var cells []cell
-			for _, m := range fig7Methods {
-				cells = append(cells, cell{Key: m, Spec: specFor(opt, "cifar10-syn", m, 0.6, 0.1)})
+		Sweep: func(opt Options) sweep.Spec {
+			return sweep.Spec{
+				Methods: fig7Methods,
+				Betas:   []float64{0.6},
+				IFs:     []float64{0.1},
+				Seeds:   []uint64{opt.Seed},
+				Effort:  opt.Effort,
 			}
-			hists, err := runCells(cells, opt.CellWorkers)
-			if err != nil {
-				return err
-			}
+		},
+		Render: func(opt Options, res *sweep.Result) error {
 			var rounds []int
 			series := make([][]float64, len(fig7Methods))
 			for i, m := range fig7Methods {
-				r, a := hists[m].AccSeries()
+				r, a := res.CurveOf(sweep.Axes{Method: m})
 				if rounds == nil {
 					rounds = r
 				}
 				series[i] = a
 			}
-			SeriesTable("Figure 7 (test accuracy over rounds)", rounds, fig7Methods, series).Render(opt.Out)
+			sweep.SeriesTable("Figure 7 (test accuracy over rounds)", rounds, fig7Methods, series).Render(opt.Out)
 			// Convergence-speed summary: first evaluated round reaching 60%.
 			fmt.Fprintln(opt.Out)
-			t := &Table{Title: "Rounds to reach 60% test accuracy", Headers: []string{"method", "round"}}
+			t := &sweep.Table{Title: "Rounds to reach 60% test accuracy", Headers: []string{"method", "round"}}
 			for _, m := range fig7Methods {
-				r := hists[m].RoundsToAcc(0.6)
 				cellVal := "never"
-				if r >= 0 {
-					cellVal = fmt.Sprintf("%d", r)
+				if g := res.Find(sweep.Axes{Method: m}); g != nil {
+					if r := g.RoundsToAcc(0.6); r >= 0 {
+						cellVal = fmt.Sprintf("%d", r)
+					}
 				}
 				t.AddRow(m, cellVal)
 			}
@@ -52,30 +58,42 @@ func init() {
 
 // fig8: per-label accuracy at β=0.6, IF=0.1 (labels ordered head → tail).
 func init() {
+	methodsList := []string{"fedavg", "fedcm", "balancefl", "fedwcm"}
 	register(&Experiment{
 		ID:    "fig8",
 		Title: "Figure 8: per-label accuracy (beta=0.6, IF=0.1)",
-		Run: func(opt Options) error {
-			opt = opt.Defaults()
-			methodsList := []string{"fedavg", "fedcm", "balancefl", "fedwcm"}
-			var cells []cell
-			for _, m := range methodsList {
-				cells = append(cells, cell{Key: m, Spec: specFor(opt, "cifar10-syn", m, 0.6, 0.1)})
+		Sweep: func(opt Options) sweep.Spec {
+			return sweep.Spec{
+				Methods: methodsList,
+				Betas:   []float64{0.6},
+				IFs:     []float64{0.1},
+				Seeds:   []uint64{opt.Seed},
+				Effort:  opt.Effort,
 			}
-			hists, err := runCells(cells, opt.CellWorkers)
-			if err != nil {
-				return err
+		},
+		Render: func(opt Options, res *sweep.Result) error {
+			perClass := make([][]float64, len(methodsList))
+			classes := 0
+			for i, m := range methodsList {
+				if g := res.Find(sweep.Axes{Method: m}); g != nil {
+					perClass[i] = g.FinalPerClass()
+					if len(perClass[i]) > classes {
+						classes = len(perClass[i])
+					}
+				}
 			}
-			t := &Table{
+			t := &sweep.Table{
 				Title:   "Figure 8 (final per-label accuracy; label 0 = head, label 9 = tail)",
 				Headers: append([]string{"label"}, methodsList...),
 			}
-			classes := len(hists[methodsList[0]].Stats[len(hists[methodsList[0]].Stats)-1].PerClass)
 			for c := 0; c < classes; c++ {
 				row := []string{fmt.Sprintf("%d", c)}
-				for _, m := range methodsList {
-					stats := hists[m].Stats
-					row = append(row, F(stats[len(stats)-1].PerClass[c]))
+				for i := range methodsList {
+					if c < len(perClass[i]) {
+						row = append(row, sweep.F(perClass[i][c]))
+					} else {
+						row = append(row, "-")
+					}
 				}
 				t.AddRow(row...)
 			}
@@ -85,35 +103,46 @@ func init() {
 	})
 }
 
-// table3: client sampling rates {5,10,20,40,80}% of 100 clients.
+// table3: client sampling rates {5,10,20,40,80}% of the preset's 100
+// clients — a SampleRates axis over one (β, IF) setting.
 func init() {
+	rates := []float64{0.05, 0.1, 0.2, 0.4, 0.8}
+	methodsList := []string{"fedavg", "fedcm", "fedwcm"}
 	register(&Experiment{
 		ID:    "table3",
 		Title: "Table 3: comparison under different client sampling rates",
-		Run: func(opt Options) error {
-			opt = opt.Defaults()
-			rates := []int{5, 10, 20, 40, 80}
-			methodsList := []string{"fedavg", "fedcm", "fedwcm"}
-			var cells []cell
-			for _, m := range methodsList {
-				for _, rate := range rates {
-					spec := specFor(opt, "cifar10-syn", m, 0.6, 0.1)
-					spec.Cfg.SampleClients = spec.Clients * rate / 100
-					if spec.Cfg.SampleClients < 1 {
-						spec.Cfg.SampleClients = 1
-					}
-					cells = append(cells, cell{Key: fmt.Sprintf("%s|%d", m, rate), Spec: spec})
+		Sweep: func(opt Options) sweep.Spec {
+			return sweep.Spec{
+				Methods:     methodsList,
+				Betas:       []float64{0.6},
+				IFs:         []float64{0.1},
+				SampleRates: rates,
+				Seeds:       []uint64{opt.Seed},
+				Effort:      opt.Effort,
+			}
+		},
+		Render: func(opt Options, res *sweep.Result) error {
+			// The rate axis resolved against the preset's client count during
+			// expansion; read the per-round samples back off the groups (both
+			// lists ascend, so they zip) instead of re-deriving presets here.
+			var samples []int
+			seen := map[int]bool{}
+			for _, g := range res.Groups {
+				if !seen[g.Axes.SampleClients] {
+					seen[g.Axes.SampleClients] = true
+					samples = append(samples, g.Axes.SampleClients)
 				}
 			}
-			hists, err := runCells(cells, opt.CellWorkers)
-			if err != nil {
-				return err
-			}
-			t := &Table{Title: "Table 3 (beta=0.6, IF=0.1)", Headers: append([]string{"sampling"}, methodsList...)}
-			for _, rate := range rates {
-				row := []string{fmt.Sprintf("%d%%", rate)}
+			sort.Ints(samples)
+			t := &sweep.Table{Title: "Table 3 (beta=0.6, IF=0.1)", Headers: append([]string{"sampling"}, methodsList...)}
+			for i, rate := range rates {
+				row := []string{fmt.Sprintf("%d%%", int(rate*100))}
 				for _, m := range methodsList {
-					row = append(row, F(hists[fmt.Sprintf("%s|%d", m, rate)].TailMeanAcc(3)))
+					if i < len(samples) {
+						row = append(row, res.CellValue(sweep.Axes{Method: m, SampleClients: samples[i]}))
+					} else {
+						row = append(row, "-")
+					}
 				}
 				t.AddRow(row...)
 			}
@@ -125,34 +154,28 @@ func init() {
 
 // fig9: accuracy versus total client count (participation held at 10%).
 func init() {
+	clientCounts := []int{10, 20, 50, 100}
+	methodsList := []string{"fedavg", "fedcm", "fedwcm"}
 	register(&Experiment{
 		ID:    "fig9",
 		Title: "Figure 9: test accuracy vs number of clients",
-		Run: func(opt Options) error {
-			opt = opt.Defaults()
-			clientCounts := []int{10, 20, 50, 100}
-			methodsList := []string{"fedavg", "fedcm", "fedwcm"}
-			var cells []cell
-			for _, m := range methodsList {
-				for _, n := range clientCounts {
-					spec := specFor(opt, "cifar10-syn", m, 0.6, 0.1)
-					spec.Clients = n
-					spec.Cfg.SampleClients = n / 10
-					if spec.Cfg.SampleClients < 1 {
-						spec.Cfg.SampleClients = 1
-					}
-					cells = append(cells, cell{Key: fmt.Sprintf("%s|%d", m, n), Spec: spec})
-				}
+		Sweep: func(opt Options) sweep.Spec {
+			return sweep.Spec{
+				Methods:     methodsList,
+				Betas:       []float64{0.6},
+				IFs:         []float64{0.1},
+				Clients:     clientCounts,
+				SampleRates: []float64{0.1},
+				Seeds:       []uint64{opt.Seed},
+				Effort:      opt.Effort,
 			}
-			hists, err := runCells(cells, opt.CellWorkers)
-			if err != nil {
-				return err
-			}
-			t := &Table{Title: "Figure 9 (beta=0.6, IF=0.1)", Headers: append([]string{"clients"}, methodsList...)}
+		},
+		Render: func(opt Options, res *sweep.Result) error {
+			t := &sweep.Table{Title: "Figure 9 (beta=0.6, IF=0.1)", Headers: append([]string{"clients"}, methodsList...)}
 			for _, n := range clientCounts {
 				row := []string{fmt.Sprintf("%d", n)}
 				for _, m := range methodsList {
-					row = append(row, F(hists[fmt.Sprintf("%s|%d", m, n)].TailMeanAcc(3)))
+					row = append(row, res.CellValue(sweep.Axes{Method: m, Clients: n}))
 				}
 				t.AddRow(row...)
 			}
@@ -164,30 +187,27 @@ func init() {
 
 // fig10: accuracy versus local epochs.
 func init() {
+	epochsList := []int{1, 5, 10, 20}
+	methodsList := []string{"fedavg", "fedcm", "fedwcm"}
 	register(&Experiment{
 		ID:    "fig10",
 		Title: "Figure 10: test accuracy vs local epochs",
-		Run: func(opt Options) error {
-			opt = opt.Defaults()
-			epochsList := []int{1, 5, 10, 20}
-			methodsList := []string{"fedavg", "fedcm", "fedwcm"}
-			var cells []cell
-			for _, m := range methodsList {
-				for _, e := range epochsList {
-					spec := specFor(opt, "cifar10-syn", m, 0.6, 0.1)
-					spec.Cfg.LocalEpochs = e
-					cells = append(cells, cell{Key: fmt.Sprintf("%s|%d", m, e), Spec: spec})
-				}
+		Sweep: func(opt Options) sweep.Spec {
+			return sweep.Spec{
+				Methods:     methodsList,
+				Betas:       []float64{0.6},
+				IFs:         []float64{0.1},
+				LocalEpochs: epochsList,
+				Seeds:       []uint64{opt.Seed},
+				Effort:      opt.Effort,
 			}
-			hists, err := runCells(cells, opt.CellWorkers)
-			if err != nil {
-				return err
-			}
-			t := &Table{Title: "Figure 10 (beta=0.6, IF=0.1)", Headers: append([]string{"epochs"}, methodsList...)}
+		},
+		Render: func(opt Options, res *sweep.Result) error {
+			t := &sweep.Table{Title: "Figure 10 (beta=0.6, IF=0.1)", Headers: append([]string{"epochs"}, methodsList...)}
 			for _, e := range epochsList {
 				row := []string{fmt.Sprintf("%d", e)}
 				for _, m := range methodsList {
-					row = append(row, F(hists[fmt.Sprintf("%s|%d", m, e)].TailMeanAcc(3)))
+					row = append(row, res.CellValue(sweep.Axes{Method: m, LocalEpochs: e}))
 				}
 				t.AddRow(row...)
 			}

@@ -5,54 +5,55 @@ import (
 
 	"fedwcm/internal/collapse"
 	"fedwcm/internal/fl"
+	"fedwcm/internal/sweep"
 )
 
 // fig3: FedAvg vs FedCM accuracy curves on cifar10-syn with β=0.1 and
 // IF ∈ {1, 0.1, 0.01} — the motivation figure showing FedCM's long-tail
 // non-convergence.
 func init() {
+	methodsList := []string{"fedavg", "fedcm"}
+	ifs := []float64{1, 0.1, 0.01}
 	register(&Experiment{
 		ID:    "fig3",
 		Title: "Figure 3: FedAvg vs FedCM across IF settings (beta=0.1)",
-		Run: func(opt Options) error {
-			opt = opt.Defaults()
-			ifs := []float64{1, 0.1, 0.01}
-			var cells []cell
-			var labels []string
-			for _, m := range []string{"fedavg", "fedcm"} {
-				for _, f := range ifs {
-					key := fmt.Sprintf("%s IF=%g", m, f)
-					labels = append(labels, key)
-					cells = append(cells, cell{Key: key, Spec: specFor(opt, "cifar10-syn", m, 0.1, f)})
-				}
+		Sweep: func(opt Options) sweep.Spec {
+			return sweep.Spec{
+				Methods: methodsList,
+				IFs:     ifs,
+				Seeds:   []uint64{opt.Seed},
+				Effort:  opt.Effort,
 			}
-			hists, err := runCells(cells, opt.CellWorkers)
-			if err != nil {
-				return err
-			}
+		},
+		Render: func(opt Options, res *sweep.Result) error {
 			var rounds []int
-			series := make([][]float64, len(labels))
-			for i, l := range labels {
-				r, a := hists[l].AccSeries()
-				if rounds == nil {
-					rounds = r
+			var labels []string
+			var series [][]float64
+			for _, m := range methodsList {
+				for _, f := range ifs {
+					labels = append(labels, fmt.Sprintf("%s IF=%g", m, f))
+					r, a := res.CurveOf(sweep.Axes{Method: m, IF: f})
+					if rounds == nil {
+						rounds = r
+					}
+					series = append(series, a)
 				}
-				series[i] = a
 			}
-			SeriesTable("Figure 3 (test accuracy over rounds, beta=0.1)", rounds, labels, series).Render(opt.Out)
+			sweep.SeriesTable("Figure 3 (test accuracy over rounds, beta=0.1)", rounds, labels, series).Render(opt.Out)
 			return nil
 		},
 	})
 }
 
 // fig4: FedCM's average neuron concentration (top) and test accuracy
-// (bottom) across six imbalance factors.
+// (bottom) across six imbalance factors. Hand-rolled: each cell attaches a
+// collapse probe via the Mod hook, which makes the runs
+// non-content-addressable (see sweep.ErrNotAddressable) and so unsweepable.
 func init() {
 	register(&Experiment{
 		ID:    "fig4",
 		Title: "Figure 4: FedCM neuron concentration and accuracy across six IF settings",
 		Run: func(opt Options) error {
-			opt = opt.Defaults()
 			ifs := []float64{1, 0.5, 0.1, 0.06, 0.04, 0.01}
 			var cells []cell
 			var labels []string
@@ -84,9 +85,9 @@ func init() {
 				accs[i] = a
 				conc[i] = seriesByKey[l].Mean
 			}
-			SeriesTable("Figure 4 top (FedCM mean neuron concentration)", rounds, labels, conc).Render(opt.Out)
+			sweep.SeriesTable("Figure 4 top (FedCM mean neuron concentration)", rounds, labels, conc).Render(opt.Out)
 			fmt.Fprintln(opt.Out)
-			SeriesTable("Figure 4 bottom (FedCM test accuracy)", rounds, labels, accs).Render(opt.Out)
+			sweep.SeriesTable("Figure 4 bottom (FedCM test accuracy)", rounds, labels, accs).Render(opt.Out)
 			return nil
 		},
 	})
@@ -94,12 +95,12 @@ func init() {
 
 // fig13_17 (Appendix B): mean and per-layer neuron concentration for
 // FedAvg / FedCM / FedWCM under balanced and long-tailed settings.
+// Hand-rolled for the same reason as fig4: probe Mod hooks.
 func init() {
 	register(&Experiment{
 		ID:    "fig13",
 		Title: "Figures 13-17 (Appendix B): neuron concentration for FedAvg/FedCM/FedWCM",
 		Run: func(opt Options) error {
-			opt = opt.Defaults()
 			type setting struct {
 				name string
 				imf  float64
@@ -134,12 +135,12 @@ func init() {
 					series[i] = s.Mean
 					rounds = s.Rounds
 				}
-				SeriesTable(fmt.Sprintf("Figure 13 (%s): mean neuron concentration", st.name),
+				sweep.SeriesTable(fmt.Sprintf("Figure 13 (%s): mean neuron concentration", st.name),
 					rounds, labels, series).Render(opt.Out)
 				fmt.Fprintln(opt.Out)
 			}
 			// Per-layer detail (figures 14-16): final snapshot per method.
-			detail := &Table{
+			detail := &sweep.Table{
 				Title:   "Figures 14-16: final per-layer concentration (long-tailed setting IF=0.1)",
 				Headers: []string{"method", "layer", "concentration"},
 			}
@@ -150,7 +151,7 @@ func init() {
 				}
 				last := s.PerLayer[len(s.PerLayer)-1]
 				for li, v := range last {
-					detail.AddRow(m, fmt.Sprintf("act%d", li+1), F(v))
+					detail.AddRow(m, fmt.Sprintf("act%d", li+1), sweep.F(v))
 				}
 			}
 			detail.Render(opt.Out)

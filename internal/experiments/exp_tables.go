@@ -1,6 +1,10 @@
 package experiments
 
-import "fmt"
+import (
+	"fmt"
+
+	"fedwcm/internal/sweep"
+)
 
 // table1Methods is the paper's Table 1 column set.
 var table1Methods = []string{
@@ -15,38 +19,34 @@ var table1Datasets = []string{
 var tableIFs = []float64{1, 0.5, 0.1, 0.05, 0.01}
 var tableBetas = []float64{0.6, 0.1}
 
-// methodBetaTable runs methods × IFs × betas on the given datasets and
-// renders one row per (dataset, IF) with method×beta accuracy cells.
-func methodBetaTable(opt Options, title string, datasets, methodNames []string, ifs, betas []float64) error {
-	var cells []cell
-	for _, ds := range datasets {
-		for _, m := range methodNames {
-			for _, f := range ifs {
-				for _, b := range betas {
-					key := fmt.Sprintf("%s|%s|%g|%g", ds, m, f, b)
-					cells = append(cells, cell{Key: key, Spec: specFor(opt, ds, m, b, f)})
-				}
-			}
-		}
+// methodBetaGrid declares methods × IFs × betas on the given datasets;
+// renderMethodBetaTable places the aggregated groups as one row per
+// (dataset, IF) with method×beta cells.
+func methodBetaGrid(opt Options, datasets, methodNames []string, ifs, betas []float64) sweep.Spec {
+	return sweep.Spec{
+		Datasets: datasets,
+		Methods:  methodNames,
+		IFs:      ifs,
+		Betas:    betas,
+		Seeds:    []uint64{opt.Seed},
+		Effort:   opt.Effort,
 	}
-	hists, err := runCells(cells, opt.CellWorkers)
-	if err != nil {
-		return err
-	}
+}
+
+func renderMethodBetaTable(opt Options, title string, datasets, methodNames []string, ifs, betas []float64, res *sweep.Result) error {
 	headers := []string{"dataset", "IF"}
 	for _, m := range methodNames {
 		for _, b := range betas {
 			headers = append(headers, fmt.Sprintf("%s b=%g", m, b))
 		}
 	}
-	t := &Table{Title: title, Headers: headers}
+	t := &sweep.Table{Title: title, Headers: headers}
 	for _, ds := range datasets {
 		for _, f := range ifs {
 			row := []string{ds, fmt.Sprintf("%g", f)}
 			for _, m := range methodNames {
 				for _, b := range betas {
-					h := hists[fmt.Sprintf("%s|%s|%g|%g", ds, m, f, b)]
-					row = append(row, F(h.TailMeanAcc(3)))
+					row = append(row, res.CellValue(sweep.Axes{Dataset: ds, Method: m, IF: f, Beta: b}))
 				}
 			}
 			t.AddRow(row...)
@@ -61,71 +61,75 @@ func init() {
 	register(&Experiment{
 		ID:    "table1",
 		Title: "Table 1: performance comparison across datasets, IFs and betas",
-		Run: func(opt Options) error {
-			opt = opt.Defaults()
-			return methodBetaTable(opt, "Table 1 (mean test accuracy, tail-3 evals)",
-				table1Datasets, table1Methods, tableIFs, tableBetas)
+		Sweep: func(opt Options) sweep.Spec {
+			return methodBetaGrid(opt, table1Datasets, table1Methods, tableIFs, tableBetas)
+		},
+		Render: func(opt Options, res *sweep.Result) error {
+			return renderMethodBetaTable(opt, "Table 1 (mean test accuracy, tail-3 evals)",
+				table1Datasets, table1Methods, tableIFs, tableBetas, res)
 		},
 	})
 	// table1-cifar10 is the single-dataset slice used for quick comparisons
-	// (the paper's prose discusses the CIFAR-10 block of Table 1).
+	// (the paper's prose discusses the CIFAR-10 block of Table 1). Its grid
+	// is a strict subset of table1's, so after table1 every cell is a store
+	// hit.
 	register(&Experiment{
 		ID:    "table1-cifar10",
 		Title: "Table 1 (CIFAR-10 block only)",
-		Run: func(opt Options) error {
-			opt = opt.Defaults()
-			return methodBetaTable(opt, "Table 1, cifar10-syn block",
-				[]string{"cifar10-syn"}, table1Methods, tableIFs, tableBetas)
+		Sweep: func(opt Options) sweep.Spec {
+			return methodBetaGrid(opt, []string{"cifar10-syn"}, table1Methods, tableIFs, tableBetas)
+		},
+		Render: func(opt Options, res *sweep.Result) error {
+			return renderMethodBetaTable(opt, "Table 1, cifar10-syn block",
+				[]string{"cifar10-syn"}, table1Methods, tableIFs, tableBetas, res)
 		},
 	})
 }
 
 // table2: FedAvg vs FedGraB vs FedWCM on CIFAR-10.
 func init() {
+	table2Methods := []string{"fedavg", "fedgrab", "fedwcm"}
 	register(&Experiment{
 		ID:    "table2",
 		Title: "Table 2: FedAvg / FedGraB / FedWCM on CIFAR-10",
-		Run: func(opt Options) error {
-			opt = opt.Defaults()
-			return methodBetaTable(opt, "Table 2 (cifar10-syn)",
-				[]string{"cifar10-syn"}, []string{"fedavg", "fedgrab", "fedwcm"},
-				tableIFs, tableBetas)
+		Sweep: func(opt Options) sweep.Spec {
+			return methodBetaGrid(opt, []string{"cifar10-syn"}, table2Methods, tableIFs, tableBetas)
+		},
+		Render: func(opt Options, res *sweep.Result) error {
+			return renderMethodBetaTable(opt, "Table 2 (cifar10-syn)",
+				[]string{"cifar10-syn"}, table2Methods, tableIFs, tableBetas, res)
 		},
 	})
 }
 
 // table4: FedAvg / FedCM / FedWCM across β ∈ {0.1, 0.6} and six IFs.
 func init() {
+	ifs := []float64{1, 0.4, 0.1, 0.06, 0.04, 0.01}
+	betas := []float64{0.1, 0.6}
+	methodsList := []string{"fedavg", "fedcm", "fedwcm"}
 	register(&Experiment{
 		ID:    "table4",
 		Title: "Table 4: FedAvg/FedCM/FedWCM across beta and IF",
-		Run: func(opt Options) error {
-			opt = opt.Defaults()
-			ifs := []float64{1, 0.4, 0.1, 0.06, 0.04, 0.01}
-			methodsList := []string{"fedavg", "fedcm", "fedwcm"}
-			var cells []cell
-			for _, b := range []float64{0.1, 0.6} {
-				for _, m := range methodsList {
-					for _, f := range ifs {
-						key := fmt.Sprintf("%s|%g|%g", m, b, f)
-						cells = append(cells, cell{Key: key, Spec: specFor(opt, "cifar10-syn", m, b, f)})
-					}
-				}
+		Sweep: func(opt Options) sweep.Spec {
+			return sweep.Spec{
+				Methods: methodsList,
+				Betas:   betas,
+				IFs:     ifs,
+				Seeds:   []uint64{opt.Seed},
+				Effort:  opt.Effort,
 			}
-			hists, err := runCells(cells, opt.CellWorkers)
-			if err != nil {
-				return err
-			}
-			for _, b := range []float64{0.1, 0.6} {
+		},
+		Render: func(opt Options, res *sweep.Result) error {
+			for _, b := range betas {
 				headers := []string{"method"}
 				for _, f := range ifs {
 					headers = append(headers, fmt.Sprintf("IF=%g", f))
 				}
-				t := &Table{Title: fmt.Sprintf("Table 4 (beta = %g)", b), Headers: headers}
+				t := &sweep.Table{Title: fmt.Sprintf("Table 4 (beta = %g)", b), Headers: headers}
 				for _, m := range methodsList {
 					row := []string{m}
 					for _, f := range ifs {
-						row = append(row, F(hists[fmt.Sprintf("%s|%g|%g", m, b, f)].TailMeanAcc(3)))
+						row = append(row, res.CellValue(sweep.Axes{Method: m, Beta: b, IF: f}))
 					}
 					t.AddRow(row...)
 				}

@@ -7,6 +7,7 @@ import (
 
 	"fedwcm/internal/data"
 	"fedwcm/internal/fl"
+	"fedwcm/internal/store"
 )
 
 func TestRunSpecDefaults(t *testing.T) {
@@ -132,43 +133,37 @@ func TestRegistryComplete(t *testing.T) {
 	}
 }
 
-func TestScaleHelpers(t *testing.T) {
-	if scaleRounds(100, 0.5) != 50 {
-		t.Fatal("scaleRounds")
-	}
-	if scaleRounds(10, 0.01) != 8 {
-		t.Fatal("scaleRounds floor")
-	}
-	if scaleData(5, 0.5) != 2.5 {
-		t.Fatal("scaleData")
-	}
-	if scaleData(1, 0.01) != 0.08 {
-		t.Fatal("scaleData floor")
-	}
-}
-
-func TestTableRendering(t *testing.T) {
-	tab := &Table{Title: "T", Headers: []string{"a", "bbbb"}}
-	tab.AddRow("xx", "1")
-	var buf bytes.Buffer
-	tab.Render(&buf)
-	out := buf.String()
-	if !strings.Contains(out, "T\n") || !strings.Contains(out, "bbbb") || !strings.Contains(out, "xx") {
-		t.Fatalf("render output:\n%s", out)
-	}
-	st := SeriesTable("S", []int{1, 2}, []string{"m"}, [][]float64{{0.5}})
-	var buf2 bytes.Buffer
-	st.Render(&buf2)
-	if !strings.Contains(buf2.String(), "0.5000") || !strings.Contains(buf2.String(), "-") {
-		t.Fatalf("series render:\n%s", buf2.String())
+// TestRegistryShape: every registered experiment is exactly one of
+// declarative (Sweep+Render) or hand-rolled (Run), and every declared grid
+// expands and validates at benchmark effort.
+func TestRegistryShape(t *testing.T) {
+	for _, e := range All() {
+		if (e.Sweep == nil) == (e.Run == nil) {
+			t.Errorf("%s: must set exactly one of Sweep and Run", e.ID)
+		}
+		if e.Sweep == nil {
+			continue
+		}
+		if e.Render == nil {
+			t.Errorf("%s: sweep without renderer", e.ID)
+		}
+		sp := e.Sweep(Options{Seed: 1, Effort: 0.1}.Defaults())
+		if err := sp.Validate(); err != nil {
+			t.Errorf("%s: grid does not validate: %v", e.ID, err)
+		}
 	}
 }
 
 // TestSmallExperimentsEndToEnd runs the cheap experiments at minimum effort
-// to ensure every registered pipeline executes.
+// to ensure every registered pipeline executes, and that re-running a
+// declarative experiment against the same store recomputes nothing.
 func TestSmallExperimentsEndToEnd(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment smoke runs skipped in -short mode")
+	}
+	st, err := store.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
 	}
 	for _, id := range []string{"fig11", "abl_parts", "fig8"} {
 		id := id
@@ -178,12 +173,39 @@ func TestSmallExperimentsEndToEnd(t *testing.T) {
 				t.Fatal(err)
 			}
 			var buf bytes.Buffer
-			if err := e.Run(Options{Seed: 2, Effort: 0.08, CellWorkers: 4, Out: &buf}); err != nil {
+			opt := Options{Seed: 2, Effort: 0.08, CellWorkers: 4, Store: st, Out: &buf}
+			if err := e.Execute(opt); err != nil {
 				t.Fatal(err)
 			}
 			if buf.Len() == 0 {
 				t.Fatal("experiment produced no output")
 			}
+			if e.Sweep == nil {
+				return
+			}
+			// Second execution: every cell must be a store hit.
+			first := buf.String()
+			buf.Reset()
+			if err := e.Execute(opt); err != nil {
+				t.Fatal(err)
+			}
+			second := buf.String()
+			if !strings.Contains(second, "0 computed]") {
+				t.Fatalf("repeat run recomputed cells:\n%s", second)
+			}
+			// And the rendered tables must be identical (modulo the sweep
+			// status line, which reports cached vs computed).
+			if tail(first) != tail(second) {
+				t.Fatalf("cached rerun rendered differently:\nfirst:\n%s\nsecond:\n%s", first, second)
+			}
 		})
 	}
+}
+
+// tail strips the leading "[sweep ...]" status line.
+func tail(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 && strings.HasPrefix(s, "[sweep ") {
+		return s[i+1:]
+	}
+	return s
 }

@@ -1,53 +1,11 @@
 package experiments
 
-import "fedwcm/internal/fl"
+import "fedwcm/internal/sweep"
 
-// datasetPreset is the per-dataset experiment configuration: the paper uses
-// 100 clients / 10% participation / 500 rounds for the 10-class datasets
-// and 40 clients / 300 rounds for CIFAR-100 and ImageNet. We keep client
-// counts and participation, reduce rounds (convergence is faster at our
-// scale), and size the synthetic datasets so head classes match the real
-// datasets' order of magnitude.
-type datasetPreset struct {
-	Clients int
-	Sample  int
-	Rounds  int
-	Scale   float64
-}
-
-var datasetPresets = map[string]datasetPreset{
-	"fmnist-syn":   {Clients: 100, Sample: 10, Rounds: 100, Scale: 5},
-	"svhn-syn":     {Clients: 100, Sample: 10, Rounds: 100, Scale: 4},
-	"cifar10-syn":  {Clients: 100, Sample: 10, Rounds: 100, Scale: 5},
-	"cifar100-syn": {Clients: 40, Sample: 4, Rounds: 120, Scale: 1},
-	"imagenet-syn": {Clients: 40, Sample: 4, Rounds: 120, Scale: 1},
-	"svhn-img":     {Clients: 20, Sample: 5, Rounds: 40, Scale: 1},
-	"cifar10-img":  {Clients: 20, Sample: 5, Rounds: 40, Scale: 1},
-}
-
-// specFor builds the RunSpec for one sweep cell under the dataset preset,
-// applying the effort multiplier.
+// specFor builds the RunSpec for one cell under the dataset preset,
+// applying the effort multiplier. Declarative experiments get the same
+// resolution through sweep.Spec.Expand; this wrapper serves the hand-rolled
+// experiments whose cells carry Mod hooks and so cannot be swept.
 func specFor(opt Options, dataset, method string, beta, imf float64) RunSpec {
-	p, ok := datasetPresets[dataset]
-	if !ok {
-		p = datasetPreset{Clients: 20, Sample: 10, Rounds: 60, Scale: 1}
-	}
-	return RunSpec{
-		Dataset: dataset,
-		Method:  method,
-		Beta:    beta,
-		IF:      imf,
-		Clients: p.Clients,
-		Scale:   scaleData(p.Scale, opt.Effort),
-		Cfg: fl.Config{
-			Rounds:        scaleRounds(p.Rounds, opt.Effort),
-			SampleClients: p.Sample,
-			LocalEpochs:   5,
-			BatchSize:     50,
-			EtaL:          0.1,
-			EtaG:          1,
-			Seed:          opt.Seed,
-			EvalEvery:     5,
-		},
-	}
+	return sweep.PresetSpec(dataset, method, beta, imf, opt.Seed, opt.Effort)
 }

@@ -7,6 +7,8 @@ import (
 	"sync"
 
 	"fedwcm/internal/fl"
+	"fedwcm/internal/store"
+	"fedwcm/internal/sweep"
 )
 
 // Options control how much of an experiment runs and where output goes.
@@ -19,7 +21,11 @@ type Options struct {
 	// CellWorkers is how many sweep cells run concurrently (each cell runs
 	// its clients in parallel internally too). 0 picks a default.
 	CellWorkers int
-	Out         io.Writer
+	// Store, when set, backs the sweep engine: cells already computed are
+	// served from it and fresh cells are persisted, so repeated or
+	// overlapping experiments cost only their missing fingerprints.
+	Store *store.Store
+	Out   io.Writer
 }
 
 // Defaults normalises options.
@@ -39,11 +45,44 @@ func (o Options) Defaults() Options {
 	return o
 }
 
-// Experiment regenerates one paper table or figure.
+// Experiment regenerates one paper table or figure. Two shapes exist:
+//
+//   - Declarative (the default): Sweep returns the experiment's grid and
+//     Render formats the aggregated result. Execute runs the grid through
+//     the sweep engine, so cells shared with other experiments are cache
+//     hits.
+//   - Hand-rolled: Run does everything itself. Used by experiments whose
+//     cells attach Mod hooks (probes make runs non-content-addressable) or
+//     that measure something other than training runs.
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(opt Options) error
+
+	Sweep  func(opt Options) sweep.Spec
+	Render func(opt Options, res *sweep.Result) error
+
+	Run func(opt Options) error
+}
+
+// Execute runs the experiment: the declarative sweep path when Sweep is
+// set, the hand-rolled Run otherwise.
+func (e *Experiment) Execute(opt Options) error {
+	opt = opt.Defaults()
+	if e.Sweep == nil {
+		return e.Run(opt)
+	}
+	sp := e.Sweep(opt)
+	if sp.Name == "" {
+		sp.Name = e.ID
+	}
+	eng := &sweep.Engine{Store: opt.Store, Workers: opt.CellWorkers}
+	res, err := eng.RunSweep(sp, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(opt.Out, "[sweep %s: %d cells — %d cached, %d computed]\n",
+		sp.Name, len(res.Cells), res.Cached, res.Computed)
+	return e.Render(opt, res)
 }
 
 var (
@@ -56,6 +95,12 @@ func register(e *Experiment) {
 	defer regMu.Unlock()
 	if _, dup := registry[e.ID]; dup {
 		panic("experiments: duplicate id " + e.ID)
+	}
+	if (e.Sweep == nil) == (e.Run == nil) {
+		panic("experiments: " + e.ID + " must set exactly one of Sweep and Run")
+	}
+	if e.Sweep != nil && e.Render == nil {
+		panic("experiments: " + e.ID + " declares a sweep without a renderer")
 	}
 	registry[e.ID] = e
 }
@@ -93,14 +138,16 @@ func All() []*Experiment {
 	return out
 }
 
-// cell is one (label, spec) pair of a sweep.
+// cell is one (label, spec) pair of a hand-rolled experiment's sweep.
 type cell struct {
 	Key  string
 	Spec RunSpec
 }
 
-// runCells executes sweep cells, up to `workers` concurrently, returning
-// histories keyed by cell key. Errors abort the sweep.
+// runCells executes cells, up to `workers` concurrently, returning
+// histories keyed by cell key. Errors abort the sweep. Declarative
+// experiments go through sweep.Engine instead; this path remains for cells
+// with Mod hooks, which have no fingerprint and so cannot be cached.
 func runCells(cells []cell, workers int) (map[string]*fl.History, error) {
 	if workers < 1 {
 		workers = 1
@@ -143,22 +190,4 @@ func runCells(cells []cell, workers int) (map[string]*fl.History, error) {
 		return nil, firstErr
 	}
 	return out, nil
-}
-
-// scaleRounds applies the effort multiplier with a sane floor.
-func scaleRounds(rounds int, effort float64) int {
-	r := int(float64(rounds) * effort)
-	if r < 8 {
-		r = 8
-	}
-	return r
-}
-
-// scaleData applies the effort multiplier to the dataset scale factor.
-func scaleData(scale, effort float64) float64 {
-	s := scale * effort
-	if s < 0.08 {
-		s = 0.08
-	}
-	return s
 }

@@ -1,27 +1,41 @@
 // Package serve exposes the experiment harness as an HTTP service backed by
 // the content-addressed store (internal/store): specs come in as JSON, run
 // ids are spec fingerprints, and results are cached so any grid cell is
-// computed at most once no matter how many clients ask for it.
+// computed at most once no matter how many clients ask for it. Above single
+// runs sits the sweep API: a declarative grid (sweep.Spec) expands into
+// cells scheduled through the same pool and store, and its results
+// aggregate server-side into mean±std groups.
 //
-// Endpoints:
+// Endpoints (full reference with examples in docs/API.md):
 //
-//	POST /v1/runs             submit a RunSpec; cache hits return the stored
-//	                          history immediately (status "cached"), misses
-//	                          are queued on a bounded worker pool (202)
-//	GET  /v1/runs/{id}        status + progress + history for a run id
-//	GET  /v1/runs/{id}/events SSE per-round progress ("round" events, then
-//	                          one terminal "done" event)
-//	GET  /v1/experiments      registry listing: experiment ids, methods,
-//	                          datasets
+//	POST /v1/runs               submit a RunSpec; cache hits return the
+//	                            stored history immediately (status
+//	                            "cached"), misses are queued on a bounded
+//	                            worker pool (202)
+//	GET  /v1/runs/{id}          status + progress + history for a run id
+//	GET  /v1/runs/{id}/events   SSE per-round progress ("round" events, then
+//	                            one terminal "done" event)
+//	POST /v1/sweeps             submit a sweep.Spec grid; cells hit the
+//	                            store or queue behind in-flight runs
+//	GET  /v1/sweeps/{id}        per-cell status: cached / queued / running /
+//	                            done / failed
+//	GET  /v1/sweeps/{id}/result aggregated mean±std groups + rendered table
+//	                            (202 while cells are still running)
+//	GET  /v1/sweeps/{id}/events SSE per-cell completion ("cell" events, then
+//	                            one terminal "done" event)
+//	GET  /v1/experiments        registry listing: experiment ids, methods,
+//	                            datasets
 //
 // Identical in-flight submissions coalesce onto one execution
-// (single-flight); identical finished submissions are store hits. The
-// worker pool bounds concurrent training; the queue bounds memory, and a
-// full queue is reported as 503 rather than accepted unboundedly.
+// (single-flight), for sweeps cell-by-cell; identical finished submissions
+// are store hits. The worker pool bounds concurrent training; the queue
+// bounds memory. A full queue rejects direct run submissions with 503,
+// while accepted sweeps trickle their cells in as space frees up.
 package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"net/http"
@@ -32,12 +46,13 @@ import (
 	"fedwcm/internal/fl"
 	"fedwcm/internal/fl/methods"
 	"fedwcm/internal/store"
+	"fedwcm/internal/sweep"
 )
 
 // Runner executes one spec, reporting per-round progress. The default is
-// experiments.RunSpec.RunWithProgress; tests substitute counting or canned
+// sweep.RunSpec.RunWithProgress; tests substitute counting or canned
 // runners.
-type Runner func(spec experiments.RunSpec, onRound func(fl.RoundStat)) (*fl.History, error)
+type Runner = sweep.Runner
 
 // Config wires a Server.
 type Config struct {
@@ -55,13 +70,16 @@ type Server struct {
 	mux  *http.ServeMux
 	jobs chan *run
 
-	mu      sync.Mutex
-	runs    map[string]*run // fingerprint → in-process record
-	closing bool            // set by Close under mu; no enqueue once true
+	mu       sync.Mutex
+	runs     map[string]*run      // fingerprint → in-process record
+	sweeps   map[string]*sweepRun // sweep fingerprint → in-process record
+	sweepSeq uint64               // creation counter for sweep eviction order
+	closing  bool                 // set by Close under mu; no enqueue once true
 
 	closeOnce sync.Once
 	closed    chan struct{}
-	wg        sync.WaitGroup
+	wg        sync.WaitGroup // workers + cell watchers
+	feedWg    sync.WaitGroup // sweep feeders; drained first on Close
 }
 
 // New validates cfg, starts the worker pool and returns the server.
@@ -76,7 +94,7 @@ func New(cfg Config) (*Server, error) {
 		cfg.QueueDepth = 64
 	}
 	if cfg.Runner == nil {
-		cfg.Runner = func(spec experiments.RunSpec, onRound func(fl.RoundStat)) (*fl.History, error) {
+		cfg.Runner = func(spec sweep.RunSpec, onRound func(fl.RoundStat)) (*fl.History, error) {
 			return spec.RunWithProgress(onRound)
 		}
 	}
@@ -88,11 +106,16 @@ func New(cfg Config) (*Server, error) {
 		mux:    http.NewServeMux(),
 		jobs:   make(chan *run, cfg.QueueDepth),
 		runs:   make(map[string]*run),
+		sweeps: make(map[string]*sweepRun),
 		closed: make(chan struct{}),
 	}
 	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepStatus)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}/result", s.handleSweepResult)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleSweepEvents)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleRegistry)
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -104,10 +127,12 @@ func New(cfg Config) (*Server, error) {
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 // Close stops accepting new work and waits for the workers to drain the
-// queue and finish in-flight runs. Enqueueing holds s.mu and checks
-// s.closing, so once the flag is set no submission can slip into the queue
-// behind the exiting workers; the drain below is belt-and-braces for jobs
-// accepted before that point.
+// queue and finish in-flight runs. Ordering matters: sweep feeders are the
+// only producers that can block-send into the queue, so they are stopped
+// first (ensureCell refuses once closing is set, and an in-flight blocking
+// send resolves against s.closed); then any job that slipped in behind the
+// exiting workers is failed explicitly, which also unblocks its sweep
+// watchers; only then is the worker/watcher group waited on.
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
 		s.mu.Lock()
@@ -115,15 +140,17 @@ func (s *Server) Close() {
 		s.mu.Unlock()
 		close(s.closed)
 	})
-	s.wg.Wait()
-	for {
+	s.feedWg.Wait()
+	for drained := false; !drained; {
 		select {
 		case r := <-s.jobs:
 			r.finish(nil, fmt.Errorf("serve: server closed before run started"))
+			s.dropRun(r.id, r)
 		default:
-			return
+			drained = true
 		}
 	}
+	s.wg.Wait()
 }
 
 func (s *Server) worker() {
@@ -193,6 +220,90 @@ func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// Sentinel failures from ensureCell, mapped to HTTP statuses by the
+// handlers that can hit them.
+var (
+	errQueueFull = errors.New("run queue full")
+	errClosing   = errors.New("server shutting down")
+)
+
+// ensureCell resolves one grid cell to either a finished history (hist !=
+// nil, status "cached") or a live run record (r != nil) — creating and
+// enqueueing a fresh record when the cell is neither stored nor in flight.
+// It is the single-flight core shared by direct run submission and sweep
+// scheduling; block selects between failing fast on a full queue (direct
+// submissions → 503) and waiting for space (sweep feeders trickling a grid
+// in).
+func (s *Server) ensureCell(spec sweep.RunSpec, fp string, block bool) (r *run, hist *fl.History, status string, err error) {
+	// Fast path, outside the lock: the grid cell has been computed before.
+	if hist, ok, err := s.cfg.Store.Get(fp); err != nil {
+		return nil, nil, "", fmt.Errorf("store: %w", err)
+	} else if ok {
+		return nil, hist, StatusCached, nil
+	}
+
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		return nil, nil, "", errClosing
+	}
+	// Single-flight: identical in-flight submissions share one record. A
+	// done record only lingers here when persisting it failed (or in the
+	// instant before execute drops it), so it is served as a cache hit.
+	if r, ok := s.runs[fp]; ok {
+		status, _, hist, _ := r.snapshot()
+		switch status {
+		case StatusDone:
+			s.mu.Unlock()
+			return nil, hist, StatusCached, nil
+		case StatusFailed:
+			// A failed attempt does not pin the cell failed forever; fall
+			// through and replace the record with a fresh attempt.
+		default:
+			s.mu.Unlock()
+			return r, nil, status, nil
+		}
+	}
+	// Re-check the store under the lock: a run can Put its artifact and
+	// drop its record between the unlocked Get above and here, and
+	// re-executing a computed cell would break compute-at-most-once. On a
+	// true miss this is a cheap ENOENT probe.
+	if hist, ok, err := s.cfg.Store.Get(fp); err != nil {
+		s.mu.Unlock()
+		return nil, nil, "", fmt.Errorf("store: %w", err)
+	} else if ok {
+		s.mu.Unlock()
+		return nil, hist, StatusCached, nil
+	}
+	r = newRun(fp, spec)
+	if !block {
+		// Record and enqueue atomically (the send is non-blocking, so
+		// holding the lock is fine): either both happen or neither does.
+		select {
+		case s.jobs <- r:
+			s.runs[fp] = r
+			s.mu.Unlock()
+			return r, nil, StatusQueued, nil
+		default:
+			s.mu.Unlock()
+			return nil, nil, "", errQueueFull
+		}
+	}
+	// Blocking path: the record must be visible (for coalescing) before the
+	// send, and the send cannot hold the lock. A queued-but-not-yet-sent
+	// record is indistinguishable from a queued one to observers.
+	s.runs[fp] = r
+	s.mu.Unlock()
+	select {
+	case s.jobs <- r:
+		return r, nil, StatusQueued, nil
+	case <-s.closed:
+		r.finish(nil, errClosing)
+		s.dropRun(fp, r)
+		return nil, nil, "", errClosing
+	}
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 	dec := json.NewDecoder(req.Body)
 	dec.DisallowUnknownFields() // a typo'd field means a different cell than intended
@@ -210,65 +321,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-
-	// Fast path, outside the lock: the grid cell has been computed before.
-	if hist, ok, err := s.cfg.Store.Get(fp); err != nil {
-		httpError(w, http.StatusInternalServerError, "store: %v", err)
-		return
-	} else if ok {
-		writeJSON(w, http.StatusOK, runResponse{ID: fp, Status: StatusCached, History: hist})
-		return
-	}
-
-	s.mu.Lock()
-	if s.closing {
-		s.mu.Unlock()
+	_, hist, status, err := s.ensureCell(spec, fp, false)
+	switch {
+	case errors.Is(err, errClosing):
 		httpError(w, http.StatusServiceUnavailable, "server shutting down")
-		return
-	}
-	// Single-flight: identical in-flight submissions share one record. A
-	// done record only lingers here when persisting it failed (or in the
-	// instant before execute drops it), so it is served as a cache hit.
-	if r, ok := s.runs[fp]; ok {
-		status, _, hist, _ := r.snapshot()
-		switch status {
-		case StatusDone:
-			s.mu.Unlock()
-			writeJSON(w, http.StatusOK, runResponse{ID: fp, Status: StatusCached, History: hist})
-			return
-		case StatusFailed:
-			// A failed attempt does not pin the cell failed forever; fall
-			// through and replace the record with a fresh attempt.
-		default:
-			s.mu.Unlock()
-			writeJSON(w, http.StatusAccepted, runResponse{ID: fp, Status: status})
-			return
-		}
-	}
-	// Re-check the store under the lock: a run can Put its artifact and
-	// drop its record between the unlocked Get above and here, and
-	// re-executing a computed cell would break compute-at-most-once. On a
-	// true miss this is a cheap ENOENT probe.
-	if hist, ok, err := s.cfg.Store.Get(fp); err != nil {
-		s.mu.Unlock()
-		httpError(w, http.StatusInternalServerError, "store: %v", err)
-		return
-	} else if ok {
-		s.mu.Unlock()
-		writeJSON(w, http.StatusOK, runResponse{ID: fp, Status: StatusCached, History: hist})
-		return
-	}
-	// Record and enqueue atomically (the send is non-blocking, so holding
-	// the lock is fine): either both happen or neither does.
-	r := newRun(fp, spec)
-	select {
-	case s.jobs <- r:
-		s.runs[fp] = r
-		s.mu.Unlock()
-		writeJSON(w, http.StatusAccepted, runResponse{ID: fp, Status: StatusQueued})
-	default:
-		s.mu.Unlock()
+	case errors.Is(err, errQueueFull):
 		httpError(w, http.StatusServiceUnavailable, "run queue full (%d pending)", s.cfg.QueueDepth)
+	case err != nil:
+		httpError(w, http.StatusInternalServerError, "%v", err)
+	case hist != nil:
+		writeJSON(w, http.StatusOK, runResponse{ID: fp, Status: StatusCached, History: hist})
+	default:
+		writeJSON(w, http.StatusAccepted, runResponse{ID: fp, Status: status})
 	}
 }
 

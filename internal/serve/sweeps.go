@@ -1,0 +1,448 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"fedwcm/internal/sweep"
+)
+
+// sweepRun is the in-process record of one submitted grid. The sweep id is
+// the spec's fingerprint, so submission is idempotent exactly like runs: a
+// second POST of the same grid lands on the same record, and a grid
+// overlapping an earlier one finds its shared cells in the store or behind
+// the same in-flight run records (single-flight per cell).
+// maxSweepRecords caps how many sweep records the server retains. Records
+// are metadata-only (axes + status per cell), so the cap bounds memory at
+// roughly maxSweepRecords × MaxCells rows; terminal records beyond it are
+// evicted oldest-first (live sweeps are never evicted). An evicted grid
+// resubmits cheaply: every completed cell is a store hit.
+const maxSweepRecords = 128
+
+type sweepRun struct {
+	id    string
+	seq   uint64 // creation order, for oldest-first eviction
+	spec  sweep.Spec
+	cells []sweep.Cell
+
+	mu        sync.Mutex
+	states    []sweepCellState // parallel to cells
+	remaining int
+	subs      map[chan sweepCellEvent]struct{}
+	done      chan struct{} // closed when every cell is terminal
+}
+
+// sweepCellState tracks one cell. While the cell executes, live is the run
+// record to query for queued/running; once terminal, status/err are
+// authoritative. Histories are deliberately NOT retained here — the store
+// holds every persisted artifact, and the result endpoint rehydrates from
+// it — so a sweep record costs O(cells) metadata, not O(cells) histories.
+type sweepCellState struct {
+	status string // "" while scheduling, then cached/queued/running/done/failed
+	err    string
+	live   *run
+}
+
+// sweepCellEvent is one SSE "cell" event: a cell reached a terminal state.
+type sweepCellEvent struct {
+	ID     string     `json:"id"`
+	Axes   sweep.Axes `json:"axes"`
+	Status string     `json:"status"`
+	Error  string     `json:"error,omitempty"`
+}
+
+func newSweepRun(id string, spec sweep.Spec, cells []sweep.Cell) *sweepRun {
+	return &sweepRun{
+		id:        id,
+		spec:      spec,
+		cells:     cells,
+		states:    make([]sweepCellState, len(cells)),
+		remaining: len(cells),
+		subs:      make(map[chan sweepCellEvent]struct{}),
+		done:      make(chan struct{}),
+	}
+}
+
+// finishCell records a cell's terminal state and fans the event out to SSE
+// subscribers; the last cell closes done.
+func (sw *sweepRun) finishCell(i int, status string, errMsg string) {
+	ev := sweepCellEvent{ID: sw.cells[i].ID, Axes: sw.cells[i].Axes, Status: status, Error: errMsg}
+	sw.mu.Lock()
+	sw.states[i] = sweepCellState{status: status, err: errMsg}
+	sw.remaining--
+	last := sw.remaining == 0
+	for ch := range sw.subs {
+		select {
+		case ch <- ev:
+		default: // SSE is best-effort; the status endpoint is authoritative
+		}
+	}
+	sw.mu.Unlock()
+	if last {
+		close(sw.done)
+	}
+}
+
+// markScheduled notes a cell that entered the pool (or was found in
+// flight), so status queries can report queued/running from the live
+// record.
+func (sw *sweepRun) markScheduled(i int, r *run) {
+	sw.mu.Lock()
+	sw.states[i].live = r
+	sw.mu.Unlock()
+}
+
+// terminal reports whether every cell finished, and how.
+func (sw *sweepRun) terminal() (done bool, failed int) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	if sw.remaining > 0 {
+		return false, 0
+	}
+	for _, st := range sw.states {
+		if st.status == sweep.CellFailed {
+			failed++
+		}
+	}
+	return true, failed
+}
+
+func (sw *sweepRun) subscribe() (replay []sweepCellEvent, ch chan sweepCellEvent, terminal bool) {
+	ch = make(chan sweepCellEvent, 256)
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	for i, st := range sw.states {
+		if st.status != "" {
+			replay = append(replay, sweepCellEvent{ID: sw.cells[i].ID, Axes: sw.cells[i].Axes, Status: st.status, Error: st.err})
+		}
+	}
+	terminal = sw.remaining == 0
+	if !terminal {
+		sw.subs[ch] = struct{}{}
+	}
+	return replay, ch, terminal
+}
+
+func (sw *sweepRun) unsubscribe(ch chan sweepCellEvent) {
+	sw.mu.Lock()
+	delete(sw.subs, ch)
+	sw.mu.Unlock()
+}
+
+// feed schedules every cell through the shared pool: store hits finish
+// immediately, misses enqueue (blocking — a grid larger than the queue
+// trickles in as workers free up) and are watched to completion. Runs on
+// its own goroutine, tracked by s.feedWg so Close can stop producers
+// before draining the queue.
+func (s *Server) feed(sw *sweepRun) {
+	defer s.feedWg.Done()
+	for i, c := range sw.cells {
+		r, hist, status, err := s.ensureCell(c.Spec, c.ID, true)
+		switch {
+		case errors.Is(err, errClosing):
+			sw.finishCell(i, StatusFailed, errClosing.Error())
+			continue
+		case err != nil:
+			sw.finishCell(i, StatusFailed, err.Error())
+			continue
+		case hist != nil:
+			sw.finishCell(i, StatusCached, "")
+			continue
+		}
+		_ = status // queued or running; observers query the live record
+		sw.markScheduled(i, r)
+		s.wg.Add(1)
+		go func(i int, r *run) { // watch the run to its terminal state
+			defer s.wg.Done()
+			<-r.done
+			st, _, _, errMsg := r.snapshot()
+			if st == StatusFailed {
+				sw.finishCell(i, StatusFailed, errMsg)
+			} else {
+				sw.finishCell(i, StatusDone, "")
+			}
+		}(i, r)
+	}
+}
+
+// sweepSummary is the JSON shape shared by submit and status responses.
+type sweepSummary struct {
+	ID     string         `json:"id"`
+	Name   string         `json:"name,omitempty"`
+	Status string         `json:"status"` // running | done | failed
+	Total  int            `json:"total"`
+	Counts map[string]int `json:"counts"`
+	Cells  []sweepCellRow `json:"cells,omitempty"`
+}
+
+type sweepCellRow struct {
+	ID     string     `json:"id"`
+	Axes   sweep.Axes `json:"axes"`
+	Status string     `json:"status"`
+	Error  string     `json:"error,omitempty"`
+}
+
+// summary builds the status view; withCells includes the per-cell listing.
+// Counts and the overall status come from one snapshot under sw.mu, so a
+// "done" response can never list a cell as still running. (Taking sw.mu
+// before a live record's r.mu matches the lock order everywhere else.)
+func (sw *sweepRun) summary(withCells bool) sweepSummary {
+	out := sweepSummary{
+		ID:     sw.id,
+		Name:   sw.spec.Name,
+		Total:  len(sw.cells),
+		Counts: make(map[string]int),
+	}
+	failed := 0
+	sw.mu.Lock()
+	remaining := sw.remaining
+	for i := range sw.cells {
+		st := sw.states[i]
+		status, errMsg := st.status, st.err
+		if status == "" {
+			status = StatusQueued // not yet scheduled by the feeder
+			if st.live != nil {
+				status, _, _, _ = st.live.snapshot()
+			}
+		}
+		if status == StatusFailed {
+			failed++
+		}
+		out.Counts[status]++
+		if withCells {
+			out.Cells = append(out.Cells, sweepCellRow{
+				ID: sw.cells[i].ID, Axes: sw.cells[i].Axes, Status: status, Error: errMsg,
+			})
+		}
+	}
+	sw.mu.Unlock()
+	switch {
+	case remaining > 0:
+		out.Status = "running"
+	case failed > 0:
+		out.Status = StatusFailed
+	default:
+		out.Status = StatusDone
+	}
+	return out
+}
+
+// sweepResult assembles the terminal cells into a sweep.Result,
+// rehydrating histories from the store (the record keeps none — execute
+// persists before a run reports done, so the store is the source of
+// truth). A computed cell whose persist failed rehydrates as a miss and is
+// excluded from aggregation; its status still counts.
+func (s *Server) sweepResult(sw *sweepRun) *sweep.Result {
+	sw.mu.Lock()
+	cells := make([]sweep.CellResult, len(sw.cells))
+	for i, st := range sw.states {
+		status := st.status
+		if status == StatusDone {
+			status = sweep.CellComputed
+		}
+		cells[i] = sweep.CellResult{Cell: sw.cells[i], Status: status, Err: st.err}
+	}
+	sw.mu.Unlock()
+	for i := range cells {
+		if cells[i].Status == sweep.CellFailed {
+			continue
+		}
+		if hist, ok, err := s.cfg.Store.Get(cells[i].ID); err == nil && ok {
+			cells[i].Hist = hist
+		} else if err != nil {
+			s.cfg.Logf("serve: rehydrating sweep cell %s: %v", cells[i].ID, err)
+		}
+	}
+	return sweep.NewResult(sw.spec, cells)
+}
+
+func (s *Server) handleSweepSubmit(w http.ResponseWriter, req *http.Request) {
+	dec := json.NewDecoder(req.Body)
+	dec.DisallowUnknownFields() // a typo'd axis means a different grid than intended
+	var spec sweep.Spec
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding sweep: %v", err)
+		return
+	}
+	cells, err := spec.ExpandValidated()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "invalid sweep: %v", err)
+		return
+	}
+	id, err := spec.Fingerprint()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	}
+	if sw, ok := s.sweeps[id]; ok {
+		// Idempotent resubmission: a live or cleanly finished record is
+		// authoritative for this grid. A terminal record with failed cells
+		// is replaced by a fresh attempt (mirroring failed-run retry) —
+		// cells that did succeed are store hits on the retry.
+		done, failed := sw.terminal()
+		if !done || failed == 0 {
+			s.mu.Unlock()
+			code := http.StatusAccepted
+			if done {
+				code = http.StatusOK
+			}
+			writeJSON(w, code, sw.summary(false))
+			return
+		}
+	}
+	sw := newSweepRun(id, spec, cells)
+	s.sweepSeq++
+	sw.seq = s.sweepSeq
+	s.sweeps[id] = sw
+	s.evictSweepsLocked()
+	s.feedWg.Add(1) // under s.mu alongside the closing check, so Close
+	s.mu.Unlock()   // cannot start waiting between them
+	go s.feed(sw)
+	writeJSON(w, http.StatusAccepted, sw.summary(false))
+}
+
+// evictSweepsLocked drops the oldest terminal sweep records until the map
+// is back under maxSweepRecords. Caller holds s.mu (the s.mu → sw.mu lock
+// order matches the resubmission path).
+func (s *Server) evictSweepsLocked() {
+	for len(s.sweeps) > maxSweepRecords {
+		var oldest *sweepRun
+		for _, sw := range s.sweeps {
+			if done, _ := sw.terminal(); !done {
+				continue
+			}
+			if oldest == nil || sw.seq < oldest.seq {
+				oldest = sw
+			}
+		}
+		if oldest == nil {
+			return // everything over the cap is still live; never evict those
+		}
+		delete(s.sweeps, oldest.id)
+	}
+}
+
+// lookupSweep resolves a sweep id to its in-process record.
+func (s *Server) lookupSweep(id string) *sweepRun {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sweeps[id]
+}
+
+func (s *Server) handleSweepStatus(w http.ResponseWriter, req *http.Request) {
+	sw := s.lookupSweep(req.PathValue("id"))
+	if sw == nil {
+		httpError(w, http.StatusNotFound, "unknown sweep %s", req.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, sw.summary(true))
+}
+
+// sweepResultResponse is the aggregated view of a finished sweep: the
+// seed-collapsed groups plus a rendered text table for human eyes.
+type sweepResultResponse struct {
+	ID       string         `json:"id"`
+	Status   string         `json:"status"`
+	Total    int            `json:"total"`
+	Cached   int            `json:"cached"`
+	Computed int            `json:"computed"`
+	Failed   int            `json:"failed"`
+	Groups   []*sweep.Group `json:"groups"`
+	Table    string         `json:"table"`
+}
+
+func (s *Server) handleSweepResult(w http.ResponseWriter, req *http.Request) {
+	sw := s.lookupSweep(req.PathValue("id"))
+	if sw == nil {
+		httpError(w, http.StatusNotFound, "unknown sweep %s", req.PathValue("id"))
+		return
+	}
+	if done, _ := sw.terminal(); !done {
+		writeJSON(w, http.StatusAccepted, sw.summary(false))
+		return
+	}
+	res := s.sweepResult(sw)
+	title := sw.spec.Name
+	if title == "" {
+		title = "sweep " + sw.id[:12]
+	}
+	summary := sw.summary(false)
+	writeJSON(w, http.StatusOK, sweepResultResponse{
+		ID:       sw.id,
+		Status:   summary.Status,
+		Total:    len(sw.cells),
+		Cached:   res.Cached,
+		Computed: res.Computed,
+		Failed:   res.Failed,
+		Groups:   res.Groups,
+		Table:    res.AggTable(title).String(),
+	})
+}
+
+// handleSweepEvents streams per-cell completion as Server-Sent Events: one
+// "cell" event per terminal cell (replayed from the start for late
+// joiners), then a terminal "done" event with the final counts. Round-level
+// progress for an individual cell remains available on
+// /v1/runs/{cell-id}/events.
+func (s *Server) handleSweepEvents(w http.ResponseWriter, req *http.Request) {
+	sw := s.lookupSweep(req.PathValue("id"))
+	if sw == nil {
+		httpError(w, http.StatusNotFound, "unknown sweep %s", req.PathValue("id"))
+		return
+	}
+	flusher, canFlush := w.(http.Flusher)
+	if !canFlush {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	emit := func(event string, v any) {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return
+		}
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b)
+		flusher.Flush()
+	}
+
+	replay, ch, terminal := sw.subscribe()
+	defer sw.unsubscribe(ch)
+	for _, ev := range replay {
+		emit("cell", ev)
+	}
+	for !terminal {
+		select {
+		case ev := <-ch:
+			emit("cell", ev)
+		case <-sw.done:
+			for {
+				select {
+				case ev := <-ch:
+					emit("cell", ev)
+				default:
+					terminal = true
+				}
+				if terminal {
+					break
+				}
+			}
+		case <-req.Context().Done():
+			return
+		}
+	}
+	emit("done", sw.summary(false))
+}

@@ -1,6 +1,8 @@
 package store
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"math"
 	"os"
 	"path/filepath"
@@ -8,7 +10,6 @@ import (
 	"strings"
 	"testing"
 
-	"fedwcm/internal/experiments"
 	"fedwcm/internal/fl"
 )
 
@@ -22,34 +23,13 @@ func testHistory(seed float64) *fl.History {
 	}
 }
 
-func fpOf(t *testing.T, spec experiments.RunSpec) string {
-	t.Helper()
-	fp, err := spec.Fingerprint()
-	if err != nil {
-		t.Fatal(err)
-	}
-	return fp
-}
-
-func TestFingerprintCanonicalisesDefaults(t *testing.T) {
-	empty := fpOf(t, experiments.RunSpec{})
-	spelled := fpOf(t, experiments.RunSpec{}.Defaults())
-	if empty != spelled {
-		t.Fatal("zero spec and spelled-out defaults must share a fingerprint")
-	}
-	other := fpOf(t, experiments.RunSpec{Method: "fedavg"})
-	if other == empty {
-		t.Fatal("different specs must not collide")
-	}
-	// Workers is a scheduling knob, not part of the result's identity.
-	w1 := fpOf(t, experiments.RunSpec{Cfg: fl.Config{Workers: 1}})
-	w4 := fpOf(t, experiments.RunSpec{Cfg: fl.Config{Workers: 4}})
-	if w1 != w4 {
-		t.Fatal("Workers must not affect the fingerprint")
-	}
-	if _, err := (experiments.RunSpec{Mod: func(*fl.Env) {}}).Fingerprint(); err == nil {
-		t.Fatal("specs with Mod hooks must refuse to fingerprint")
-	}
+// fpFor mints a valid content address from an arbitrary label. The store
+// only cares that ids are 64-char lowercase hex; canonicalisation semantics
+// are the sweep package's contract and are tested there
+// (internal/sweep/fingerprint_test.go).
+func fpFor(label string) string {
+	sum := sha256.Sum256([]byte(label))
+	return hex.EncodeToString(sum[:])
 }
 
 func TestPutGetRoundTrip(t *testing.T) {
@@ -57,7 +37,7 @@ func TestPutGetRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fp := fpOf(t, experiments.RunSpec{})
+	fp := fpFor("default")
 	if _, ok, err := s.Get(fp); err != nil || ok {
 		t.Fatalf("empty store Get: ok=%v err=%v", ok, err)
 	}
@@ -80,7 +60,7 @@ func TestPutGetRoundTrip(t *testing.T) {
 
 func TestGetSurvivesReopen(t *testing.T) {
 	dir := t.TempDir()
-	fp := fpOf(t, experiments.RunSpec{})
+	fp := fpFor("default")
 	want := testHistory(2)
 	s1, _ := Open(dir, 0)
 	if err := s1.Put(fp, want); err != nil {
@@ -111,9 +91,9 @@ func TestLRUEviction(t *testing.T) {
 	dir := t.TempDir()
 	s, _ := Open(dir, 2)
 	fps := []string{
-		fpOf(t, experiments.RunSpec{}),
-		fpOf(t, experiments.RunSpec{Method: "fedavg"}),
-		fpOf(t, experiments.RunSpec{Method: "fedcm"}),
+		fpFor("default"),
+		fpFor("fedavg"),
+		fpFor("fedcm"),
 	}
 	for i, fp := range fps {
 		if err := s.Put(fp, testHistory(float64(i))); err != nil {
@@ -148,7 +128,7 @@ func TestInvalidFingerprintRejected(t *testing.T) {
 
 func TestPutRejectsEmptyHistory(t *testing.T) {
 	s, _ := Open(t.TempDir(), 0)
-	fp := fpOf(t, experiments.RunSpec{})
+	fp := fpFor("default")
 	if err := s.Put(fp, nil); err == nil {
 		t.Fatal("Put accepted nil history")
 	}
@@ -166,7 +146,7 @@ func TestKeysListsArtifacts(t *testing.T) {
 	s, _ := Open(t.TempDir(), 0)
 	want := map[string]bool{}
 	for _, m := range []string{"fedavg", "fedcm", "fedwcm"} {
-		fp := fpOf(t, experiments.RunSpec{Method: m})
+		fp := fpFor(m)
 		want[fp] = true
 		if err := s.Put(fp, testHistory(0)); err != nil {
 			t.Fatal(err)

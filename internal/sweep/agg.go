@@ -1,0 +1,279 @@
+package sweep
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fedwcm/internal/fl"
+)
+
+// Cell terminal statuses as reported in Results and over the sweep API.
+const (
+	CellCached   = "cached"   // served from the store, no recompute
+	CellComputed = "computed" // executed during this sweep
+	CellFailed   = "failed"
+)
+
+// CellResult is one expanded cell's outcome.
+type CellResult struct {
+	Cell
+	Status string      `json:"status"`
+	Err    string      `json:"error,omitempty"`
+	Hist   *fl.History `json:"-"`
+}
+
+// Group aggregates the cells that differ only in seed — the unit the
+// paper's tables report. Scalars aggregate TailMeanAcc(3) (the same "mean
+// test accuracy over the tail evaluations" metric the single-seed tables
+// used); curves average pointwise across seeds.
+type Group struct {
+	Axes  Axes          `json:"axes"` // Seed zeroed
+	Seeds []uint64      `json:"seeds"`
+	N     int           `json:"n"`
+	Mean  float64       `json:"mean"`
+	Std   float64       `json:"std"`
+	Hists []*fl.History `json:"-"`
+}
+
+// MeanStd renders the group's scalar: "0.5123" for a single seed,
+// "0.5123±0.0045" once there is a spread to report.
+func (g *Group) MeanStd() string {
+	if g.N <= 1 {
+		return F(g.Mean)
+	}
+	return fmt.Sprintf("%s±%s", F(g.Mean), F(g.Std))
+}
+
+// Curve returns the evaluation rounds and the across-seed mean accuracy at
+// each. Rounds come from the first seed's history; seeds of one sweep share
+// the evaluation cadence by construction.
+func (g *Group) Curve() (rounds []int, acc []float64) {
+	if len(g.Hists) == 0 {
+		return nil, nil
+	}
+	rounds, _ = g.Hists[0].AccSeries()
+	acc = make([]float64, len(rounds))
+	for i := range rounds {
+		n := 0
+		for _, h := range g.Hists {
+			if i < len(h.Stats) {
+				acc[i] += h.Stats[i].TestAcc
+				n++
+			}
+		}
+		if n > 0 {
+			acc[i] /= float64(n)
+		}
+	}
+	return rounds, acc
+}
+
+// RoundsToAcc returns the first evaluated round whose across-seed mean
+// accuracy reaches the threshold, or -1 if never reached.
+func (g *Group) RoundsToAcc(threshold float64) int {
+	rounds, acc := g.Curve()
+	for i, a := range acc {
+		if a >= threshold {
+			return rounds[i]
+		}
+	}
+	return -1
+}
+
+// FinalPerClass returns the across-seed mean of the final evaluation's
+// per-class accuracies (nil if histories carry none).
+func (g *Group) FinalPerClass() []float64 {
+	var out []float64
+	n := 0
+	for _, h := range g.Hists {
+		if len(h.Stats) == 0 {
+			continue
+		}
+		pc := h.Stats[len(h.Stats)-1].PerClass
+		if len(pc) == 0 {
+			continue
+		}
+		if out == nil {
+			out = make([]float64, len(pc))
+		}
+		for c := range out {
+			if c < len(pc) {
+				out[c] += pc[c]
+			}
+		}
+		n++
+	}
+	for c := range out {
+		out[c] /= float64(n)
+	}
+	return out
+}
+
+// Result is a completed (or partially failed) sweep: per-cell outcomes plus
+// the seed-aggregated groups.
+type Result struct {
+	Spec   Spec
+	Cells  []CellResult
+	Groups []*Group
+
+	Cached, Computed, Failed int
+}
+
+// NewResult aggregates terminal cell outcomes into groups. Failed cells are
+// counted but excluded from aggregation, so a partial result still renders
+// what it has.
+func NewResult(sp Spec, cells []CellResult) *Result {
+	r := &Result{Spec: sp.Defaults(), Cells: cells}
+	groups := make(map[Axes]*Group)
+	var order []Axes
+	for _, c := range cells {
+		switch c.Status {
+		case CellCached:
+			r.Cached++
+		case CellComputed:
+			r.Computed++
+		case CellFailed:
+			r.Failed++
+			continue
+		}
+		if c.Hist == nil {
+			continue
+		}
+		key := c.Axes
+		key.Seed = 0
+		g, ok := groups[key]
+		if !ok {
+			g = &Group{Axes: key}
+			groups[key] = g
+			order = append(order, key)
+		}
+		g.Seeds = append(g.Seeds, c.Axes.Seed)
+		g.Hists = append(g.Hists, c.Hist)
+	}
+	for _, key := range order {
+		g := groups[key]
+		g.N = len(g.Hists)
+		vals := make([]float64, g.N)
+		for i, h := range g.Hists {
+			vals[i] = h.TailMeanAcc(3)
+			g.Mean += vals[i]
+		}
+		g.Mean /= float64(g.N)
+		if g.N > 1 {
+			ss := 0.0
+			for _, v := range vals {
+				ss += (v - g.Mean) * (v - g.Mean)
+			}
+			g.Std = math.Sqrt(ss / float64(g.N-1)) // sample std across seeds
+		}
+		r.Groups = append(r.Groups, g)
+	}
+	return r
+}
+
+// Find returns the first group matching the non-zero fields of the probe
+// (zero fields are wildcards; Seed is ignored — groups are seedless), or
+// nil. Renderers use it to place groups into table cells by the axes they
+// swept.
+func (r *Result) Find(probe Axes) *Group {
+	for _, g := range r.Groups {
+		if probe.Dataset != "" && g.Axes.Dataset != probe.Dataset {
+			continue
+		}
+		if probe.Method != "" && g.Axes.Method != probe.Method {
+			continue
+		}
+		if probe.Beta != 0 && g.Axes.Beta != probe.Beta {
+			continue
+		}
+		if probe.IF != 0 && g.Axes.IF != probe.IF {
+			continue
+		}
+		if probe.Clients != 0 && g.Axes.Clients != probe.Clients {
+			continue
+		}
+		if probe.SampleClients != 0 && g.Axes.SampleClients != probe.SampleClients {
+			continue
+		}
+		if probe.LocalEpochs != 0 && g.Axes.LocalEpochs != probe.LocalEpochs {
+			continue
+		}
+		return g
+	}
+	return nil
+}
+
+// CellValue renders the matching group's mean±std scalar, or "-" when no
+// group matches (e.g. the cell failed and was excluded from aggregation).
+func (r *Result) CellValue(probe Axes) string {
+	g := r.Find(probe)
+	if g == nil {
+		return "-"
+	}
+	return g.MeanStd()
+}
+
+// CurveOf returns the matching group's mean convergence curve, or nils when
+// no group matches.
+func (r *Result) CurveOf(probe Axes) ([]int, []float64) {
+	g := r.Find(probe)
+	if g == nil {
+		return nil, nil
+	}
+	return g.Curve()
+}
+
+// AggTable renders the default aggregate view: one row per group, one
+// column per axis that actually varies across the sweep, then n / mean /
+// std. The HTTP sweep-result endpoint embeds this rendering.
+func (r *Result) AggTable(title string) *Table {
+	type column struct {
+		name string
+		get  func(Axes) string
+	}
+	all := []column{
+		{"dataset", func(a Axes) string { return a.Dataset }},
+		{"method", func(a Axes) string { return a.Method }},
+		{"beta", func(a Axes) string { return fmt.Sprintf("%g", a.Beta) }},
+		{"IF", func(a Axes) string { return fmt.Sprintf("%g", a.IF) }},
+		{"clients", func(a Axes) string { return fmt.Sprintf("%d", a.Clients) }},
+		{"sample", func(a Axes) string { return fmt.Sprintf("%d", a.SampleClients) }},
+		{"epochs", func(a Axes) string { return fmt.Sprintf("%d", a.LocalEpochs) }},
+	}
+	var cols []column
+	for _, c := range all {
+		distinct := map[string]struct{}{}
+		for _, g := range r.Groups {
+			distinct[c.get(g.Axes)] = struct{}{}
+		}
+		if len(distinct) > 1 || c.name == "method" {
+			cols = append(cols, c)
+		}
+	}
+	headers := make([]string, 0, len(cols)+3)
+	for _, c := range cols {
+		headers = append(headers, c.name)
+	}
+	headers = append(headers, "n", "mean", "std")
+	t := &Table{Title: title, Headers: headers}
+	groups := append([]*Group(nil), r.Groups...)
+	sort.SliceStable(groups, func(i, j int) bool { // stable row order for diffs
+		for _, c := range cols {
+			a, b := c.get(groups[i].Axes), c.get(groups[j].Axes)
+			if a != b {
+				return a < b
+			}
+		}
+		return false
+	})
+	for _, g := range groups {
+		row := make([]string, 0, len(cols)+3)
+		for _, c := range cols {
+			row = append(row, c.get(g.Axes))
+		}
+		row = append(row, fmt.Sprintf("%d", g.N), F(g.Mean), F(g.Std))
+		t.AddRow(row...)
+	}
+	return t
+}

@@ -1,0 +1,152 @@
+package sweep
+
+import (
+	"fmt"
+	"sync"
+
+	"fedwcm/internal/fl"
+	"fedwcm/internal/store"
+)
+
+// Runner executes one cell, reporting per-round progress. The default runs
+// the spec for real; tests substitute counting or canned runners. It is the
+// same shape internal/serve.Runner has, so one implementation serves both.
+type Runner func(spec RunSpec, onRound func(fl.RoundStat)) (*fl.History, error)
+
+// Engine executes sweeps locally: cells run on a bounded worker pool,
+// short-circuit on store hits, coalesce with identical in-flight cells
+// (single-flight), and persist results so the next overlapping sweep costs
+// only its missing fingerprints. It is the in-process counterpart of the
+// HTTP run service — cmd/fedbench drives experiments through it.
+type Engine struct {
+	Store   *store.Store // optional: nil runs without caching
+	Workers int          // concurrent cells; 0 = 3
+	Runner  Runner       // nil = run specs for real
+
+	mu       sync.Mutex
+	inflight map[string]*flight
+}
+
+// flight is one in-progress cell execution shared by every sweep that
+// needs its fingerprint.
+type flight struct {
+	done chan struct{}
+	hist *fl.History
+	err  error
+}
+
+// CellUpdate is one progress notification from RunSweep: the cell has
+// reached a terminal status (CellCached / CellComputed / CellFailed).
+type CellUpdate struct {
+	Index  int // position in the expanded cell order
+	Total  int
+	Cell   Cell
+	Status string
+	Err    error
+}
+
+// RunSweep expands the grid and executes every cell, invoking onCell (may
+// be nil) as each reaches a terminal state. It always returns the Result —
+// aggregated over whatever succeeded — and a non-nil error if any cell
+// failed.
+func (e *Engine) RunSweep(sp Spec, onCell func(CellUpdate)) (*Result, error) {
+	cells, err := sp.Expand()
+	if err != nil {
+		return nil, err
+	}
+	workers := e.Workers
+	if workers <= 0 {
+		workers = 3
+	}
+	if workers > len(cells) {
+		workers = max(1, len(cells))
+	}
+	results := make([]CellResult, len(cells))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = e.runCell(cells[i])
+				if onCell != nil {
+					var cerr error
+					if results[i].Err != "" {
+						cerr = fmt.Errorf("%s", results[i].Err)
+					}
+					onCell(CellUpdate{Index: i, Total: len(cells), Cell: cells[i], Status: results[i].Status, Err: cerr})
+				}
+			}
+		}()
+	}
+	for i := range cells {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	res := NewResult(sp, results)
+	if res.Failed > 0 {
+		for _, c := range results {
+			if c.Status == CellFailed {
+				return res, fmt.Errorf("sweep: %d/%d cells failed; first: cell %s: %s",
+					res.Failed, len(cells), describeAxes(c.Axes), c.Err)
+			}
+		}
+	}
+	return res, nil
+}
+
+// runCell resolves one cell: store hit, joined in-flight execution, or a
+// fresh run (persisted on success).
+func (e *Engine) runCell(c Cell) CellResult {
+	out := CellResult{Cell: c}
+	if e.Store != nil {
+		if hist, ok, err := e.Store.Get(c.ID); err != nil {
+			out.Status, out.Err = CellFailed, err.Error()
+			return out
+		} else if ok {
+			out.Status, out.Hist = CellCached, hist
+			return out
+		}
+	}
+	e.mu.Lock()
+	if e.inflight == nil {
+		e.inflight = make(map[string]*flight)
+	}
+	if f, ok := e.inflight[c.ID]; ok {
+		e.mu.Unlock()
+		<-f.done // another sweep is computing this exact cell; share it
+		if f.err != nil {
+			out.Status, out.Err = CellFailed, f.err.Error()
+		} else {
+			out.Status, out.Hist = CellComputed, f.hist
+		}
+		return out
+	}
+	f := &flight{done: make(chan struct{})}
+	e.inflight[c.ID] = f
+	e.mu.Unlock()
+
+	run := e.Runner
+	if run == nil {
+		run = func(spec RunSpec, onRound func(fl.RoundStat)) (*fl.History, error) {
+			return spec.RunWithProgress(onRound)
+		}
+	}
+	f.hist, f.err = run(c.Spec, nil)
+	if f.err == nil && e.Store != nil {
+		// The run itself succeeded; a failed Put only costs re-serving later.
+		_ = e.Store.Put(c.ID, f.hist)
+	}
+	close(f.done)
+	e.mu.Lock()
+	delete(e.inflight, c.ID)
+	e.mu.Unlock()
+	if f.err != nil {
+		out.Status, out.Err = CellFailed, f.err.Error()
+	} else {
+		out.Status, out.Hist = CellComputed, f.hist
+	}
+	return out
+}

@@ -1,4 +1,4 @@
-package experiments
+package sweep
 
 import (
 	"crypto/sha256"
@@ -9,7 +9,7 @@ import (
 
 // ErrNotAddressable is returned by Fingerprint for specs whose result is not
 // a pure function of their serializable fields.
-var ErrNotAddressable = errors.New("experiments: spec with Mod hook is not content-addressable")
+var ErrNotAddressable = errors.New("sweep: spec with Mod hook is not content-addressable")
 
 // CanonicalJSON returns the canonical wire encoding of the spec: defaults
 // applied, fields in declaration order (encoding/json emits struct fields
@@ -33,6 +33,13 @@ func (s RunSpec) Fingerprint() (string, error) {
 	if err != nil {
 		return "", err
 	}
+	return fingerprintJSON(b), nil
+}
+
+// fingerprintJSON hashes an already-canonical JSON encoding. Shared by
+// RunSpec.Fingerprint and Spec.Fingerprint so both id families use the same
+// digest scheme.
+func fingerprintJSON(b []byte) string {
 	sum := sha256.Sum256(b)
-	return hex.EncodeToString(sum[:]), nil
+	return hex.EncodeToString(sum[:])
 }

@@ -1,0 +1,145 @@
+package sweep
+
+import (
+	"encoding/json"
+	"testing"
+
+	"fedwcm/internal/fl"
+)
+
+func fpOf(t *testing.T, s RunSpec) string {
+	t.Helper()
+	fp, err := s.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fp
+}
+
+// TestFingerprintFieldOrderIndependence: the canonical encoding re-marshals
+// from the struct, so the field order of incoming JSON cannot change the
+// content address.
+func TestFingerprintFieldOrderIndependence(t *testing.T) {
+	docs := []string{
+		`{"dataset":"cifar10-syn","method":"fedavg","beta":0.5,"cfg":{"rounds":20,"seed":3}}`,
+		`{"cfg":{"seed":3,"rounds":20},"beta":0.5,"method":"fedavg","dataset":"cifar10-syn"}`,
+	}
+	var fps []string
+	for _, doc := range docs {
+		var s RunSpec
+		if err := json.Unmarshal([]byte(doc), &s); err != nil {
+			t.Fatal(err)
+		}
+		fps = append(fps, fpOf(t, s))
+	}
+	if fps[0] != fps[1] {
+		t.Fatalf("field order changed the fingerprint: %s vs %s", fps[0], fps[1])
+	}
+}
+
+// TestFingerprintCanonicalisesDefaults: a zero field and its spelled-out
+// default are the same cell.
+func TestFingerprintCanonicalisesDefaults(t *testing.T) {
+	empty := fpOf(t, RunSpec{})
+	spelled := fpOf(t, RunSpec{}.Defaults())
+	if empty != spelled {
+		t.Fatal("zero spec and spelled-out defaults must share a fingerprint")
+	}
+	// Partially-defaulted: only one field spelled out, still the default.
+	partial := fpOf(t, RunSpec{Method: "fedwcm"})
+	if partial != empty {
+		t.Fatal("spelled-out default method must not change the fingerprint")
+	}
+	other := fpOf(t, RunSpec{Method: "fedavg"})
+	if other == empty {
+		t.Fatal("different specs must not collide")
+	}
+}
+
+// TestFingerprintExcludesWorkers: Workers changes scheduling, never the
+// result (fl.Run is deterministic for any worker count), so it must not
+// split the cache.
+func TestFingerprintExcludesWorkers(t *testing.T) {
+	w1 := fpOf(t, RunSpec{Cfg: fl.Config{Workers: 1}})
+	w4 := fpOf(t, RunSpec{Cfg: fl.Config{Workers: 4}})
+	if w1 != w4 {
+		t.Fatal("Workers must not affect the fingerprint")
+	}
+	w0 := fpOf(t, RunSpec{})
+	if w1 != w0 {
+		t.Fatal("explicit and defaulted Workers must agree")
+	}
+}
+
+// TestFingerprintRefusesModHooks: a Mod hook is opaque, so equal JSON would
+// not imply equal results; such specs must have no content address.
+func TestFingerprintRefusesModHooks(t *testing.T) {
+	s := RunSpec{Mod: func(*fl.Env) {}}
+	if _, err := s.Fingerprint(); err == nil {
+		t.Fatal("specs with Mod hooks must refuse to fingerprint")
+	}
+	if _, err := s.CanonicalJSON(); err == nil {
+		t.Fatal("specs with Mod hooks must refuse to canonicalise")
+	}
+}
+
+// TestOverlappingSweepsShareCellFingerprints: the acceptance property that
+// makes O(miss) recompute work — two grids that intersect expand the shared
+// coordinates to identical fingerprints.
+func TestOverlappingSweepsShareCellFingerprints(t *testing.T) {
+	a := Spec{Methods: []string{"fedavg", "fedwcm"}, IFs: []float64{1, 0.1}, Effort: 0.1}
+	b := Spec{Methods: []string{"fedwcm", "fedcm"}, IFs: []float64{0.1, 0.05}, Effort: 0.1}
+	cellsA, err := a.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cellsB, err := b.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpsA := map[string]Axes{}
+	for _, c := range cellsA {
+		fpsA[c.ID] = c.Axes
+	}
+	shared := 0
+	for _, c := range cellsB {
+		if ax, ok := fpsA[c.ID]; ok {
+			shared++
+			if ax != c.Axes {
+				t.Fatalf("shared fingerprint %s with different axes: %+v vs %+v", c.ID, ax, c.Axes)
+			}
+			if ax.Method != "fedwcm" || ax.IF != 0.1 {
+				t.Fatalf("unexpected shared cell %+v", ax)
+			}
+		}
+	}
+	// Exactly the (fedwcm, IF=0.1) coordinate is common to both grids.
+	if shared != 1 {
+		t.Fatalf("expected exactly 1 shared cell, got %d", shared)
+	}
+}
+
+// TestSweepFingerprintCanonicalises: sweep ids ignore labelling and
+// seed-range spelling, but track the grid itself.
+func TestSweepFingerprintCanonicalises(t *testing.T) {
+	spellings := []Spec{
+		{Name: "pretty name", Seeds: []uint64{1, 2, 3}},
+		{SeedCount: 3},
+		{SeedBase: 1, SeedCount: 3},
+	}
+	var fps []string
+	for _, sp := range spellings {
+		fp, err := sp.Fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fps = append(fps, fp)
+	}
+	if fps[0] != fps[1] || fps[1] != fps[2] {
+		t.Fatalf("equivalent grids fingerprint differently: %v", fps)
+	}
+	other, _ := Spec{SeedCount: 4}.Fingerprint()
+	if other == fps[0] {
+		t.Fatal("different grids must not collide")
+	}
+}

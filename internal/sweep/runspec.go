@@ -1,0 +1,204 @@
+package sweep
+
+import (
+	"fmt"
+
+	"fedwcm/internal/data"
+	"fedwcm/internal/fl"
+	"fedwcm/internal/fl/methods"
+	"fedwcm/internal/nn"
+	"fedwcm/internal/partition"
+	"fedwcm/internal/xrand"
+)
+
+// RunSpec pins down a single experiment cell: dataset, method, distribution
+// parameters and engine configuration. The JSON form is the wire/storage
+// encoding used by internal/store and internal/serve; Mod is a process-local
+// hook and is deliberately excluded (specs carrying a Mod are not
+// content-addressable — see Fingerprint).
+type RunSpec struct {
+	Dataset   string    `json:"dataset"`
+	Method    string    `json:"method"`
+	Beta      float64   `json:"beta"`      // Dirichlet concentration (label skew; smaller = worse)
+	IF        float64   `json:"if"`        // imbalance factor (tail/head; smaller = worse)
+	Partition string    `json:"partition"` // "equal" (paper's) or "fedgrab" (quantity-skewed)
+	Clients   int       `json:"clients"`
+	Model     string    `json:"model"` // "auto", "linear", "mlp", "resnet"
+	Scale     float64   `json:"scale"` // dataset scale factor (1 = registry default)
+	Cfg       fl.Config `json:"cfg"`
+	// Mod, when set, adjusts the environment before the run (attach probes,
+	// override the loss, ...).
+	Mod func(env *fl.Env) `json:"-"`
+}
+
+// Defaults fills unset fields with the evaluation defaults used throughout
+// this reproduction (reduced scale relative to the paper; see DESIGN.md).
+func (s RunSpec) Defaults() RunSpec {
+	if s.Dataset == "" {
+		s.Dataset = "cifar10-syn"
+	}
+	if s.Method == "" {
+		s.Method = "fedwcm"
+	}
+	if s.Beta == 0 {
+		s.Beta = 0.1
+	}
+	if s.IF == 0 {
+		s.IF = 0.1
+	}
+	if s.Partition == "" {
+		s.Partition = "equal"
+	}
+	if s.Clients == 0 {
+		s.Clients = 20
+	}
+	if s.Model == "" {
+		s.Model = "auto"
+	}
+	if s.Scale == 0 {
+		s.Scale = 1
+	}
+	s.Cfg = s.Cfg.Defaults()
+	return s
+}
+
+// Validate resolves the spec's symbolic fields against the dataset, method
+// and model registries and sanity-checks the numeric ones, without building
+// an environment. Serving layers call it to reject bad specs at submission
+// time instead of failing the queued run.
+func (s RunSpec) Validate() error {
+	s = s.Defaults()
+	spec, err := data.Lookup(s.Dataset)
+	if err != nil {
+		return err
+	}
+	if _, err := methods.New(s.Method); err != nil {
+		return err
+	}
+	if _, err := partitionFor(s.Partition); err != nil {
+		return err
+	}
+	if _, err := ModelFor(spec, s.Model); err != nil {
+		return err
+	}
+	if s.Beta <= 0 || s.IF <= 0 || s.IF > 1 || s.Clients <= 0 || s.Scale <= 0 {
+		return fmt.Errorf("sweep: out-of-range spec: beta=%v if=%v clients=%d scale=%v",
+			s.Beta, s.IF, s.Clients, s.Scale)
+	}
+	c := s.Cfg
+	if c.Rounds <= 0 || c.SampleClients <= 0 || c.LocalEpochs <= 0 || c.BatchSize <= 0 || c.EvalEvery <= 0 {
+		return fmt.Errorf("sweep: out-of-range config: %+v", c)
+	}
+	if c.EtaL <= 0 || c.EtaG <= 0 || c.DropProb < 0 || c.DropProb >= 1 {
+		return fmt.Errorf("sweep: out-of-range config: eta_l=%v eta_g=%v drop_prob=%v",
+			c.EtaL, c.EtaG, c.DropProb)
+	}
+	// Upper bounds protect a serving deployment from a single submission
+	// occupying a worker indefinitely (there is no cancellation path). They
+	// sit far above anything the evaluation uses.
+	if s.Clients > 100_000 || s.Scale > 100 ||
+		c.Rounds > 1_000_000 || c.LocalEpochs > 10_000 || c.BatchSize > 1_000_000 ||
+		c.EtaL > 1000 || c.EtaG > 1000 {
+		return fmt.Errorf("sweep: spec exceeds serving limits: clients=%d scale=%v rounds=%d epochs=%d batch=%d eta_l=%v eta_g=%v",
+			s.Clients, s.Scale, c.Rounds, c.LocalEpochs, c.BatchSize, c.EtaL, c.EtaG)
+	}
+	return nil
+}
+
+// partitionFor maps a partition name to its constructor; the single place
+// the known names live, shared by Validate and BuildEnv.
+func partitionFor(name string) (func(prng *xrand.RNG, ds *data.Dataset, clients int, beta float64) *partition.Partition, error) {
+	switch name {
+	case "equal":
+		return partition.EqualQuantity, nil
+	case "fedgrab":
+		return partition.FedGraBStyle, nil
+	default:
+		return nil, fmt.Errorf("sweep: unknown partition %q", name)
+	}
+}
+
+// BuildEnv constructs the federated environment for this spec (without
+// running anything).
+func (s RunSpec) BuildEnv() (*fl.Env, error) {
+	s = s.Defaults()
+	spec, err := data.Lookup(s.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	makePart, err := partitionFor(s.Partition)
+	if err != nil {
+		return nil, err
+	}
+	train, test := spec.MakeScaled(s.Cfg.Seed, s.IF, s.Scale)
+	prng := xrand.New(xrand.DeriveSeed(s.Cfg.Seed, 0x9a27))
+	part := makePart(prng, train, s.Clients, s.Beta)
+	build, err := ModelFor(spec, s.Model)
+	if err != nil {
+		return nil, err
+	}
+	return fl.NewEnv(s.Cfg, train, test, part, build, nil), nil
+}
+
+// Run executes the spec and returns its history.
+func (s RunSpec) Run() (*fl.History, error) {
+	return s.RunWithProgress(nil)
+}
+
+// RunWithProgress executes the spec, invoking onRound with each recorded
+// RoundStat (see fl.RunWithProgress). The callback does not influence the
+// result.
+func (s RunSpec) RunWithProgress(onRound func(fl.RoundStat)) (*fl.History, error) {
+	s = s.Defaults() // a spec relying on defaults must run, not fail on Method ""
+	env, err := s.BuildEnv()
+	if err != nil {
+		return nil, err
+	}
+	if s.Mod != nil {
+		s.Mod(env)
+	}
+	m, err := methods.New(s.Method)
+	if err != nil {
+		return nil, err
+	}
+	return fl.RunWithProgress(env, m, onRound), nil
+}
+
+// ModelFor maps a dataset spec and model name to a network builder. "auto"
+// follows the paper's model table: MLP for the Fashion-MNIST stand-in, a
+// wider MLP head for the other feature datasets (standing in for
+// ResNet-18/34; see DESIGN.md), and ResNetLite for image-mode datasets.
+func ModelFor(spec *data.Spec, model string) (nn.Builder, error) {
+	dim := spec.Dim()
+	switch model {
+	case "linear":
+		return nn.SoftmaxBuilder(dim, spec.Classes), nil
+	case "mlp":
+		return nn.MLPBuilder(dim, []int{64, 32}, spec.Classes, false), nil
+	case "mlpbn":
+		return nn.MLPBuilder(dim, []int{64, 32}, spec.Classes, true), nil
+	case "resnet":
+		if spec.Image == nil {
+			return nil, fmt.Errorf("sweep: dataset %s has no image mode for resnet", spec.Name)
+		}
+		img := spec.Image
+		return nn.ResNetLiteBuilder(img.Chans, img.H, img.W, spec.Classes, 8), nil
+	case "auto", "":
+		if spec.Image != nil {
+			img := spec.Image
+			return nn.ResNetLiteBuilder(img.Chans, img.H, img.W, spec.Classes, 8), nil
+		}
+		switch spec.Name {
+		case "fmnist-syn":
+			// the paper uses a 3-layer MLP here
+			return nn.MLPBuilder(dim, []int{32}, spec.Classes, false), nil
+		default:
+			// BatchNorm MLP stands in for the paper's ResNet-18/34: batch
+			// normalisation under skewed local batches is what makes
+			// momentum extrapolation fragile (see DESIGN.md).
+			return nn.MLPBuilder(dim, []int{64, 32}, spec.Classes, true), nil
+		}
+	default:
+		return nil, fmt.Errorf("sweep: unknown model %q", model)
+	}
+}

@@ -1,4 +1,4 @@
-package experiments
+package sweep
 
 import (
 	"fmt"
@@ -53,6 +53,14 @@ func (t *Table) Render(w io.Writer) {
 	for _, row := range t.Rows {
 		line(row)
 	}
+}
+
+// String renders the table to a string (the form the HTTP sweep-result
+// endpoint embeds).
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
 }
 
 // F formats an accuracy/metric for table cells.
