@@ -96,6 +96,27 @@ func BenchmarkClientLocalRound(b *testing.B) {
 	}
 }
 
+// BenchmarkRoundHotPath isolates the aggregation-round hot path: a full
+// multi-round momentum run (client sampling, local SGD, delta aggregation,
+// one final evaluation) over a prebuilt environment, so the number tracks
+// exactly what the execution runtime owns — no dataset or partition
+// construction. allocs/op is the headline: the runtime refactor's job is to
+// drive per-round dim-sized and activation allocations to (amortised) zero.
+func BenchmarkRoundHotPath(b *testing.B) {
+	spec := data.GaussianSpec{Classes: 10, Dim: 48, Sep: 3.6, Noise: 1, SubModes: 2}
+	train := spec.Generate(1, 1, data.LongTailCounts(200, 10, 0.1))
+	test := spec.Generate(1, 2, data.UniformCounts(20, 10))
+	part := partition.EqualQuantity(xrand.New(2), train, 8, 0.1)
+	cfg := fl.Config{Rounds: 4, SampleClients: 6, LocalEpochs: 2, BatchSize: 32,
+		EtaL: 0.1, EtaG: 1, Seed: 1, EvalEvery: 100, Workers: 2, DropProb: 0.1}
+	env := fl.NewEnv(cfg, train, test, part, nn.MLPBuilder(48, []int{64, 32}, 10, true), loss.CrossEntropy{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fl.Run(env, methods.NewFedCM(0.1))
+	}
+}
+
 // BenchmarkFedWCMAggregate measures the server-side weighting + momentum
 // refresh for a 10-client cohort.
 func BenchmarkFedWCMAggregate(b *testing.B) {

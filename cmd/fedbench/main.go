@@ -28,6 +28,7 @@ import (
 
 	"fedwcm/internal/experiments"
 	"fedwcm/internal/store"
+	"fedwcm/internal/sweep"
 )
 
 func main() {
@@ -39,6 +40,7 @@ func main() {
 		outDir   = flag.String("out", "", "also write each experiment's output to <out>/<id>.txt")
 		cells    = flag.Int("cellworkers", 3, "concurrent sweep cells")
 		storeDir = flag.String("store", "results/store", "result store root (empty disables caching)")
+		envCap   = flag.Int("envcache", sweep.DefaultEnvCacheCap, "environments kept in the shared env cache")
 	)
 	flag.Parse()
 
@@ -62,6 +64,10 @@ func main() {
 			os.Exit(1)
 		}
 	}
+
+	// One environment cache across every experiment in this invocation:
+	// tables sharing a dataset grid reuse each other's construction work.
+	envs := sweep.NewEnvCache(*envCap)
 
 	ids := []string{*run}
 	if *run == "all" {
@@ -94,6 +100,7 @@ func main() {
 			Effort:      *effort,
 			CellWorkers: *cells,
 			Store:       st,
+			Envs:        envs,
 			Out:         w,
 		})
 		if f != nil {

@@ -190,7 +190,7 @@ func TestSmallExperimentsEndToEnd(t *testing.T) {
 				t.Fatal(err)
 			}
 			second := buf.String()
-			if !strings.Contains(second, "0 computed]") {
+			if !strings.Contains(second, "0 computed;") {
 				t.Fatalf("repeat run recomputed cells:\n%s", second)
 			}
 			// And the rendered tables must be identical (modulo the sweep

@@ -25,7 +25,12 @@ type Options struct {
 	// served from it and fresh cells are persisted, so repeated or
 	// overlapping experiments cost only their missing fingerprints.
 	Store *store.Store
-	Out   io.Writer
+	// Envs backs environment construction: cells sharing a
+	// dataset+partition sub-spec (e.g. a method grid over one dataset)
+	// build it once. Nil gets a per-Execute cache; callers running many
+	// experiments (cmd/fedbench) pass one cache to share across them.
+	Envs *sweep.EnvCache
+	Out  io.Writer
 }
 
 // Defaults normalises options.
@@ -38,6 +43,9 @@ func (o Options) Defaults() Options {
 	}
 	if o.CellWorkers <= 0 {
 		o.CellWorkers = 3
+	}
+	if o.Envs == nil {
+		o.Envs = sweep.NewEnvCache(0)
 	}
 	if o.Out == nil {
 		o.Out = io.Discard
@@ -75,13 +83,16 @@ func (e *Experiment) Execute(opt Options) error {
 	if sp.Name == "" {
 		sp.Name = e.ID
 	}
-	eng := &sweep.Engine{Store: opt.Store, Workers: opt.CellWorkers}
+	eng := &sweep.Engine{Store: opt.Store, Workers: opt.CellWorkers, Envs: opt.Envs}
+	before := opt.Envs.Stats()
 	res, err := eng.RunSweep(sp, nil)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(opt.Out, "[sweep %s: %d cells — %d cached, %d computed]\n",
-		sp.Name, len(res.Cells), res.Cached, res.Computed)
+	after := opt.Envs.Stats()
+	fmt.Fprintf(opt.Out, "[sweep %s: %d cells — %d cached, %d computed; envs — %d built, %d reused]\n",
+		sp.Name, len(res.Cells), res.Cached, res.Computed,
+		after.Misses-before.Misses, after.Hits-before.Hits)
 	return e.Render(opt, res)
 }
 

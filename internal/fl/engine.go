@@ -2,18 +2,17 @@ package fl
 
 import (
 	"sort"
-	"sync"
 
-	"fedwcm/internal/nn"
 	"fedwcm/internal/xrand"
 )
 
 // Run executes a full federated training run of method m in env and returns
 // the recorded history.
 //
-// Concurrency model: each round, the sampled clients are distributed over a
-// fixed pool of workers, each owning a private network instance (layers
-// cache state and are not shareable). Results land in a slice indexed by
+// Concurrency model: the run owns a persistent pool of workers (see
+// runtime), each with a private network instance (layers cache state and are
+// not shareable) and a reusable ClientScratch. Every round the sampled
+// clients are distributed over the pool; results land in a slice indexed by
 // the sampled position, and aggregation happens single-threaded afterwards,
 // so the run is deterministic regardless of scheduling.
 func Run(env *Env, m Method) *History {
@@ -29,8 +28,9 @@ func Run(env *Env, m Method) *History {
 func RunWithProgress(env *Env, m Method, onRound func(RoundStat)) *History {
 	cfg := env.Cfg
 	globalNet := env.Build(cfg.Seed)
-	global := globalNet.Vector()
-	dim := len(global)
+	dim := globalNet.NumParams()
+	global := make([]float64, dim)
+	globalNet.VectorInto(global)
 	m.Init(env, dim)
 
 	nClients := len(env.Clients)
@@ -45,21 +45,26 @@ func RunWithProgress(env *Env, m Method, onRound func(RoundStat)) *History {
 	if workers < 1 {
 		workers = 1
 	}
-	nets := make([]*nn.Network, workers)
-	for w := range nets {
-		nets[w] = env.Build(cfg.Seed) // weights overwritten every job
-	}
+	rt := newRuntime(env, m, global, workers)
+	defer rt.close()
 
 	sampleRNG := xrand.New(xrand.DeriveSeed(cfg.Seed, 0x5a3317))
 	hist := &History{Method: m.Name()}
 
 	dropRNG := xrand.New(xrand.DeriveSeed(cfg.Seed, 0xd20b))
+	dropped := make([]bool, k)
+	arrived := make([]*ClientResult, 0, k)
 	for r := 0; r < cfg.Rounds; r++ {
 		sampled := sampleRNG.SampleWithoutReplacement(nClients, k)
 		sort.Ints(sampled) // canonical order; keeps aggregation reproducible
 		// Failure injection: decide upfront (deterministically) which of the
-		// sampled clients will fail to report this round.
-		dropped := make([]bool, len(sampled))
+		// sampled clients drop out this round. A dropped client does no work
+		// at all — the worker never trains it — so the simulated cost model
+		// is "failed before training", not "trained but unreported".
+		dropped = dropped[:len(sampled)]
+		for i := range dropped {
+			dropped[i] = false
+		}
 		if cfg.DropProb > 0 {
 			anySurvives := false
 			for i := range dropped {
@@ -70,42 +75,11 @@ func RunWithProgress(env *Env, m Method, onRound func(RoundStat)) *History {
 				dropped[0] = false // a round with zero reports would stall
 			}
 		}
-		results := make([]*ClientResult, len(sampled))
-
-		jobs := make(chan int)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				for pos := range jobs {
-					if dropped[pos] {
-						continue // client trained but its report never arrived
-					}
-					client := env.Clients[sampled[pos]]
-					net := nets[w]
-					net.SetVector(global)
-					ctx := &ClientCtx{
-						Round:  r,
-						Client: client,
-						Env:    env,
-						Net:    net,
-						Global: global,
-						RNG:    xrand.New(xrand.DeriveSeed(cfg.Seed, uint64(r), uint64(client.ID), 0xc11e)),
-					}
-					results[pos] = m.LocalTrain(ctx)
-				}
-			}(w)
-		}
-		for pos := range sampled {
-			jobs <- pos
-		}
-		close(jobs)
-		wg.Wait()
+		results := rt.runRound(r, sampled, dropped)
 
 		// Compact away dropped clients so methods aggregate only over the
 		// reports that actually arrived.
-		arrived := make([]*ClientResult, 0, len(results))
+		arrived = arrived[:0]
 		for _, res := range results {
 			if res != nil {
 				arrived = append(arrived, res)
@@ -114,15 +88,14 @@ func RunWithProgress(env *Env, m Method, onRound func(RoundStat)) *History {
 		if len(arrived) > 0 {
 			m.Aggregate(r, global, arrived)
 		}
-		results = arrived
 
 		if (r+1)%cfg.EvalEvery == 0 || r == cfg.Rounds-1 {
 			globalNet.SetVector(global)
 			acc, perClass := Evaluate(globalNet, env.Test, 256)
 			stat := RoundStat{Round: r + 1, TestAcc: acc, PerClass: perClass}
 			lossSum, cnt := 0.0, 0
-			for _, res := range results {
-				if res != nil && res.Steps > 0 {
+			for _, res := range arrived {
+				if res.Steps > 0 {
 					lossSum += res.MeanLoss
 					cnt++
 				}

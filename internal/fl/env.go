@@ -11,6 +11,7 @@ import (
 type Client struct {
 	ID          int
 	Indices     []int // rows of Env.Train owned by this client
+	Labels      []int // Train.Y[Indices[i]], precomputed once at NewEnv
 	ClassCounts []int
 	N           int
 }
@@ -50,9 +51,16 @@ func NewEnv(cfg Config, train, test *data.Dataset, part *partition.Partition, bu
 	clients := make([]*Client, part.NumClients())
 	for k := range clients {
 		idx := part.ClientIndices[k]
+		// Label views are computed once here and reused by every round's
+		// balanced sampler, instead of being rebuilt per client per round.
+		labels := make([]int, len(idx))
+		for i, gi := range idx {
+			labels[i] = train.Y[gi]
+		}
 		clients[k] = &Client{
 			ID:          k,
 			Indices:     idx,
+			Labels:      labels,
 			ClassCounts: part.Counts[k],
 			N:           len(idx),
 		}

@@ -61,46 +61,62 @@ func RunLocalSGD(ctx *ClientCtx, opts LocalOpts) *ClientResult {
 	}
 	client := ctx.Client
 	ds := ctx.Env.Train
+	dim := len(ctx.Global)
+	scratch := ctx.Scratch
+	if scratch == nil {
+		// Callers outside the engine runtime (tests, benchmarks, ad-hoc
+		// drivers) pay a fresh allocation per call, exactly as before.
+		scratch = NewClientScratch(dim)
+	}
 	n := client.N
 	if n == 0 {
-		return &ClientResult{ClientID: client.ID, Delta: make([]float64, len(ctx.Global))}
+		res := scratch.nextResult()
+		res.ClientID = client.ID
+		tensor.Zero(res.Delta)
+		return res
 	}
 
 	var sampler data.Sampler
 	if opts.Balanced {
-		labels := make([]int, n)
-		for i, gi := range client.Indices {
-			labels[i] = ds.Y[gi]
-		}
-		sampler = data.NewBalancedSampler(ctx.RNG, labels, ds.Classes, cfg.BatchSize)
+		// client.Labels is the label view precomputed once at NewEnv; the
+		// per-round cost is only the sampler's RNG-dependent state.
+		sampler = data.NewBalancedSampler(ctx.RNG, client.Labels, ds.Classes, cfg.BatchSize)
 	} else {
 		sampler = data.NewShuffleSampler(ctx.RNG, n, cfg.BatchSize)
 	}
 
-	dim := len(ctx.Global)
 	net := ctx.Net
-	gbuf := make([]float64, dim)
-	dir := make([]float64, dim)
+	gbuf := scratch.gbuf
+	dir := scratch.dir
 	var xcur []float64
 	if opts.ProxMu > 0 {
-		xcur = make([]float64, dim)
+		xcur = scratch.proxBuf()
 	}
 	var predHist []float64
 	if opts.TrackPreds {
-		predHist = make([]float64, ds.Classes)
+		predHist = make([]float64, ds.Classes) // escapes into the result; small
 	}
-	var xb *tensor.Dense
-	var yb []int
-	gidx := make([]int, 0, cfg.BatchSize)
+	xb := scratch.xb
+	yb := scratch.yb
+	gidx := scratch.gidx[:0]
 
 	useMomentum := opts.Momentum != nil && opts.Alpha > 0 && opts.Alpha < 1
+	gradSink, hasGradSink := lossFn.(loss.GradInto)
 
 	// computeGrad runs one forward/backward on the current batch and fills
 	// gbuf with the flat gradient, returning the batch loss.
 	computeGrad := func(trackPreds bool) float64 {
 		net.ZeroGrad()
 		logits := net.Forward(xb, true)
-		l, dl := lossFn.LossAndGrad(logits, yb)
+		var l float64
+		var dl *tensor.Dense
+		if hasGradSink {
+			scratch.dl = tensor.ReuseDense(scratch.dl, logits.R, logits.C)
+			dl = scratch.dl
+			l = gradSink.LossAndGradInto(dl, logits, yb)
+		} else {
+			l, dl = lossFn.LossAndGrad(logits, yb)
+		}
 		if trackPreds && predHist != nil {
 			for s := 0; s < logits.R; s++ {
 				predHist[tensor.ArgMax(logits.Row(s))]++
@@ -133,6 +149,11 @@ func RunLocalSGD(ctx *ClientCtx, opts LocalOpts) *ClientResult {
 
 			l := computeGrad(true)
 			if opts.SAMRho > 0 {
+				// Pinned seed quirk (golden-history test): in the local-dir
+				// case pdir aliases gbuf, which computeGrad overwrites, so the
+				// restore subtracts ε·g_perturbed rather than ε·g_old. Fixing
+				// the asymmetry changes every SAM-family history and must come
+				// with re-pinned golden hashes.
 				pdir := gbuf
 				if opts.SAMGlobalDir != nil {
 					pdir = opts.SAMGlobalDir
@@ -165,18 +186,18 @@ func RunLocalSGD(ctx *ClientCtx, opts LocalOpts) *ClientResult {
 		}
 	}
 
-	xEnd := net.Vector()
-	delta := make([]float64, dim)
-	for j := range delta {
-		delta[j] = ctx.Global[j] - xEnd[j]
-	}
-	res := &ClientResult{
-		ClientID: client.ID,
-		N:        n,
-		Steps:    steps,
-		Delta:    delta,
-		PredHist: predHist,
-	}
+	// Hand the batch buffers back so the next call on this scratch reuses
+	// them (they may have grown or been reallocated by Gather).
+	scratch.xb, scratch.yb, scratch.gidx = xb, yb, gidx
+
+	res := scratch.nextResult()
+	res.ClientID = client.ID
+	res.N = n
+	res.Steps = steps
+	res.PredHist = predHist
+	// Delta = x_global − x_end, fused: read the end weights straight out of
+	// the parameter segments instead of flattening them first.
+	net.DeltaInto(res.Delta, ctx.Global)
 	if steps > 0 {
 		res.MeanLoss = lossSum / float64(steps)
 	}

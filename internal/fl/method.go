@@ -36,6 +36,22 @@ type ClientCtx struct {
 	Global []float64
 	// RNG is the deterministic per-(round, client) stream.
 	RNG *xrand.RNG
+	// Scratch is the worker-owned reusable workspace. It may be nil when
+	// the ctx was built outside the engine runtime (tests, benchmarks);
+	// RunLocalSGD and CorrectionBuf fall back to fresh allocations then.
+	Scratch *ClientScratch
+}
+
+// CorrectionBuf returns a dim-sized buffer for the per-client correction a
+// method passes through LocalOpts.Correction — scratch-backed when the ctx
+// runs inside the engine runtime, freshly allocated otherwise. Contents are
+// stale; callers fully overwrite it. The buffer is only valid until
+// LocalTrain returns.
+func (ctx *ClientCtx) CorrectionBuf(dim int) []float64 {
+	if ctx.Scratch != nil && ctx.Scratch.dim == dim {
+		return ctx.Scratch.CorrectionBuf()
+	}
+	return make([]float64, dim)
 }
 
 // ClientResult carries a client's round contribution back to the server.
@@ -75,9 +91,25 @@ func WeightedDeltaInto(global []float64, etaG float64, results []*ClientResult, 
 	}
 }
 
+// GrowWeights returns a length-n weight slice backed by buf when its
+// capacity suffices, allocating otherwise. Methods keep one buffer from Init
+// onward so per-round weight vectors stop being per-round garbage.
+func GrowWeights(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
 // UniformWeights returns 1/n for each of n results.
 func UniformWeights(n int) []float64 {
-	w := make([]float64, n)
+	return UniformWeightsInto(nil, n)
+}
+
+// UniformWeightsInto is UniformWeights into a reusable buffer (see
+// GrowWeights).
+func UniformWeightsInto(buf []float64, n int) []float64 {
+	w := GrowWeights(buf, n)
 	for i := range w {
 		w[i] = 1 / float64(n)
 	}
@@ -86,16 +118,22 @@ func UniformWeights(n int) []float64 {
 
 // SizeWeights returns weights proportional to client sample counts.
 func SizeWeights(results []*ClientResult) []float64 {
-	w := make([]float64, len(results))
+	return SizeWeightsInto(nil, results)
+}
+
+// SizeWeightsInto is SizeWeights into a reusable buffer (see GrowWeights).
+func SizeWeightsInto(buf []float64, results []*ClientResult) []float64 {
+	w := GrowWeights(buf, len(results))
 	total := 0.0
 	for i, r := range results {
+		w[i] = 0
 		if r != nil {
 			w[i] = float64(r.N)
 			total += w[i]
 		}
 	}
 	if total == 0 {
-		return UniformWeights(len(results))
+		return UniformWeightsInto(w, len(results))
 	}
 	for i := range w {
 		w[i] /= total

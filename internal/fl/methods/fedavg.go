@@ -14,7 +14,8 @@ import (
 
 // FedAvg is vanilla federated averaging (McMahan et al.).
 type FedAvg struct {
-	env *fl.Env
+	env  *fl.Env
+	wbuf []float64 // reusable per-round weight vector
 }
 
 // NewFedAvg returns a FedAvg method.
@@ -24,7 +25,10 @@ func NewFedAvg() *FedAvg { return &FedAvg{} }
 func (m *FedAvg) Name() string { return "fedavg" }
 
 // Init implements fl.Method.
-func (m *FedAvg) Init(env *fl.Env, dim int) { m.env = env }
+func (m *FedAvg) Init(env *fl.Env, dim int) {
+	m.env = env
+	m.wbuf = make([]float64, 0, env.Cfg.SampleClients)
+}
 
 // LocalTrain implements fl.Method: plain local SGD.
 func (m *FedAvg) LocalTrain(ctx *fl.ClientCtx) *fl.ClientResult {
@@ -33,8 +37,8 @@ func (m *FedAvg) LocalTrain(ctx *fl.ClientCtx) *fl.ClientResult {
 
 // Aggregate implements fl.Method: size-weighted parameter averaging.
 func (m *FedAvg) Aggregate(round int, global []float64, results []*fl.ClientResult) {
-	w := fl.SizeWeights(results)
-	fl.WeightedDeltaInto(global, m.env.Cfg.EtaG, results, w)
+	m.wbuf = fl.SizeWeightsInto(m.wbuf, results)
+	fl.WeightedDeltaInto(global, m.env.Cfg.EtaG, results, m.wbuf)
 }
 
 // FedAvgM adds server-side momentum over the aggregated delta (SlowMo /
@@ -43,6 +47,7 @@ type FedAvgM struct {
 	Beta float64
 	env  *fl.Env
 	mom  []float64
+	wbuf []float64
 }
 
 // NewFedAvgM returns FedAvg with server momentum coefficient beta.
@@ -55,6 +60,7 @@ func (m *FedAvgM) Name() string { return "fedavgm" }
 func (m *FedAvgM) Init(env *fl.Env, dim int) {
 	m.env = env
 	m.mom = make([]float64, dim)
+	m.wbuf = make([]float64, 0, env.Cfg.SampleClients)
 }
 
 // LocalTrain implements fl.Method.
@@ -64,7 +70,8 @@ func (m *FedAvgM) LocalTrain(ctx *fl.ClientCtx) *fl.ClientResult {
 
 // Aggregate implements fl.Method: m ← β·m + Σ w·Δ; x ← x − η_g·m.
 func (m *FedAvgM) Aggregate(round int, global []float64, results []*fl.ClientResult) {
-	w := fl.SizeWeights(results)
+	m.wbuf = fl.SizeWeightsInto(m.wbuf, results)
+	w := m.wbuf
 	tensor.Scale(m.mom, m.Beta)
 	for i, res := range results {
 		if res == nil {

@@ -25,6 +25,13 @@ type FedCM struct {
 	env          *fl.Env
 	momentum     []float64
 	haveMomentum bool
+	wbuf         []float64
+	// lossCache holds one LossFor-built loss per client, materialised at
+	// Init: client losses are pure functions of static client state, so
+	// rebuilding them per round was pure allocation churn. Safe because a
+	// client trains at most once per round, so no loss value is shared
+	// between concurrent LocalTrain calls.
+	lossCache []loss.Loss
 }
 
 // NewFedCM returns FedCM with mixing coefficient alpha (the paper uses 0.1).
@@ -70,6 +77,14 @@ func (m *FedCM) Init(env *fl.Env, dim int) {
 	m.env = env
 	m.momentum = make([]float64, dim)
 	m.haveMomentum = false
+	m.wbuf = make([]float64, 0, env.Cfg.SampleClients)
+	m.lossCache = nil
+	if m.LossFor != nil {
+		m.lossCache = make([]loss.Loss, len(env.Clients))
+		for k, c := range env.Clients {
+			m.lossCache[k] = m.LossFor(c)
+		}
+	}
 }
 
 // LocalTrain implements fl.Method.
@@ -78,8 +93,8 @@ func (m *FedCM) LocalTrain(ctx *fl.ClientCtx) *fl.ClientResult {
 	if m.haveMomentum {
 		opts.Momentum = m.momentum
 	}
-	if m.LossFor != nil {
-		opts.Loss = m.LossFor(ctx.Client)
+	if m.lossCache != nil {
+		opts.Loss = m.lossCache[ctx.Client.ID]
 	}
 	return fl.RunLocalSGD(ctx, opts)
 }
@@ -87,7 +102,8 @@ func (m *FedCM) LocalTrain(ctx *fl.ClientCtx) *fl.ClientResult {
 // Aggregate implements fl.Method: uniform delta averaging plus momentum
 // refresh Δ_{r+1} = Σ w_k·Delta_k/(η_l·B_k).
 func (m *FedCM) Aggregate(round int, global []float64, results []*fl.ClientResult) {
-	w := fl.UniformWeights(len(results))
+	m.wbuf = fl.UniformWeightsInto(m.wbuf, len(results))
+	w := m.wbuf
 	fl.WeightedDeltaInto(global, m.env.Cfg.EtaG, results, w)
 	fl.MomentumFrom(m.momentum, m.env.Cfg.EtaL, results, w)
 	m.haveMomentum = true

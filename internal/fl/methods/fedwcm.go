@@ -76,6 +76,10 @@ type FedWCM struct {
 	haveMomentum bool
 	refSteps     float64 // reference local step count B̂·E for FedWCM-X
 
+	// Per-round accumulators, sized at Init so Aggregate runs without
+	// per-round temporaries.
+	wbuf, rawbuf []float64
+
 	lastAlpha, lastQ, lastWMax float64
 }
 
@@ -105,6 +109,8 @@ func (m *FedWCM) Init(env *fl.Env, dim int) {
 	m.env = env
 	m.momentum = make([]float64, dim)
 	m.haveMomentum = false
+	m.wbuf = make([]float64, 0, env.Cfg.SampleClients)
+	m.rawbuf = make([]float64, 0, env.Cfg.SampleClients)
 	classes := env.Train.Classes
 	target := m.Opt.Target
 	if target == nil {
@@ -204,15 +210,16 @@ func (m *FedWCM) LocalTrain(ctx *fl.ClientCtx) *fl.ClientResult {
 // the weighted momentum refresh, and Eq. 5's α update.
 func (m *FedWCM) Aggregate(round int, global []float64, results []*fl.ClientResult) {
 	n := len(results)
-	w := make([]float64, n)
+	m.wbuf = fl.GrowWeights(m.wbuf, n)
+	w := m.wbuf
 	if m.Opt.DisableWeighting {
-		copy(w, fl.UniformWeights(n))
+		fl.UniformWeightsInto(w, n)
 	} else {
-		raw := make([]float64, n)
+		m.rawbuf = fl.GrowWeights(m.rawbuf, n)
 		for i, res := range results {
-			raw[i] = m.scores[res.ClientID]
+			m.rawbuf[i] = m.scores[res.ClientID]
 		}
-		tensor.Softmax(w, raw, m.temp)
+		tensor.Softmax(w, m.rawbuf, m.temp)
 	}
 	if m.Opt.QuantityWeighted {
 		// w'_k = w_k · n_k/Σ n_j, renormalised so the server update stays a

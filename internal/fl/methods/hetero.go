@@ -7,8 +7,9 @@ import (
 
 // FedProx adds the proximal term (μ/2)·‖x − x_r‖² to the local objective.
 type FedProx struct {
-	Mu  float64
-	env *fl.Env
+	Mu   float64
+	env  *fl.Env
+	wbuf []float64
 }
 
 // NewFedProx returns FedProx with proximal strength mu.
@@ -18,7 +19,10 @@ func NewFedProx(mu float64) *FedProx { return &FedProx{Mu: mu} }
 func (m *FedProx) Name() string { return "fedprox" }
 
 // Init implements fl.Method.
-func (m *FedProx) Init(env *fl.Env, dim int) { m.env = env }
+func (m *FedProx) Init(env *fl.Env, dim int) {
+	m.env = env
+	m.wbuf = make([]float64, 0, env.Cfg.SampleClients)
+}
 
 // LocalTrain implements fl.Method.
 func (m *FedProx) LocalTrain(ctx *fl.ClientCtx) *fl.ClientResult {
@@ -27,16 +31,18 @@ func (m *FedProx) LocalTrain(ctx *fl.ClientCtx) *fl.ClientResult {
 
 // Aggregate implements fl.Method.
 func (m *FedProx) Aggregate(round int, global []float64, results []*fl.ClientResult) {
-	fl.WeightedDeltaInto(global, m.env.Cfg.EtaG, results, fl.SizeWeights(results))
+	m.wbuf = fl.SizeWeightsInto(m.wbuf, results)
+	fl.WeightedDeltaInto(global, m.env.Cfg.EtaG, results, m.wbuf)
 }
 
 // SCAFFOLD corrects client drift with control variates (Karimireddy et al.):
 // each local gradient is shifted by (c − c_i), and after local training the
 // client refreshes c_i from its accumulated update.
 type SCAFFOLD struct {
-	env *fl.Env
-	c   []float64   // server control variate
-	ci  [][]float64 // per-client control variates
+	env  *fl.Env
+	c    []float64   // server control variate
+	ci   [][]float64 // per-client control variates
+	wbuf []float64
 }
 
 // NewSCAFFOLD returns a SCAFFOLD method.
@@ -54,12 +60,13 @@ func (m *SCAFFOLD) Init(env *fl.Env, dim int) {
 	for k := range m.ci {
 		m.ci[k] = make([]float64, dim)
 	}
+	m.wbuf = make([]float64, 0, env.Cfg.SampleClients)
 }
 
 // LocalTrain implements fl.Method.
 func (m *SCAFFOLD) LocalTrain(ctx *fl.ClientCtx) *fl.ClientResult {
 	k := ctx.Client.ID
-	corr := make([]float64, len(m.c))
+	corr := ctx.CorrectionBuf(len(m.c))
 	for j := range corr {
 		corr[j] = m.c[j] - m.ci[k][j]
 	}
@@ -82,8 +89,8 @@ func (m *SCAFFOLD) LocalTrain(ctx *fl.ClientCtx) *fl.ClientResult {
 // Aggregate implements fl.Method: average deltas; move c by the average
 // control update scaled by the participation fraction.
 func (m *SCAFFOLD) Aggregate(round int, global []float64, results []*fl.ClientResult) {
-	w := fl.UniformWeights(len(results))
-	fl.WeightedDeltaInto(global, m.env.Cfg.EtaG, results, w)
+	m.wbuf = fl.UniformWeightsInto(m.wbuf, len(results))
+	fl.WeightedDeltaInto(global, m.env.Cfg.EtaG, results, m.wbuf)
 	scale := 1 / float64(len(m.ci))
 	for _, res := range results {
 		if res == nil || res.Payload == nil {
@@ -98,9 +105,10 @@ func (m *SCAFFOLD) Aggregate(round int, global []float64, results []*fl.ClientRe
 // after training h_i ← h_i + μ·Delta. The server update stays standard
 // averaging (FedDyn-lite; see DESIGN.md substitutions).
 type FedDyn struct {
-	Mu  float64
-	env *fl.Env
-	h   [][]float64
+	Mu   float64
+	env  *fl.Env
+	h    [][]float64
+	wbuf []float64
 }
 
 // NewFedDyn returns FedDyn-lite with regularisation strength mu.
@@ -116,12 +124,13 @@ func (m *FedDyn) Init(env *fl.Env, dim int) {
 	for k := range m.h {
 		m.h[k] = make([]float64, dim)
 	}
+	m.wbuf = make([]float64, 0, env.Cfg.SampleClients)
 }
 
 // LocalTrain implements fl.Method.
 func (m *FedDyn) LocalTrain(ctx *fl.ClientCtx) *fl.ClientResult {
 	k := ctx.Client.ID
-	corr := make([]float64, len(m.h[k]))
+	corr := ctx.CorrectionBuf(len(m.h[k]))
 	for j := range corr {
 		corr[j] = -m.h[k][j]
 	}
@@ -132,5 +141,6 @@ func (m *FedDyn) LocalTrain(ctx *fl.ClientCtx) *fl.ClientResult {
 
 // Aggregate implements fl.Method.
 func (m *FedDyn) Aggregate(round int, global []float64, results []*fl.ClientResult) {
-	fl.WeightedDeltaInto(global, m.env.Cfg.EtaG, results, fl.UniformWeights(len(results)))
+	m.wbuf = fl.UniformWeightsInto(m.wbuf, len(results))
+	fl.WeightedDeltaInto(global, m.env.Cfg.EtaG, results, m.wbuf)
 }

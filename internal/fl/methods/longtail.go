@@ -5,6 +5,7 @@ import (
 
 	"fedwcm/internal/fl"
 	"fedwcm/internal/loss"
+	"fedwcm/internal/tensor"
 )
 
 // BalanceFL is a simplified BalanceFL (Shuai et al.): the local update
@@ -12,8 +13,10 @@ import (
 // distribution, here via class-balanced resampling plus a logit-adjusted
 // loss over the local class counts (BalanceFL-lite; see DESIGN.md).
 type BalanceFL struct {
-	Tau float64
-	env *fl.Env
+	Tau    float64
+	env    *fl.Env
+	losses []loss.Loss // one PriorCE per client, built once at Init
+	wbuf   []float64
 }
 
 // NewBalanceFL returns BalanceFL-lite with logit-adjustment strength tau.
@@ -22,24 +25,33 @@ func NewBalanceFL(tau float64) *BalanceFL { return &BalanceFL{Tau: tau} }
 // Name implements fl.Method.
 func (m *BalanceFL) Name() string { return "balancefl" }
 
-// Init implements fl.Method.
-func (m *BalanceFL) Init(env *fl.Env, dim int) { m.env = env }
+// Init implements fl.Method: client losses are pure functions of static
+// class counts, so they are materialised here instead of per round.
+func (m *BalanceFL) Init(env *fl.Env, dim int) {
+	m.env = env
+	m.losses = make([]loss.Loss, len(env.Clients))
+	counts := make([]float64, env.Train.Classes)
+	for k, c := range env.Clients {
+		for i, n := range c.ClassCounts {
+			counts[i] = float64(n)
+		}
+		m.losses[k] = loss.NewPriorCE(m.Tau, counts)
+	}
+	m.wbuf = make([]float64, 0, env.Cfg.SampleClients)
+}
 
 // LocalTrain implements fl.Method.
 func (m *BalanceFL) LocalTrain(ctx *fl.ClientCtx) *fl.ClientResult {
-	counts := make([]float64, len(ctx.Client.ClassCounts))
-	for i, n := range ctx.Client.ClassCounts {
-		counts[i] = float64(n)
-	}
 	return fl.RunLocalSGD(ctx, fl.LocalOpts{
 		Balanced: true,
-		Loss:     loss.NewPriorCE(m.Tau, counts),
+		Loss:     m.losses[ctx.Client.ID],
 	})
 }
 
 // Aggregate implements fl.Method.
 func (m *BalanceFL) Aggregate(round int, global []float64, results []*fl.ClientResult) {
-	fl.WeightedDeltaInto(global, m.env.Cfg.EtaG, results, fl.SizeWeights(results))
+	m.wbuf = fl.SizeWeightsInto(m.wbuf, results)
+	fl.WeightedDeltaInto(global, m.env.Cfg.EtaG, results, m.wbuf)
 }
 
 // FedGraB is a simplified FedGraB (Xiao et al.): a self-adjusting gradient
@@ -54,6 +66,8 @@ type FedGraB struct {
 	env     *fl.Env
 	gains   []float64
 	target  []float64
+	hist    []float64 // per-round prediction histogram accumulator
+	wbuf    []float64
 }
 
 // NewFedGraB returns FedGraB-lite with balancer step rho.
@@ -76,6 +90,8 @@ func (m *FedGraB) Init(env *fl.Env, dim int) {
 	for i := range m.target {
 		m.target[i] = 1 / float64(classes)
 	}
+	m.hist = make([]float64, classes)
+	m.wbuf = make([]float64, 0, env.Cfg.SampleClients)
 }
 
 // LocalTrain implements fl.Method. The gains slice is read concurrently by
@@ -87,8 +103,10 @@ func (m *FedGraB) LocalTrain(ctx *fl.ClientCtx) *fl.ClientResult {
 // Aggregate implements fl.Method: standard averaging plus the balancer
 // update b_c ← clip(b_c·exp(−ρ·(share_c − target_c))).
 func (m *FedGraB) Aggregate(round int, global []float64, results []*fl.ClientResult) {
-	fl.WeightedDeltaInto(global, m.env.Cfg.EtaG, results, fl.SizeWeights(results))
-	hist := make([]float64, len(m.gains))
+	m.wbuf = fl.SizeWeightsInto(m.wbuf, results)
+	fl.WeightedDeltaInto(global, m.env.Cfg.EtaG, results, m.wbuf)
+	hist := m.hist
+	tensor.Zero(hist)
 	total := 0.0
 	for _, res := range results {
 		if res == nil || res.PredHist == nil {

@@ -9,8 +9,9 @@ import (
 // ascends ρ along the normalised batch gradient, then descends using the
 // gradient at the perturbed point.
 type FedSAM struct {
-	Rho float64
-	env *fl.Env
+	Rho  float64
+	env  *fl.Env
+	wbuf []float64
 }
 
 // NewFedSAM returns FedSAM with perturbation radius rho.
@@ -20,7 +21,10 @@ func NewFedSAM(rho float64) *FedSAM { return &FedSAM{Rho: rho} }
 func (m *FedSAM) Name() string { return "fedsam" }
 
 // Init implements fl.Method.
-func (m *FedSAM) Init(env *fl.Env, dim int) { m.env = env }
+func (m *FedSAM) Init(env *fl.Env, dim int) {
+	m.env = env
+	m.wbuf = make([]float64, 0, env.Cfg.SampleClients)
+}
 
 // LocalTrain implements fl.Method.
 func (m *FedSAM) LocalTrain(ctx *fl.ClientCtx) *fl.ClientResult {
@@ -29,7 +33,8 @@ func (m *FedSAM) LocalTrain(ctx *fl.ClientCtx) *fl.ClientResult {
 
 // Aggregate implements fl.Method.
 func (m *FedSAM) Aggregate(round int, global []float64, results []*fl.ClientResult) {
-	fl.WeightedDeltaInto(global, m.env.Cfg.EtaG, results, fl.SizeWeights(results))
+	m.wbuf = fl.SizeWeightsInto(m.wbuf, results)
+	fl.WeightedDeltaInto(global, m.env.Cfg.EtaG, results, m.wbuf)
 }
 
 // MoFedSAM combines FedSAM's local perturbation with FedCM's client-level
@@ -39,6 +44,7 @@ type MoFedSAM struct {
 	env          *fl.Env
 	momentum     []float64
 	haveMomentum bool
+	wbuf         []float64
 }
 
 // NewMoFedSAM returns MoFedSAM.
@@ -51,6 +57,7 @@ func (m *MoFedSAM) Name() string { return "mofedsam" }
 func (m *MoFedSAM) Init(env *fl.Env, dim int) {
 	m.env = env
 	m.momentum = make([]float64, dim)
+	m.wbuf = make([]float64, 0, env.Cfg.SampleClients)
 }
 
 // LocalTrain implements fl.Method.
@@ -64,7 +71,8 @@ func (m *MoFedSAM) LocalTrain(ctx *fl.ClientCtx) *fl.ClientResult {
 
 // Aggregate implements fl.Method.
 func (m *MoFedSAM) Aggregate(round int, global []float64, results []*fl.ClientResult) {
-	w := fl.UniformWeights(len(results))
+	m.wbuf = fl.UniformWeightsInto(m.wbuf, len(results))
+	w := m.wbuf
 	fl.WeightedDeltaInto(global, m.env.Cfg.EtaG, results, w)
 	fl.MomentumFrom(m.momentum, m.env.Cfg.EtaL, results, w)
 	m.haveMomentum = true
@@ -78,6 +86,7 @@ type FedLESAM struct {
 	env     *fl.Env
 	dir     []float64
 	haveDir bool
+	wbuf    []float64
 }
 
 // NewFedLESAM returns FedLESAM-lite with radius rho.
@@ -90,6 +99,7 @@ func (m *FedLESAM) Name() string { return "fedlesam" }
 func (m *FedLESAM) Init(env *fl.Env, dim int) {
 	m.env = env
 	m.dir = make([]float64, dim)
+	m.wbuf = make([]float64, 0, env.Cfg.SampleClients)
 }
 
 // LocalTrain implements fl.Method.
@@ -104,7 +114,8 @@ func (m *FedLESAM) LocalTrain(ctx *fl.ClientCtx) *fl.ClientResult {
 
 // Aggregate implements fl.Method.
 func (m *FedLESAM) Aggregate(round int, global []float64, results []*fl.ClientResult) {
-	w := fl.SizeWeights(results)
+	m.wbuf = fl.SizeWeightsInto(m.wbuf, results)
+	w := m.wbuf
 	fl.WeightedDeltaInto(global, m.env.Cfg.EtaG, results, w)
 	fl.MomentumFrom(m.dir, m.env.Cfg.EtaL, results, w)
 	m.haveDir = tensor.Norm2(m.dir) > 0
@@ -116,6 +127,7 @@ type FedSMOO struct {
 	Rho, Mu float64
 	env     *fl.Env
 	h       [][]float64
+	wbuf    []float64
 }
 
 // NewFedSMOO returns FedSMOO-lite.
@@ -131,12 +143,13 @@ func (m *FedSMOO) Init(env *fl.Env, dim int) {
 	for k := range m.h {
 		m.h[k] = make([]float64, dim)
 	}
+	m.wbuf = make([]float64, 0, env.Cfg.SampleClients)
 }
 
 // LocalTrain implements fl.Method.
 func (m *FedSMOO) LocalTrain(ctx *fl.ClientCtx) *fl.ClientResult {
 	k := ctx.Client.ID
-	corr := make([]float64, len(m.h[k]))
+	corr := ctx.CorrectionBuf(len(m.h[k]))
 	for j := range corr {
 		corr[j] = -m.h[k][j]
 	}
@@ -147,7 +160,8 @@ func (m *FedSMOO) LocalTrain(ctx *fl.ClientCtx) *fl.ClientResult {
 
 // Aggregate implements fl.Method.
 func (m *FedSMOO) Aggregate(round int, global []float64, results []*fl.ClientResult) {
-	fl.WeightedDeltaInto(global, m.env.Cfg.EtaG, results, fl.UniformWeights(len(results)))
+	m.wbuf = fl.UniformWeightsInto(m.wbuf, len(results))
+	fl.WeightedDeltaInto(global, m.env.Cfg.EtaG, results, m.wbuf)
 }
 
 // FedSpeed combines a proximal term with SAM-style gradient perturbation
@@ -155,6 +169,7 @@ func (m *FedSMOO) Aggregate(round int, global []float64, results []*fl.ClientRes
 type FedSpeed struct {
 	Rho, Mu float64
 	env     *fl.Env
+	wbuf    []float64
 }
 
 // NewFedSpeed returns FedSpeed-lite.
@@ -164,7 +179,10 @@ func NewFedSpeed(rho, mu float64) *FedSpeed { return &FedSpeed{Rho: rho, Mu: mu}
 func (m *FedSpeed) Name() string { return "fedspeed" }
 
 // Init implements fl.Method.
-func (m *FedSpeed) Init(env *fl.Env, dim int) { m.env = env }
+func (m *FedSpeed) Init(env *fl.Env, dim int) {
+	m.env = env
+	m.wbuf = make([]float64, 0, env.Cfg.SampleClients)
+}
 
 // LocalTrain implements fl.Method.
 func (m *FedSpeed) LocalTrain(ctx *fl.ClientCtx) *fl.ClientResult {
@@ -173,5 +191,6 @@ func (m *FedSpeed) LocalTrain(ctx *fl.ClientCtx) *fl.ClientResult {
 
 // Aggregate implements fl.Method.
 func (m *FedSpeed) Aggregate(round int, global []float64, results []*fl.ClientResult) {
-	fl.WeightedDeltaInto(global, m.env.Cfg.EtaG, results, fl.SizeWeights(results))
+	m.wbuf = fl.SizeWeightsInto(m.wbuf, results)
+	fl.WeightedDeltaInto(global, m.env.Cfg.EtaG, results, m.wbuf)
 }

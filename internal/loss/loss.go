@@ -18,6 +18,15 @@ type Loss interface {
 	LossAndGrad(logits *tensor.Dense, labels []int) (float64, *tensor.Dense)
 }
 
+// GradInto is the allocation-free variant of Loss: the gradient is written
+// into a caller-provided buffer (shaped like logits) instead of a fresh
+// matrix. Every loss in this package implements it; hot loops type-assert
+// for it and fall back to LossAndGrad otherwise. Implementations must
+// compute bit-identical values through both entry points.
+type GradInto interface {
+	LossAndGradInto(grad *tensor.Dense, logits *tensor.Dense, labels []int) float64
+}
+
 // softmaxRow writes softmax(z) into p and returns log-sum-exp for reuse.
 func softmaxRow(p, z []float64) {
 	m := tensor.Max(z)
@@ -49,10 +58,15 @@ type CrossEntropy struct{}
 func (CrossEntropy) Name() string { return "ce" }
 
 // LossAndGrad implements Loss.
-func (CrossEntropy) LossAndGrad(logits *tensor.Dense, labels []int) (float64, *tensor.Dense) {
+func (l CrossEntropy) LossAndGrad(logits *tensor.Dense, labels []int) (float64, *tensor.Dense) {
+	grad := tensor.NewDense(logits.R, logits.C)
+	return l.LossAndGradInto(grad, logits, labels), grad
+}
+
+// LossAndGradInto implements GradInto.
+func (CrossEntropy) LossAndGradInto(grad *tensor.Dense, logits *tensor.Dense, labels []int) float64 {
 	checkLabels(logits, labels)
 	n := logits.R
-	grad := tensor.NewDense(n, logits.C)
 	total := 0.0
 	invN := 1 / float64(n)
 	for s := 0; s < n; s++ {
@@ -66,7 +80,7 @@ func (CrossEntropy) LossAndGrad(logits *tensor.Dense, labels []int) (float64, *t
 		}
 		p[t] -= invN
 	}
-	return total * invN, grad
+	return total * invN
 }
 
 // Focal is the focal loss FL(p_t) = -(1-p_t)^γ · log(p_t) with softmax
@@ -80,9 +94,14 @@ func (f Focal) Name() string { return "focal" }
 
 // LossAndGrad implements Loss.
 func (f Focal) LossAndGrad(logits *tensor.Dense, labels []int) (float64, *tensor.Dense) {
+	grad := tensor.NewDense(logits.R, logits.C)
+	return f.LossAndGradInto(grad, logits, labels), grad
+}
+
+// LossAndGradInto implements GradInto.
+func (f Focal) LossAndGradInto(grad *tensor.Dense, logits *tensor.Dense, labels []int) float64 {
 	checkLabels(logits, labels)
 	n := logits.R
-	grad := tensor.NewDense(n, logits.C)
 	total := 0.0
 	invN := 1 / float64(n)
 	g := f.Gamma
@@ -110,7 +129,7 @@ func (f Focal) LossAndGrad(logits *tensor.Dense, labels []int) (float64, *tensor
 			row[j] = coef * (delta - p[j]) * invN
 		}
 	}
-	return total * invN, grad
+	return total * invN
 }
 
 // PriorCE is the logit-adjusted cross-entropy ("PriorCELoss" / balanced
@@ -132,12 +151,17 @@ func (l *PriorCE) Name() string { return "priorce" }
 
 // LossAndGrad implements Loss.
 func (l *PriorCE) LossAndGrad(logits *tensor.Dense, labels []int) (float64, *tensor.Dense) {
+	grad := tensor.NewDense(logits.R, logits.C)
+	return l.LossAndGradInto(grad, logits, labels), grad
+}
+
+// LossAndGradInto implements GradInto.
+func (l *PriorCE) LossAndGradInto(grad *tensor.Dense, logits *tensor.Dense, labels []int) float64 {
 	checkLabels(logits, labels)
 	if len(l.LogPrior) != logits.C {
 		panic("loss: PriorCE prior length mismatch")
 	}
 	n := logits.R
-	grad := tensor.NewDense(n, logits.C)
 	total := 0.0
 	invN := 1 / float64(n)
 	adj := make([]float64, logits.C)
@@ -155,7 +179,7 @@ func (l *PriorCE) LossAndGrad(logits *tensor.Dense, labels []int) (float64, *ten
 		}
 		p[t] -= invN
 	}
-	return total * invN, grad
+	return total * invN
 }
 
 // LDAM is the label-distribution-aware margin loss: the true-class logit is
@@ -192,12 +216,17 @@ func (l *LDAM) Name() string { return "ldam" }
 
 // LossAndGrad implements Loss.
 func (l *LDAM) LossAndGrad(logits *tensor.Dense, labels []int) (float64, *tensor.Dense) {
+	grad := tensor.NewDense(logits.R, logits.C)
+	return l.LossAndGradInto(grad, logits, labels), grad
+}
+
+// LossAndGradInto implements GradInto.
+func (l *LDAM) LossAndGradInto(grad *tensor.Dense, logits *tensor.Dense, labels []int) float64 {
 	checkLabels(logits, labels)
 	if len(l.Margins) != logits.C {
 		panic("loss: LDAM margin length mismatch")
 	}
 	n := logits.R
-	grad := tensor.NewDense(n, logits.C)
 	total := 0.0
 	invN := 1 / float64(n)
 	adj := make([]float64, logits.C)
@@ -220,7 +249,7 @@ func (l *LDAM) LossAndGrad(logits *tensor.Dense, labels []int) (float64, *tensor
 		}
 		p[t] -= l.Scale * invN
 	}
-	return total * invN, grad
+	return total * invN
 }
 
 // LogPriors converts raw class counts into log-probabilities, flooring

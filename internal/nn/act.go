@@ -8,7 +8,8 @@ import (
 
 // ReLU applies max(0, x) elementwise.
 type ReLU struct {
-	mask []bool
+	mask     []bool
+	fwd, bwd workspace
 }
 
 // NewReLU returns a ReLU activation layer.
@@ -16,16 +17,17 @@ func NewReLU() *ReLU { return &ReLU{} }
 
 // Forward computes max(0, x).
 func (l *ReLU) Forward(x *tensor.Dense, train bool) *tensor.Dense {
-	out := x.Clone()
+	out := l.fwd.get(x.R, x.C)
 	if cap(l.mask) < len(out.Data) {
 		l.mask = make([]bool, len(out.Data))
 	}
 	l.mask = l.mask[:len(out.Data)]
-	for i, v := range out.Data {
+	for i, v := range x.Data {
 		if v <= 0 {
 			out.Data[i] = 0
 			l.mask[i] = false
 		} else {
+			out.Data[i] = v
 			l.mask[i] = true
 		}
 	}
@@ -34,9 +36,11 @@ func (l *ReLU) Forward(x *tensor.Dense, train bool) *tensor.Dense {
 
 // Backward zeroes gradients where the activation was clamped.
 func (l *ReLU) Backward(dout *tensor.Dense) *tensor.Dense {
-	dx := dout.Clone()
-	for i := range dx.Data {
-		if !l.mask[i] {
+	dx := l.bwd.get(dout.R, dout.C)
+	for i, v := range dout.Data {
+		if l.mask[i] {
+			dx.Data[i] = v
+		} else {
 			dx.Data[i] = 0
 		}
 	}
@@ -48,8 +52,9 @@ func (l *ReLU) Params() []*Param { return nil }
 
 // LeakyReLU applies x for x>0 and slope*x otherwise.
 type LeakyReLU struct {
-	Slope float64
-	mask  []bool
+	Slope    float64
+	mask     []bool
+	fwd, bwd workspace
 }
 
 // NewLeakyReLU returns a LeakyReLU with the given negative slope.
@@ -57,16 +62,17 @@ func NewLeakyReLU(slope float64) *LeakyReLU { return &LeakyReLU{Slope: slope} }
 
 // Forward applies the leaky rectifier.
 func (l *LeakyReLU) Forward(x *tensor.Dense, train bool) *tensor.Dense {
-	out := x.Clone()
+	out := l.fwd.get(x.R, x.C)
 	if cap(l.mask) < len(out.Data) {
 		l.mask = make([]bool, len(out.Data))
 	}
 	l.mask = l.mask[:len(out.Data)]
-	for i, v := range out.Data {
+	for i, v := range x.Data {
 		if v <= 0 {
 			out.Data[i] = l.Slope * v
 			l.mask[i] = false
 		} else {
+			out.Data[i] = v
 			l.mask[i] = true
 		}
 	}
@@ -75,10 +81,12 @@ func (l *LeakyReLU) Forward(x *tensor.Dense, train bool) *tensor.Dense {
 
 // Backward scales gradients by the slope on the negative side.
 func (l *LeakyReLU) Backward(dout *tensor.Dense) *tensor.Dense {
-	dx := dout.Clone()
-	for i := range dx.Data {
-		if !l.mask[i] {
-			dx.Data[i] *= l.Slope
+	dx := l.bwd.get(dout.R, dout.C)
+	for i, v := range dout.Data {
+		if l.mask[i] {
+			dx.Data[i] = v
+		} else {
+			dx.Data[i] = v * l.Slope
 		}
 	}
 	return dx
@@ -89,7 +97,8 @@ func (l *LeakyReLU) Params() []*Param { return nil }
 
 // Tanh applies the hyperbolic tangent elementwise.
 type Tanh struct {
-	out []float64
+	out      []float64
+	fwd, bwd workspace
 }
 
 // NewTanh returns a Tanh activation layer.
@@ -97,8 +106,8 @@ func NewTanh() *Tanh { return &Tanh{} }
 
 // Forward computes tanh(x).
 func (l *Tanh) Forward(x *tensor.Dense, train bool) *tensor.Dense {
-	out := x.Clone()
-	for i, v := range out.Data {
+	out := l.fwd.get(x.R, x.C)
+	for i, v := range x.Data {
 		out.Data[i] = math.Tanh(v)
 	}
 	l.out = out.Data
@@ -107,9 +116,9 @@ func (l *Tanh) Forward(x *tensor.Dense, train bool) *tensor.Dense {
 
 // Backward multiplies by 1 - tanh².
 func (l *Tanh) Backward(dout *tensor.Dense) *tensor.Dense {
-	dx := dout.Clone()
-	for i := range dx.Data {
-		dx.Data[i] *= 1 - l.out[i]*l.out[i]
+	dx := l.bwd.get(dout.R, dout.C)
+	for i, v := range dout.Data {
+		dx.Data[i] = v * (1 - l.out[i]*l.out[i])
 	}
 	return dx
 }

@@ -19,6 +19,9 @@ type Conv2D struct {
 
 	x    *tensor.Dense   // cached input
 	cols []*tensor.Dense // cached im2col matrices, one per sample
+
+	wview    *tensor.Dense // Wt.Data viewed as OutC×(InC·KH·KW)
+	fwd, bwd workspace
 }
 
 // NewConv2D creates a convolution layer with He initialisation.
@@ -37,6 +40,7 @@ func NewConv2D(r *xrand.RNG, inC, h, w, outC, k, stride, pad int) *Conv2D {
 		B:  NewParam("conv.B", outC),
 	}
 	heInit(r, l.Wt.Data, inC*k*k)
+	l.wview = tensor.FromSlice(outC, inC*k*k, l.Wt.Data)
 	return l
 }
 
@@ -122,8 +126,8 @@ func (l *Conv2D) Forward(x *tensor.Dense, train bool) *tensor.Dense {
 		l.cols = make([]*tensor.Dense, n)
 	}
 	l.cols = l.cols[:n]
-	out := tensor.NewDense(n, l.OutDim())
-	wt := tensor.FromSlice(l.OutC, k, l.Wt.Data)
+	out := l.fwd.get(n, l.OutDim())
+	wt := l.wview
 	tensor.ParallelFor(n, 1, func(lo, hi int) {
 		for s := lo; s < hi; s++ {
 			if l.cols[s] == nil || l.cols[s].R != k || l.cols[s].C != p {
@@ -154,23 +158,27 @@ func (l *Conv2D) Backward(dout *tensor.Dense) *tensor.Dense {
 	n := l.x.R
 	k := l.InC * l.KH * l.KW
 	p := l.OutH * l.OutW
-	dx := tensor.NewDense(n, l.x.C)
-	wt := tensor.FromSlice(l.OutC, k, l.Wt.Data)
+	dx := l.bwd.getZeroed(n, l.x.C) // col2im scatter-adds: must start clean
+	wt := l.wview
 	var mu sync.Mutex
 	tensor.ParallelFor(n, 1, func(lo, hi int) {
+		// Per-chunk scratch, reused across the chunk's samples: the partials
+		// must stay goroutine-private, but need not be per-sample.
 		dwPart := make([]float64, len(l.Wt.Data))
 		dbPart := make([]float64, len(l.B.Data))
 		dwMat := tensor.FromSlice(l.OutC, k, dwPart)
+		dw := tensor.NewDense(l.OutC, k)
+		dcols := tensor.NewDense(k, p)
 		for s := lo; s < hi; s++ {
 			dseg := tensor.FromSlice(l.OutC, p, dout.Row(s))
 			// dW += dOut·colsᵀ
-			dw := tensor.MatMulBT(dseg, l.cols[s])
+			tensor.MatMulBTInto(dw, dseg, l.cols[s])
 			tensor.AddVec(dwMat.Data, dw.Data)
 			for oc := 0; oc < l.OutC; oc++ {
 				dbPart[oc] += tensor.Sum(dseg.Row(oc))
 			}
 			// dcols = Wᵀ·dOut, scattered back to image space
-			dcols := tensor.MatMulAT(wt, dseg)
+			tensor.MatMulATInto(dcols, wt, dseg)
 			l.col2im(dcols, dx.Row(s))
 		}
 		mu.Lock()

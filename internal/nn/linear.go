@@ -12,6 +12,10 @@ type Linear struct {
 	W, B    *Param
 
 	x *tensor.Dense // cached input for backward
+
+	wview        *tensor.Dense // W.Data viewed as In×Out (W.Data is stable)
+	fwd, bwd, dw workspace     // reusable out / dX / dW buffers
+	db           vecWorkspace  // reusable bias-gradient buffer
 }
 
 // NewLinear creates a Linear layer with He-initialised weights.
@@ -23,6 +27,7 @@ func NewLinear(r *xrand.RNG, in, out int) *Linear {
 		B:   NewParam("linear.B", out),
 	}
 	heInit(r, l.W.Data, in)
+	l.wview = tensor.FromSlice(in, out, l.W.Data)
 	return l
 }
 
@@ -40,22 +45,29 @@ func (l *Linear) Forward(x *tensor.Dense, train bool) *tensor.Dense {
 		panic("nn: Linear input width mismatch")
 	}
 	l.x = x
-	w := tensor.FromSlice(l.In, l.Out, l.W.Data)
-	out := tensor.MatMul(x, w)
+	out := l.fwd.get(x.R, l.Out)
+	tensor.MatMulInto(out, x, l.wview)
 	out.AddRowVec(l.B.Data)
 	return out
 }
 
 // Backward accumulates dW = Xᵀ·dY, db = Σ rows(dY) and returns dX = dY·Wᵀ.
+// Gradient contributions are computed into scratch buffers and then added,
+// preserving the summation order (and hence the bits) of the allocating
+// implementation.
 func (l *Linear) Backward(dout *tensor.Dense) *tensor.Dense {
 	if l.x == nil {
 		panic("nn: Linear Backward before Forward")
 	}
-	dw := tensor.MatMulAT(l.x, dout)
+	dw := l.dw.get(l.In, l.Out)
+	tensor.MatMulATInto(dw, l.x, dout)
 	tensor.AddVec(l.W.Grad, dw.Data)
-	tensor.AddVec(l.B.Grad, dout.ColSums())
-	w := tensor.FromSlice(l.In, l.Out, l.W.Data)
-	return tensor.MatMulBT(dout, w)
+	db := l.db.get(l.Out)
+	dout.ColSumsInto(db)
+	tensor.AddVec(l.B.Grad, db)
+	dx := l.bwd.get(dout.R, l.In)
+	tensor.MatMulBTInto(dx, dout, l.wview)
+	return dx
 }
 
 // Params returns [W, B].

@@ -38,6 +38,22 @@ func (n *Network) VectorInto(dst []float64) { FlattenParams(n.params, dst) }
 // SetVector loads all parameters from a flat vector.
 func (n *Network) SetVector(v []float64) { UnflattenParams(n.params, v) }
 
+// DeltaInto computes dst = ref - params directly from the parameter
+// segments, fusing VectorInto and the subtraction into one pass with no
+// intermediate flat copy. dst and ref are flat vectors over all parameters.
+func (n *Network) DeltaInto(dst, ref []float64) {
+	if len(dst) != n.NumParams() || len(ref) != n.NumParams() {
+		panic("nn: DeltaInto length mismatch")
+	}
+	off := 0
+	for _, p := range n.params {
+		for i, v := range p.Data {
+			dst[off+i] = ref[off+i] - v
+		}
+		off += len(p.Data)
+	}
+}
+
 // GradVector copies all gradients into a fresh flat vector.
 func (n *Network) GradVector() []float64 {
 	return FlattenGrads(n.params, make([]float64, n.NumParams()))

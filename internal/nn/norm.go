@@ -22,6 +22,8 @@ type BatchNorm struct {
 	invstd []float64 // per channel
 	nIn    int       // batch size of the cached forward
 	train  bool
+
+	fwd, bwd workspace
 }
 
 // NewBatchNorm creates a BatchNorm over the given channel count and spatial
@@ -52,7 +54,7 @@ func (l *BatchNorm) Forward(x *tensor.Dense, train bool) *tensor.Dense {
 	n := x.R
 	sp := l.Spatial
 	m := float64(n * sp)
-	out := tensor.NewDense(n, x.C)
+	out := l.fwd.get(n, x.C)
 	if cap(l.xmu) < len(x.Data) {
 		l.xmu = make([]float64, len(x.Data))
 	}
@@ -110,7 +112,7 @@ func (l *BatchNorm) Backward(dout *tensor.Dense) *tensor.Dense {
 	n := l.nIn
 	sp := l.Spatial
 	m := float64(n * sp)
-	dx := tensor.NewDense(n, dout.C)
+	dx := l.bwd.get(n, dout.C)
 	for c := 0; c < l.Channels; c++ {
 		inv := l.invstd[c]
 		g := l.Gamma.Data[c]

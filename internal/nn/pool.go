@@ -14,6 +14,8 @@ type MaxPool2D struct {
 
 	argmax []int // flat input index of each output element's winner
 	inCols int
+
+	fwd, bwd workspace
 }
 
 // NewMaxPool2D creates a pooling layer with kernel k and stride s.
@@ -36,7 +38,7 @@ func (l *MaxPool2D) Forward(x *tensor.Dense, train bool) *tensor.Dense {
 	}
 	n := x.R
 	l.inCols = x.C
-	out := tensor.NewDense(n, l.OutDim())
+	out := l.fwd.get(n, l.OutDim())
 	if cap(l.argmax) < n*l.OutDim() {
 		l.argmax = make([]int, n*l.OutDim())
 	}
@@ -78,7 +80,7 @@ func (l *MaxPool2D) Forward(x *tensor.Dense, train bool) *tensor.Dense {
 // Backward routes gradients to the winning positions.
 func (l *MaxPool2D) Backward(dout *tensor.Dense) *tensor.Dense {
 	n := dout.R
-	dx := tensor.NewDense(n, l.inCols)
+	dx := l.bwd.getZeroed(n, l.inCols) // scatter-add target: must start clean
 	for s := 0; s < n; s++ {
 		drow := dout.Row(s)
 		dxr := dx.Row(s)
@@ -97,6 +99,8 @@ func (l *MaxPool2D) Params() []*Param { return nil }
 // (N, C·H·W) → (N, C).
 type GlobalAvgPool struct {
 	C, H, W int
+
+	fwd, bwd workspace
 }
 
 // NewGlobalAvgPool creates the reduction layer.
@@ -110,7 +114,7 @@ func (l *GlobalAvgPool) Forward(x *tensor.Dense, train bool) *tensor.Dense {
 		panic("nn: GlobalAvgPool input width mismatch")
 	}
 	sp := l.H * l.W
-	out := tensor.NewDense(x.R, l.C)
+	out := l.fwd.get(x.R, l.C)
 	inv := 1 / float64(sp)
 	for s := 0; s < x.R; s++ {
 		img := x.Row(s)
@@ -126,7 +130,7 @@ func (l *GlobalAvgPool) Forward(x *tensor.Dense, train bool) *tensor.Dense {
 func (l *GlobalAvgPool) Backward(dout *tensor.Dense) *tensor.Dense {
 	sp := l.H * l.W
 	inv := 1 / float64(sp)
-	dx := tensor.NewDense(dout.R, l.C*sp)
+	dx := l.bwd.get(dout.R, l.C*sp)
 	for s := 0; s < dout.R; s++ {
 		drow := dout.Row(s)
 		dxr := dx.Row(s)

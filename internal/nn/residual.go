@@ -10,6 +10,8 @@ import (
 type Residual struct {
 	Body Layer
 	Proj Layer // nil for identity skip
+
+	fwd, bwd workspace
 }
 
 // NewResidual wraps body with an identity skip connection.
@@ -20,21 +22,23 @@ func NewResidualProj(body, proj Layer) *Residual {
 	return &Residual{Body: body, Proj: proj}
 }
 
-// Forward computes the residual sum.
+// Forward computes the residual sum into the block's own workspace: the
+// body's last layer may have cached a reference to its output buffer, which
+// must not be mutated in place.
 func (l *Residual) Forward(x *tensor.Dense, train bool) *tensor.Dense {
 	out := l.Body.Forward(x, train)
 	if l.Proj != nil {
 		skip := l.Proj.Forward(x, train)
-		// Clone: the body's last layer may have cached a reference to its
-		// output buffer, which we must not mutate in place.
-		res := out.Clone()
+		res := l.fwd.get(out.R, out.C)
+		copy(res.Data, out.Data)
 		tensor.AddVec(res.Data, skip.Data)
 		return res
 	}
 	if out.C != x.C {
 		panic("nn: Residual identity skip requires matching shapes")
 	}
-	res := out.Clone()
+	res := l.fwd.get(out.R, out.C)
+	copy(res.Data, out.Data)
 	tensor.AddVec(res.Data, x.Data)
 	return res
 }
@@ -47,7 +51,8 @@ func (l *Residual) Backward(dout *tensor.Dense) *tensor.Dense {
 		tensor.AddVec(dx.Data, dskip.Data)
 		return dx
 	}
-	sum := dx.Clone()
+	sum := l.bwd.get(dx.R, dx.C)
+	copy(sum.Data, dx.Data)
 	tensor.AddVec(sum.Data, dout.Data)
 	return sum
 }
@@ -67,6 +72,8 @@ type Dropout struct {
 	P    float64
 	rng  *xrand.RNG
 	mask []bool
+
+	fwd, bwd workspace
 }
 
 // NewDropout creates a dropout layer driven by the given RNG stream.
@@ -87,18 +94,18 @@ func (l *Dropout) Forward(x *tensor.Dense, train bool) *tensor.Dense {
 		l.mask = l.mask[:0]
 		return x
 	}
-	out := x.Clone()
+	out := l.fwd.get(x.R, x.C)
 	if cap(l.mask) < len(out.Data) {
 		l.mask = make([]bool, len(out.Data))
 	}
 	l.mask = l.mask[:len(out.Data)]
 	scale := 1 / (1 - l.P)
-	for i := range out.Data {
+	for i, v := range x.Data {
 		if l.rng.Float64() < l.P {
 			out.Data[i] = 0
 			l.mask[i] = false
 		} else {
-			out.Data[i] *= scale
+			out.Data[i] = v * scale
 			l.mask[i] = true
 		}
 	}
@@ -110,11 +117,11 @@ func (l *Dropout) Backward(dout *tensor.Dense) *tensor.Dense {
 	if len(l.mask) == 0 {
 		return dout
 	}
-	dx := dout.Clone()
+	dx := l.bwd.get(dout.R, dout.C)
 	scale := 1 / (1 - l.P)
-	for i := range dx.Data {
+	for i, v := range dout.Data {
 		if l.mask[i] {
-			dx.Data[i] *= scale
+			dx.Data[i] = v * scale
 		} else {
 			dx.Data[i] = 0
 		}

@@ -1,0 +1,58 @@
+package nn
+
+import "fedwcm/internal/tensor"
+
+// workspace is a reusable activation buffer. Every layer allocates its
+// outputs (and input gradients) through one of these instead of a fresh
+// Dense per Forward/Backward, so training loops that feed equally shaped
+// batches — the overwhelmingly common case in the federated inner loop —
+// run the forward/backward chain allocation-free after the first batch.
+//
+// Correctness rests on two invariants the layer convention already
+// guarantees:
+//
+//   - Each layer instance owns its workspaces, so within one forward (or
+//     backward) chain no two tensors alias: layer i's output buffer is
+//     distinct from layer j's for i ≠ j, and skip connections read inputs
+//     produced by *other* layers' buffers.
+//   - A layer's output is consumed before its next Forward call (networks
+//     are not safe for concurrent use, and callers never hold activations
+//     across steps), so overwriting the buffer on reuse is safe.
+//
+// Reuse is capacity-based: a shrinking batch (the short last batch of an
+// epoch) re-slices the same backing array; only growth reallocates. The
+// values written are bit-identical to the allocating path — buffers are
+// fully overwritten (or explicitly zeroed) before use.
+type workspace struct {
+	d *tensor.Dense
+}
+
+// get returns an r×c matrix backed by the workspace, reallocating only when
+// the backing array is too small (shape changes re-use the header in
+// place). Contents are unspecified; callers must fully overwrite (use
+// getZeroed for accumulation targets).
+func (w *workspace) get(r, c int) *tensor.Dense {
+	w.d = tensor.ReuseDense(w.d, r, c)
+	return w.d
+}
+
+// getZeroed is get with the returned matrix cleared.
+func (w *workspace) getZeroed(r, c int) *tensor.Dense {
+	d := w.get(r, c)
+	d.ZeroAll()
+	return d
+}
+
+// vecWorkspace is the vector counterpart of workspace.
+type vecWorkspace struct {
+	v []float64
+}
+
+// get returns a length-n slice backed by the workspace; contents are
+// unspecified.
+func (w *vecWorkspace) get(n int) []float64 {
+	if cap(w.v) < n {
+		w.v = make([]float64, n)
+	}
+	return w.v[:n]
+}

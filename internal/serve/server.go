@@ -56,11 +56,16 @@ type Runner = sweep.Runner
 
 // Config wires a Server.
 type Config struct {
-	Store      *store.Store                     // required: result cache and artifact store
-	Workers    int                              // concurrent training runs; 0 = 2
-	QueueDepth int                              // queued (not yet running) submissions; 0 = 64
-	Runner     Runner                           // nil = run specs for real
-	Logf       func(format string, args ...any) // nil = log.Printf
+	Store      *store.Store // required: result cache and artifact store
+	Workers    int          // concurrent training runs; 0 = 2
+	QueueDepth int          // queued (not yet running) submissions; 0 = 64
+	Runner     Runner       // nil = run specs for real
+	// Envs backs environment construction for the default runner: runs and
+	// sweep cells sharing a dataset+partition sub-spec build it once. Nil
+	// gets a fresh cache of DefaultEnvCacheCap; ignored when Runner is
+	// overridden (the cache counters then stay zero).
+	Envs *sweep.EnvCache
+	Logf func(format string, args ...any) // nil = log.Printf
 }
 
 // Server is the run service. Create with New, serve with net/http, stop
@@ -93,9 +98,13 @@ func New(cfg Config) (*Server, error) {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 64
 	}
+	if cfg.Envs == nil {
+		cfg.Envs = sweep.NewEnvCache(0)
+	}
 	if cfg.Runner == nil {
+		envs := cfg.Envs
 		cfg.Runner = func(spec sweep.RunSpec, onRound func(fl.RoundStat)) (*fl.History, error) {
-			return spec.RunWithProgress(onRound)
+			return spec.RunWithProgressCached(envs, onRound)
 		}
 	}
 	if cfg.Logf == nil {

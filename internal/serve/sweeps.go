@@ -175,7 +175,17 @@ type sweepSummary struct {
 	Status string         `json:"status"` // running | done | failed
 	Total  int            `json:"total"`
 	Counts map[string]int `json:"counts"`
-	Cells  []sweepCellRow `json:"cells,omitempty"`
+	// EnvCache reports the server-wide environment-cache counters (hits,
+	// misses, evictions, entries) — how often cells reused an already built
+	// dataset+partition instead of constructing one.
+	EnvCache *sweep.EnvCacheStats `json:"env_cache,omitempty"`
+	Cells    []sweepCellRow       `json:"cells,omitempty"`
+}
+
+// envStats snapshots the server's environment cache for API responses.
+func (s *Server) envStats() *sweep.EnvCacheStats {
+	st := s.cfg.Envs.Stats()
+	return &st
 }
 
 type sweepCellRow struct {
@@ -345,20 +355,23 @@ func (s *Server) handleSweepStatus(w http.ResponseWriter, req *http.Request) {
 		httpError(w, http.StatusNotFound, "unknown sweep %s", req.PathValue("id"))
 		return
 	}
-	writeJSON(w, http.StatusOK, sw.summary(true))
+	sum := sw.summary(true)
+	sum.EnvCache = s.envStats()
+	writeJSON(w, http.StatusOK, sum)
 }
 
 // sweepResultResponse is the aggregated view of a finished sweep: the
 // seed-collapsed groups plus a rendered text table for human eyes.
 type sweepResultResponse struct {
-	ID       string         `json:"id"`
-	Status   string         `json:"status"`
-	Total    int            `json:"total"`
-	Cached   int            `json:"cached"`
-	Computed int            `json:"computed"`
-	Failed   int            `json:"failed"`
-	Groups   []*sweep.Group `json:"groups"`
-	Table    string         `json:"table"`
+	ID       string               `json:"id"`
+	Status   string               `json:"status"`
+	Total    int                  `json:"total"`
+	Cached   int                  `json:"cached"`
+	Computed int                  `json:"computed"`
+	Failed   int                  `json:"failed"`
+	EnvCache *sweep.EnvCacheStats `json:"env_cache,omitempty"`
+	Groups   []*sweep.Group       `json:"groups"`
+	Table    string               `json:"table"`
 }
 
 func (s *Server) handleSweepResult(w http.ResponseWriter, req *http.Request) {
@@ -384,6 +397,7 @@ func (s *Server) handleSweepResult(w http.ResponseWriter, req *http.Request) {
 		Cached:   res.Cached,
 		Computed: res.Computed,
 		Failed:   res.Failed,
+		EnvCache: s.envStats(),
 		Groups:   res.Groups,
 		Table:    res.AggTable(title).String(),
 	})

@@ -315,3 +315,64 @@ func TestSweepSharesInflightRuns(t *testing.T) {
 		t.Fatalf("sweep cell id %s differs from run id %s", sum.Cells[0].ID, first.ID)
 	}
 }
+
+// TestSweepStatusReportsEnvCache: a real-runner grid over one dataset
+// surfaces the environment-cache counters in the status and result
+// responses — one construction, the remaining cells reusing it.
+func TestSweepStatusReportsEnvCache(t *testing.T) {
+	envs := sweep.NewEnvCache(4)
+	_, ts := newTestServer(t, Config{Workers: 2, Envs: envs}) // real runner
+	sp := sweep.Spec{
+		Datasets: []string{"cifar10-syn"},
+		Methods:  []string{"fedavg", "fedcm"},
+		Clients:  []int{4},
+		Rounds:   8,
+		Effort:   0.1,
+	}
+	code, sum := postSweep(t, ts, sp)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	done := waitSweepDone(t, ts, sum.ID)
+	if done.Status != StatusDone {
+		t.Fatalf("sweep finished %s", done.Status)
+	}
+	if done.EnvCache == nil {
+		t.Fatal("sweep status must report env_cache counters")
+	}
+	if done.EnvCache.Misses != 1 {
+		t.Fatalf("2-cell grid over one dataset must build one env, got %+v", done.EnvCache)
+	}
+	if done.EnvCache.Hits != 1 {
+		t.Fatalf("second cell must reuse the env, got %+v", done.EnvCache)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/sweeps/" + sum.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var res sweepResultResponse
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if res.EnvCache == nil || res.EnvCache.Misses != 1 {
+		t.Fatalf("result response must carry env_cache counters, got %+v", res.EnvCache)
+	}
+}
+
+// TestCannedRunnerKeepsEnvCounters: with an overridden Runner no
+// environments are built, but the counters are still present (all zero) so
+// API clients get a stable response shape.
+func TestCannedRunnerKeepsEnvCounters(t *testing.T) {
+	var execs atomic.Int64
+	_, ts := newTestServer(t, Config{Runner: countingRunner(&execs)})
+	_, sum := postSweep(t, ts, sweep.Spec{Methods: []string{"fedavg"}, Rounds: 8})
+	done := waitSweepDone(t, ts, sum.ID)
+	if done.EnvCache == nil {
+		t.Fatal("env_cache counters missing")
+	}
+	if done.EnvCache.Misses != 0 || done.EnvCache.Hits != 0 {
+		t.Fatalf("canned runner must not touch the env cache: %+v", done.EnvCache)
+	}
+}

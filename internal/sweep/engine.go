@@ -19,9 +19,13 @@ type Runner func(spec RunSpec, onRound func(fl.RoundStat)) (*fl.History, error)
 // only its missing fingerprints. It is the in-process counterpart of the
 // HTTP run service — cmd/fedbench drives experiments through it.
 type Engine struct {
-	Store   *store.Store // optional: nil runs without caching
+	Store   *store.Store // optional: nil runs without result caching
 	Workers int          // concurrent cells; 0 = 3
 	Runner  Runner       // nil = run specs for real
+	// Envs, when set, backs environment construction for the default
+	// runner: cells sharing a dataset+partition sub-spec build it once
+	// (see EnvCache). Ignored when Runner is overridden.
+	Envs *EnvCache
 
 	mu       sync.Mutex
 	inflight map[string]*flight
@@ -131,7 +135,7 @@ func (e *Engine) runCell(c Cell) CellResult {
 	run := e.Runner
 	if run == nil {
 		run = func(spec RunSpec, onRound func(fl.RoundStat)) (*fl.History, error) {
-			return spec.RunWithProgress(onRound)
+			return spec.RunWithProgressCached(e.Envs, onRound)
 		}
 	}
 	f.hist, f.err = run(c.Spec, nil)

@@ -1,0 +1,92 @@
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"testing"
+
+	"fedwcm/internal/fl"
+)
+
+// goldenSpec is the shared fixture: a deliberately small but fully featured
+// run (long-tailed data, client dropouts, partial participation) so the hash
+// exercises sampling, drop handling, local SGD and every aggregation path.
+func goldenSpec(method string) RunSpec {
+	return RunSpec{
+		Dataset:   "cifar10-syn",
+		Method:    method,
+		Beta:      0.3,
+		IF:        0.2,
+		Partition: "equal",
+		Clients:   6,
+		Model:     "mlpbn",
+		Scale:     0.05,
+		Cfg: fl.Config{
+			Rounds: 4, SampleClients: 4, LocalEpochs: 1, BatchSize: 16,
+			EtaL: 0.05, EtaG: 1, Seed: 7, EvalEvery: 2, Workers: 1,
+			DropProb: 0.25,
+		},
+	}
+}
+
+// goldenHistories pins a SHA-256 of the canonical JSON history for one small
+// run per method family. These hashes were recorded on the pre-runtime
+// seed implementation (PR 2); any engine, scratch-buffer or kernel change
+// that shifts a single bit of any history must fail here. They complement
+// the Workers=1v4 determinism test in internal/fl, which only proves
+// schedule-independence, not stability across refactors.
+var goldenHistories = map[string]string{
+	"fedavg":    "416ec63e755b5f48a8eab5425576d716421df2ecddab82d32cb50c425cecd8d1",
+	"fedcm":     "a7a6a228725b6687dbf9b569ee633508017a988231e7a8f210c6b1fb4a06bd1a",
+	"fedwcm":    "62e339a14ee5f5091b43142c8d8b756996e936dbbe9d85985857c6ab1d8b6719",
+	"scaffold":  "56410ce9df161cf88d01fc478627f603b32a9bd67a7958a17b20a9b34f290e58",
+	"feddyn":    "921c4f8d6fc5240212df1d6abaaa33964983fbba87b9b5ddfb0cba3f6cc5d84f",
+	"mofedsam":  "b81b86c38a989ad9f78819669933e0ee721541a223144f8ac0f572d2acb64f91",
+	"fedgrab":   "3fcacd4940adf9543841f0458785de77a363e2c46377e4d3d74ebffe42e607a8",
+	"balancefl": "8482bb06896e853ba558dd4aa06d9058baab426ea2fe055cdbe9a116f68e7658",
+}
+
+// historyHash is the pinned digest: hex SHA-256 of the history's canonical
+// JSON (encoding/json is deterministic for this shape: struct field order is
+// declaration order, map keys are sorted, float64 uses the shortest
+// round-trip encoding).
+func historyHash(t *testing.T, h *fl.History) string {
+	t.Helper()
+	b, err := json.Marshal(h)
+	if err != nil {
+		t.Fatalf("marshal history: %v", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+func TestGoldenHistoriesBitIdentical(t *testing.T) {
+	for method, want := range goldenHistories {
+		t.Run(method, func(t *testing.T) {
+			spec := goldenSpec(method)
+			h1, err := spec.Run()
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			got := historyHash(t, h1)
+
+			spec4 := spec
+			spec4.Cfg.Workers = 4
+			h4, err := spec4.Run()
+			if err != nil {
+				t.Fatalf("run workers=4: %v", err)
+			}
+			if got4 := historyHash(t, h4); got4 != got {
+				t.Fatalf("Workers=4 history diverges from Workers=1: %s vs %s", got4, got)
+			}
+
+			if want == "" {
+				t.Fatalf("no golden hash pinned for %s; computed %s", method, got)
+			}
+			if got != want {
+				t.Errorf("history hash changed: got %s want %s", got, want)
+			}
+		})
+	}
+}

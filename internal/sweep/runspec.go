@@ -118,26 +118,56 @@ func partitionFor(name string) (func(prng *xrand.RNG, ds *data.Dataset, clients 
 	}
 }
 
+// buildPieces constructs the cacheable parts of the environment: train/test
+// datasets and the partition. It assumes s has Defaults applied. This is
+// the single construction path — EnvCache memoises exactly this function,
+// so cached and uncached builds are byte-identical by construction.
+func (s RunSpec) buildPieces() (envPieces, error) {
+	spec, err := data.Lookup(s.Dataset)
+	if err != nil {
+		return envPieces{}, err
+	}
+	makePart, err := partitionFor(s.Partition)
+	if err != nil {
+		return envPieces{}, err
+	}
+	train, test := spec.MakeScaled(s.Cfg.Seed, s.IF, s.Scale)
+	prng := xrand.New(xrand.DeriveSeed(s.Cfg.Seed, 0x9a27))
+	part := makePart(prng, train, s.Clients, s.Beta)
+	return envPieces{train: train, test: test, part: part}, nil
+}
+
 // BuildEnv constructs the federated environment for this spec (without
 // running anything).
 func (s RunSpec) BuildEnv() (*fl.Env, error) {
+	return s.BuildEnvCached(nil)
+}
+
+// BuildEnvCached is BuildEnv with dataset+partition construction served
+// from cache when cache is non-nil. The Env wrapper itself is always fresh
+// (its clients, probes and loss are per-run state); only the immutable
+// pieces — datasets and partition — are shared, so Mod hooks and probes
+// remain safe on cached environments.
+func (s RunSpec) BuildEnvCached(cache *EnvCache) (*fl.Env, error) {
 	s = s.Defaults()
 	spec, err := data.Lookup(s.Dataset)
 	if err != nil {
 		return nil, err
 	}
-	makePart, err := partitionFor(s.Partition)
-	if err != nil {
-		return nil, err
-	}
-	train, test := spec.MakeScaled(s.Cfg.Seed, s.IF, s.Scale)
-	prng := xrand.New(xrand.DeriveSeed(s.Cfg.Seed, 0x9a27))
-	part := makePart(prng, train, s.Clients, s.Beta)
 	build, err := ModelFor(spec, s.Model)
 	if err != nil {
 		return nil, err
 	}
-	return fl.NewEnv(s.Cfg, train, test, part, build, nil), nil
+	var pieces envPieces
+	if cache != nil {
+		pieces, err = cache.get(s)
+	} else {
+		pieces, err = s.buildPieces()
+	}
+	if err != nil {
+		return nil, err
+	}
+	return fl.NewEnv(s.Cfg, pieces.train, pieces.test, pieces.part, build, nil), nil
 }
 
 // Run executes the spec and returns its history.
@@ -149,8 +179,15 @@ func (s RunSpec) Run() (*fl.History, error) {
 // RoundStat (see fl.RunWithProgress). The callback does not influence the
 // result.
 func (s RunSpec) RunWithProgress(onRound func(fl.RoundStat)) (*fl.History, error) {
+	return s.RunWithProgressCached(nil, onRound)
+}
+
+// RunWithProgressCached is RunWithProgress with environment construction
+// served from cache when cache is non-nil. Histories are identical either
+// way; the cache only removes redundant dataset+partition builds.
+func (s RunSpec) RunWithProgressCached(cache *EnvCache, onRound func(fl.RoundStat)) (*fl.History, error) {
 	s = s.Defaults() // a spec relying on defaults must run, not fail on Method ""
-	env, err := s.BuildEnv()
+	env, err := s.BuildEnvCached(cache)
 	if err != nil {
 		return nil, err
 	}

@@ -30,6 +30,20 @@ func FromSlice(r, c int, data []float64) *Dense {
 	return &Dense{R: r, C: c, Data: data}
 }
 
+// ReuseDense returns an r×c matrix, recycling d (header and backing array)
+// when its capacity suffices and allocating a fresh matrix otherwise.
+// Contents are unspecified — callers must fully overwrite (or Zero) them.
+// Recycling mutates d's header in place, so the previous shape becomes
+// invalid; callers own the workspace and must not hand the old view out.
+func ReuseDense(d *Dense, r, c int) *Dense {
+	if d == nil || cap(d.Data) < r*c {
+		return NewDense(r, c)
+	}
+	d.R, d.C = r, c
+	d.Data = d.Data[:r*c]
+	return d
+}
+
 // At returns element (i, j).
 func (m *Dense) At(i, j int) float64 { return m.Data[i*m.C+j] }
 
@@ -80,10 +94,21 @@ func (m *Dense) AddRowVec(v []float64) {
 // ColSums returns the per-column sums (a length-C vector).
 func (m *Dense) ColSums() []float64 {
 	out := make([]float64, m.C)
-	for i := 0; i < m.R; i++ {
-		AddVec(out, m.Row(i))
-	}
+	m.ColSumsInto(out)
 	return out
+}
+
+// ColSumsInto writes the per-column sums into dst (len C), overwriting it.
+// Summation order matches ColSums (zeroed, rows ascending) so buffer-reusing
+// callers stay bit-identical.
+func (m *Dense) ColSumsInto(dst []float64) {
+	if len(dst) != m.C {
+		panic("tensor: ColSumsInto length mismatch")
+	}
+	Zero(dst)
+	for i := 0; i < m.R; i++ {
+		AddVec(dst, m.Row(i))
+	}
 }
 
 // Equal reports whether two matrices have identical shape and elements

@@ -9,7 +9,10 @@ package tensor
 //
 // Each parallelises over output rows when the work is large enough to pay
 // for goroutine startup; the inner loops are written k-outer so the compiler
-// keeps a scalar of A in a register and streams B rows.
+// keeps a scalar of A in a register and streams B rows. The small-matrix
+// case — which dominates the federated inner loop — takes a direct serial
+// path through the shared range kernels, so no closure or goroutine is
+// allocated per call.
 
 // matmulMinFlops is the approximate flop count under which a matmul stays
 // serial. Client models in the sweep harness are small; parallelism pays off
@@ -26,6 +29,24 @@ func MatMul(a, b *Dense) *Dense {
 	return out
 }
 
+// matmulRange computes rows [lo, hi) of dst = A·B; dst rows must be zeroed.
+func matmulRange(dst, a, b *Dense, lo, hi int) {
+	k, m := a.C, b.C
+	for i := lo; i < hi; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		crow := dst.Data[i*m : (i+1)*m]
+		for p, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*m : (p+1)*m]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
 // MatMulInto computes dst = A·B, overwriting dst (which must be a.R×b.C).
 func MatMulInto(dst, a, b *Dense) {
 	if a.C != b.R || dst.R != a.R || dst.C != b.C {
@@ -34,69 +55,89 @@ func MatMulInto(dst, a, b *Dense) {
 	Zero(dst.Data)
 	n, k, m := a.R, a.C, b.C
 	minRows := rowsForFlops(n, k, m)
-	ParallelFor(n, minRows, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Data[i*k : (i+1)*k]
-			crow := dst.Data[i*m : (i+1)*m]
-			for p, av := range arow {
-				if av == 0 {
-					continue
-				}
-				brow := b.Data[p*m : (p+1)*m]
-				for j, bv := range brow {
-					crow[j] += av * bv
-				}
-			}
-		}
-	})
+	if serialFor(n, minRows) {
+		matmulRange(dst, a, b, 0, n)
+		return
+	}
+	ParallelFor(n, minRows, func(lo, hi int) { matmulRange(dst, a, b, lo, hi) })
 }
 
 // MatMulBT returns A·Bᵀ, where B is given untransposed (m×k against A n×k).
 func MatMulBT(a, b *Dense) *Dense {
-	if a.C != b.C {
-		panic("tensor: MatMulBT dimension mismatch")
-	}
 	out := NewDense(a.R, b.R)
+	MatMulBTInto(out, a, b)
+	return out
+}
+
+// matmulBTRange computes rows [lo, hi) of dst = A·Bᵀ.
+func matmulBTRange(dst, a, b *Dense, lo, hi int) {
+	k, m := a.C, b.R
+	for i := lo; i < hi; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		crow := dst.Data[i*m : (i+1)*m]
+		for j := 0; j < m; j++ {
+			crow[j] = Dot(arow, b.Data[j*k:(j+1)*k])
+		}
+	}
+}
+
+// MatMulBTInto computes dst = A·Bᵀ, overwriting dst (which must be a.R×b.R).
+func MatMulBTInto(dst, a, b *Dense) {
+	if a.C != b.C || dst.R != a.R || dst.C != b.R {
+		panic("tensor: MatMulBTInto dimension mismatch")
+	}
 	n, k, m := a.R, a.C, b.R
 	minRows := rowsForFlops(n, k, m)
-	ParallelFor(n, minRows, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Data[i*k : (i+1)*k]
-			crow := out.Data[i*m : (i+1)*m]
-			for j := 0; j < m; j++ {
-				crow[j] = Dot(arow, b.Data[j*k:(j+1)*k])
-			}
-		}
-	})
-	return out
+	if serialFor(n, minRows) {
+		matmulBTRange(dst, a, b, 0, n)
+		return
+	}
+	ParallelFor(n, minRows, func(lo, hi int) { matmulBTRange(dst, a, b, lo, hi) })
 }
 
 // MatMulAT returns Aᵀ·B, where A is given untransposed (n×r against B n×c).
 // The result is r×c. This is the weight-gradient product, parallelised over
 // result rows (columns of A) so goroutines never write the same cell.
 func MatMulAT(a, b *Dense) *Dense {
-	if a.R != b.R {
-		panic("tensor: MatMulAT dimension mismatch")
-	}
+	out := NewDense(a.C, b.C)
+	MatMulATInto(out, a, b)
+	return out
+}
+
+// matmulATRange computes rows [lo, hi) of dst = Aᵀ·B; dst rows must be
+// zeroed.
+func matmulATRange(dst, a, b *Dense, lo, hi int) {
 	n, r, c := a.R, a.C, b.C
-	out := NewDense(r, c)
-	minRows := rowsForFlops(r, n, c)
-	ParallelFor(r, minRows, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			crow := out.Data[i*c : (i+1)*c]
-			for p := 0; p < n; p++ {
-				av := a.Data[p*r+i]
-				if av == 0 {
-					continue
-				}
-				brow := b.Data[p*c : (p+1)*c]
-				for j, bv := range brow {
-					crow[j] += av * bv
-				}
+	for i := lo; i < hi; i++ {
+		crow := dst.Data[i*c : (i+1)*c]
+		for p := 0; p < n; p++ {
+			av := a.Data[p*r+i]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*c : (p+1)*c]
+			for j, bv := range brow {
+				crow[j] += av * bv
 			}
 		}
-	})
-	return out
+	}
+}
+
+// MatMulATInto computes dst = Aᵀ·B, overwriting dst (which must be a.C×b.C).
+// The accumulation order matches MatMulAT exactly (zeroed, then p-ascending),
+// so buffer-reusing callers stay bit-identical to the allocating path.
+func MatMulATInto(dst, a, b *Dense) {
+	if a.R != b.R || dst.R != a.C || dst.C != b.C {
+		panic("tensor: MatMulATInto dimension mismatch")
+	}
+	Zero(dst.Data)
+	n, r, c := a.R, a.C, b.C
+	minRows := rowsForFlops(r, n, c)
+	if serialFor(r, minRows) {
+		matmulATRange(dst, a, b, 0, r)
+		return
+	}
+	ParallelFor(r, minRows, func(lo, hi int) { matmulATRange(dst, a, b, lo, hi) })
 }
 
 // MatVec returns A·x for a length-C vector x.

@@ -20,6 +20,27 @@ func SetMaxWorkers(n int) int {
 	return prev
 }
 
+// workersFor is the single source of ParallelFor's parallelism decision:
+// how many goroutines a loop over [0, n) with the given minimum chunk size
+// would use.
+func workersFor(n, minChunk int) int {
+	if minChunk < 1 {
+		minChunk = 1
+	}
+	workers := maxWorkers
+	if maxChunks := (n + minChunk - 1) / minChunk; workers > maxChunks {
+		workers = maxChunks
+	}
+	return workers
+}
+
+// serialFor reports whether ParallelFor(n, minChunk, ·) would run entirely
+// on the calling goroutine. Hot paths use it to call their range kernel
+// directly, avoiding the per-call closure allocation.
+func serialFor(n, minChunk int) bool {
+	return n <= 0 || workersFor(n, minChunk) <= 1
+}
+
 // ParallelFor runs fn over [0, n) split into contiguous chunks, using up to
 // maxWorkers goroutines. Work smaller than minChunk stays on the calling
 // goroutine: spawning has a real cost and the simulator calls this from hot
@@ -28,13 +49,7 @@ func ParallelFor(n, minChunk int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
-	workers := maxWorkers
-	if minChunk < 1 {
-		minChunk = 1
-	}
-	if maxChunks := (n + minChunk - 1) / minChunk; workers > maxChunks {
-		workers = maxChunks
-	}
+	workers := workersFor(n, minChunk)
 	if workers <= 1 {
 		fn(0, n)
 		return

@@ -74,6 +74,19 @@ func MulVec(dst, x []float64) {
 	}
 }
 
+// DiffInto computes dst = x - y elementwise: the fused client-delta kernel
+// (delta = x_global - x_end) for callers holding two flat vectors. The
+// engine runtime itself goes one step further with nn.Network.DeltaInto,
+// which reads x_end straight out of the parameter segments.
+func DiffInto(dst, x, y []float64) {
+	if len(dst) != len(x) || len(dst) != len(y) {
+		panic("tensor: DiffInto length mismatch")
+	}
+	for i := range dst {
+		dst[i] = x[i] - y[i]
+	}
+}
+
 // Lerp computes dst = a*x + (1-a)*y elementwise into dst.
 // This is exactly the momentum-mixing rule v = alpha*g + (1-alpha)*Delta.
 func Lerp(dst []float64, a float64, x, y []float64) {

@@ -210,3 +210,20 @@ func TestElementwiseOps(t *testing.T) {
 		}
 	}
 }
+
+func TestDiffInto(t *testing.T) {
+	dst := []float64{9, 9, 9}
+	DiffInto(dst, []float64{5, 3, 1}, []float64{1, 1, 4})
+	want := []float64{4, 2, -3}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("DiffInto got %v want %v", dst, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DiffInto must panic on length mismatch")
+		}
+	}()
+	DiffInto(dst, []float64{1}, []float64{1})
+}

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# bench.sh — run the hot-path micro-benchmarks and record the trajectory.
+#
+# Writes BENCH_hotpath.json (or $1) with ns/op, B/op and allocs/op per
+# benchmark, so performance work lands as tracked numbers instead of claims.
+# CI smoke-runs this with BENCHTIME=1x to keep it executable; real numbers
+# come from the default BENCHTIME (or a longer one on quiet hardware):
+#
+#   scripts/bench.sh                    # writes BENCH_hotpath.json
+#   BENCHTIME=100x scripts/bench.sh     # steadier numbers
+#   BENCHTIME=1x scripts/bench.sh /tmp/bench.json   # CI smoke
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-20x}"
+OUT="${1:-BENCH_hotpath.json}"
+# The system's hot paths: one aggregation round, one client's local round,
+# server-side aggregation, evaluation, the CNN forward/backward, and the
+# Dirichlet partitioner. Table/figure regeneration benches are excluded —
+# they measure experiment breadth, not the execution runtime.
+PATTERN='^(BenchmarkRoundHotPath|BenchmarkClientLocalRound|BenchmarkFedWCMAggregate|BenchmarkEvaluate|BenchmarkResNetLiteForward|BenchmarkResNetLiteTrainStep|BenchmarkDirichletPartition)$'
+
+raw=$(go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" .)
+echo "$raw"
+
+echo "$raw" | awk -v benchtime="$BENCHTIME" -v goversion="$(go env GOVERSION)" '
+BEGIN { n = 0 }
+/^Benchmark/ {
+  name = $1; sub(/-[0-9]+$/, "", name); sub(/^Benchmark/, "", name)
+  names[n] = name; iters[n] = $2; ns[n] = $3; bytes[n] = $5; allocs[n] = $7; n++
+}
+END {
+  if (n == 0) { print "bench.sh: no benchmark lines parsed" > "/dev/stderr"; exit 1 }
+  printf "{\n  \"go\": \"%s\",\n  \"benchtime\": \"%s\",\n  \"benchmarks\": [\n", goversion, benchtime
+  for (i = 0; i < n; i++)
+    printf "    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
+      names[i], iters[i], ns[i], bytes[i], allocs[i], (i < n-1 ? "," : "")
+  printf "  ]\n}\n"
+}' > "$OUT"
+echo "wrote $OUT"
