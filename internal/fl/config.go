@@ -8,7 +8,11 @@
 // logit gradient scaling (FedGraB).
 package fl
 
-import "runtime"
+import (
+	"runtime"
+
+	"fedwcm/internal/scenario"
+)
 
 // Config holds the experiment hyperparameters shared by all methods. The
 // defaults follow the paper (§7.1) except for scale: rounds and client
@@ -30,6 +34,12 @@ type Config struct {
 	// report its update with this probability (failure injection; the
 	// engine aggregates whatever arrived, as a real server would).
 	DropProb float64 `json:"drop_prob,omitempty"`
+	// Scenario layers round-time dynamics over the environment: availability
+	// churn (which replaces the flat DropProb coin-flip), stragglers that
+	// complete partial local work, and label-distribution drift. Nil (or a
+	// zero-valued scenario, which canonicalises to nil) runs statically and
+	// keeps the spec's fingerprint identical to pre-scenario builds.
+	Scenario *scenario.Scenario `json:"scenario,omitempty"`
 }
 
 // Defaults fills unset fields with the paper's defaults.
@@ -58,5 +68,6 @@ func (c Config) Defaults() Config {
 	if c.Workers == 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
+	c.Scenario = c.Scenario.Normalized()
 	return c
 }

@@ -3,6 +3,7 @@ package fl
 import (
 	"sort"
 
+	"fedwcm/internal/scenario"
 	"fedwcm/internal/xrand"
 )
 
@@ -51,10 +52,45 @@ func RunWithProgress(env *Env, m Method, onRound func(RoundStat)) *History {
 	sampleRNG := xrand.New(xrand.DeriveSeed(cfg.Seed, 0x5a3317))
 	hist := &History{Method: m.Name()}
 
+	// Scenario dynamics: a Sim answers availability / partial-work / drift
+	// queries deterministically from (seed, round, client). Shot buckets are
+	// fixed from the round-0 global train profile so the reported series
+	// stays comparable even when drift reshapes the environment.
+	var sim *scenario.Sim
+	if !cfg.Scenario.IsZero() {
+		sim = scenario.NewSim(cfg.Scenario, cfg.Seed, nClients, cfg.Rounds)
+		if sim.HasDrift() {
+			// Drift rebuilds replace env.Clients mid-run; restore the base
+			// views on exit so an Env reused across Run calls starts every
+			// run from the same world (same spec ⇒ same history).
+			base := env.Clients
+			defer func() { env.Clients = base }()
+		}
+	}
+	shotBuckets := ShotBuckets(env.GlobalCounts())
+	testTotals := env.Test.ClassCounts()
+	curStage := 0
+
 	dropRNG := xrand.New(xrand.DeriveSeed(cfg.Seed, 0xd20b))
 	dropped := make([]bool, k)
+	var fracs []float64
 	arrived := make([]*ClientResult, 0, k)
+	lastTrainLoss := 0.0
 	for r := 0; r < cfg.Rounds; r++ {
+		if sim != nil {
+			// Drift: at a stage boundary, re-partition the (immutable) train
+			// set under the stage's interpolated β and trim tail classes
+			// toward the stage's IF. The rebuild replaces env.Clients while
+			// all workers are idle; the runtime observes it through the same
+			// happens-before edges as the rest of the round state.
+			if st := sim.Stage(r); st != curStage && env.Repartition != nil && env.BaseBeta > 0 {
+				curStage = st
+				beta, ifac := sim.StageParams(st, env.BaseBeta, env.BaseIF)
+				part := env.Repartition(scenario.DriftSeed(cfg.Seed, st), beta)
+				env.Clients = driftClients(env.Train, part, scenario.KeepFracs(env.Train.Classes, env.BaseIF, ifac))
+			}
+			sim.BeginRound(r)
+		}
 		sampled := sampleRNG.SampleWithoutReplacement(nClients, k)
 		sort.Ints(sampled) // canonical order; keeps aggregation reproducible
 		// Failure injection: decide upfront (deterministically) which of the
@@ -65,7 +101,16 @@ func RunWithProgress(env *Env, m Method, onRound func(RoundStat)) *History {
 		for i := range dropped {
 			dropped[i] = false
 		}
-		if cfg.DropProb > 0 {
+		switch {
+		case sim != nil && sim.HasAvailability():
+			// The availability trace replaces the flat coin-flip. A round
+			// where the whole sampled cohort is down aggregates nothing —
+			// the engine already tolerates empty rounds, as a real server
+			// facing an outage must.
+			for i, id := range sampled {
+				dropped[i] = !sim.Available(id)
+			}
+		case cfg.DropProb > 0:
 			anySurvives := false
 			for i := range dropped {
 				dropped[i] = dropRNG.Float64() < cfg.DropProb
@@ -75,7 +120,17 @@ func RunWithProgress(env *Env, m Method, onRound func(RoundStat)) *History {
 				dropped[0] = false // a round with zero reports would stall
 			}
 		}
-		results := rt.runRound(r, sampled, dropped)
+		fracs = fracs[:0]
+		if sim != nil && sim.HasStraggler() {
+			for i, id := range sampled {
+				if dropped[i] {
+					fracs = append(fracs, 0) // never trained; value unused
+					continue
+				}
+				fracs = append(fracs, sim.WorkFraction(r, id))
+			}
+		}
+		results := rt.runRound(r, sampled, dropped, fracs)
 
 		// Compact away dropped clients so methods aggregate only over the
 		// reports that actually arrived.
@@ -89,20 +144,26 @@ func RunWithProgress(env *Env, m Method, onRound func(RoundStat)) *History {
 			m.Aggregate(r, global, arrived)
 		}
 
+		// Track the train loss across rounds so an evaluation landing on a
+		// round whose whole cohort was unavailable (possible under outage
+		// scenarios) reports the last observed loss instead of a spurious
+		// 0.0 dip in the curve.
+		lossSum, cnt := 0.0, 0
+		for _, res := range arrived {
+			if res.Steps > 0 {
+				lossSum += res.MeanLoss
+				cnt++
+			}
+		}
+		if cnt > 0 {
+			lastTrainLoss = lossSum / float64(cnt)
+		}
 		if (r+1)%cfg.EvalEvery == 0 || r == cfg.Rounds-1 {
 			globalNet.SetVector(global)
 			acc, perClass := Evaluate(globalNet, env.Test, 256)
-			stat := RoundStat{Round: r + 1, TestAcc: acc, PerClass: perClass}
-			lossSum, cnt := 0.0, 0
-			for _, res := range arrived {
-				if res.Steps > 0 {
-					lossSum += res.MeanLoss
-					cnt++
-				}
-			}
-			if cnt > 0 {
-				stat.TrainLoss = lossSum / float64(cnt)
-			}
+			stat := RoundStat{Round: r + 1, TestAcc: acc, PerClass: perClass,
+				TrainLoss: lastTrainLoss,
+				Shot:      ShotAccuracy(perClass, testTotals, shotBuckets)}
 			if mr, ok := m.(MetricsReporter); ok {
 				stat.Metrics = mr.RoundMetrics()
 			}

@@ -33,7 +33,11 @@ func (c *Client) Proportions() []float64 {
 // concentration and other layer-wise statistics.
 type Probe func(round int, net *nn.Network)
 
-// Env is the immutable world a federated run executes in.
+// Env is the world a federated run executes in. Datasets and the initial
+// partition are immutable and may be shared across concurrent runs (see
+// sweep.EnvCache); Clients is per-run state — under a drift scenario the
+// engine rebuilds it at stage boundaries through Repartition, never
+// touching the shared pieces.
 type Env struct {
 	Cfg     Config
 	Train   *data.Dataset
@@ -42,17 +46,36 @@ type Env struct {
 	Build   nn.Builder
 	Loss    loss.Loss
 	Probes  []Probe
+
+	// Dynamics hooks for drift scenarios, set by the layer that knows how
+	// the environment was constructed (sweep.RunSpec.BuildEnvCached).
+	// BaseBeta/BaseIF are the partition's Dirichlet concentration and the
+	// train profile's imbalance factor; Repartition rebuilds a partition of
+	// Train with the same strategy under a different (seed, β). When
+	// Repartition is nil or the bases are zero, drift is inert.
+	BaseBeta    float64
+	BaseIF      float64
+	Repartition func(seed uint64, beta float64) *partition.Partition
 }
 
 // NewEnv assembles an environment from a dataset, a partition, a model
 // builder and the default local loss.
 func NewEnv(cfg Config, train, test *data.Dataset, part *partition.Partition, build nn.Builder, lossFn loss.Loss) *Env {
 	cfg = cfg.Defaults()
+	if lossFn == nil {
+		lossFn = loss.CrossEntropy{}
+	}
+	return &Env{Cfg: cfg, Train: train, Test: test, Clients: buildClients(train, part), Build: build, Loss: lossFn}
+}
+
+// buildClients materialises the per-client views of a partition: index
+// sets, precomputed label views (reused by every round's balanced sampler
+// instead of being rebuilt per client per round) and class counts. Shared
+// by NewEnv and the engine's drift rebuilds.
+func buildClients(train *data.Dataset, part *partition.Partition) []*Client {
 	clients := make([]*Client, part.NumClients())
 	for k := range clients {
 		idx := part.ClientIndices[k]
-		// Label views are computed once here and reused by every round's
-		// balanced sampler, instead of being rebuilt per client per round.
 		labels := make([]int, len(idx))
 		for i, gi := range idx {
 			labels[i] = train.Y[gi]
@@ -65,10 +88,58 @@ func NewEnv(cfg Config, train, test *data.Dataset, part *partition.Partition, bu
 			N:           len(idx),
 		}
 	}
-	if lossFn == nil {
-		lossFn = loss.CrossEntropy{}
+	return clients
+}
+
+// driftClients builds the client views for one drift stage: the stage's
+// fresh partition trimmed per class by keepFrac (class c keeps the first
+// kept-budget samples in partition order), moving every client's label
+// distribution toward the stage's long-tail target. Budgets round with a
+// per-class fractional carry across clients (walked in ID order, so the
+// result is deterministic): the global kept count lands within one sample
+// of keepFrac[c]·total even when per-client class counts are tiny — a
+// per-client ceil would floor every client at one sample and never reach
+// the target profile. Clients may lose a scarce class entirely. The
+// trimmed index slices are always freshly allocated, so shared cached
+// partitions are never mutated.
+func driftClients(train *data.Dataset, part *partition.Partition, keepFrac []float64) []*Client {
+	clients := make([]*Client, part.NumClients())
+	kept := make([]int, train.Classes)      // this client's keep budget
+	carry := make([]float64, train.Classes) // fractional keep owed per class
+	for k := range clients {
+		idx := part.ClientIndices[k]
+		counts := part.Counts[k]
+		for c, n := range counts {
+			exact := keepFrac[c]*float64(n) + carry[c]
+			kept[c] = int(exact)
+			carry[c] = exact - float64(kept[c])
+			// Guard against float drift starving a class of its last unit.
+			if carry[c] > 1-1e-9 {
+				kept[c]++
+				carry[c] = 0
+			}
+		}
+		keepIdx := make([]int, 0, len(idx))
+		labels := make([]int, 0, len(idx))
+		newCounts := make([]int, train.Classes)
+		for _, gi := range idx {
+			y := train.Y[gi]
+			if newCounts[y] >= kept[y] {
+				continue
+			}
+			newCounts[y]++
+			keepIdx = append(keepIdx, gi)
+			labels = append(labels, y)
+		}
+		clients[k] = &Client{
+			ID:          k,
+			Indices:     keepIdx,
+			Labels:      labels,
+			ClassCounts: newCounts,
+			N:           len(keepIdx),
+		}
 	}
-	return &Env{Cfg: cfg, Train: train, Test: test, Clients: clients, Build: build, Loss: lossFn}
+	return clients
 }
 
 // GlobalCounts sums class counts across clients (equals the training set's

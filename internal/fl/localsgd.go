@@ -1,6 +1,8 @@
 package fl
 
 import (
+	"math"
+
 	"fedwcm/internal/data"
 	"fedwcm/internal/loss"
 	"fedwcm/internal/tensor"
@@ -138,8 +140,22 @@ func RunLocalSGD(ctx *ClientCtx, opts LocalOpts) *ClientResult {
 	steps := 0
 	lossSum := 0.0
 	batches := sampler.BatchesPerEpoch()
+	// Partial work (straggler scenarios): cap the step budget at
+	// ceil(frac · epochs · batches), never below one step. Full-work clients
+	// (frac 0 or >= 1) take the exact pre-scenario path.
+	budget := epochs * batches
+	if ctx.WorkFrac > 0 && ctx.WorkFrac < 1 {
+		budget = int(math.Ceil(ctx.WorkFrac * float64(epochs*batches)))
+		if budget < 1 {
+			budget = 1
+		}
+	}
+local:
 	for e := 0; e < epochs; e++ {
 		for b := 0; b < batches; b++ {
+			if steps >= budget {
+				break local
+			}
 			pos := sampler.NextBatch()
 			gidx = gidx[:0]
 			for _, p := range pos {

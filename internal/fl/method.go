@@ -40,6 +40,10 @@ type ClientCtx struct {
 	// the ctx was built outside the engine runtime (tests, benchmarks);
 	// RunLocalSGD and CorrectionBuf fall back to fresh allocations then.
 	Scratch *ClientScratch
+	// WorkFrac is the fraction of the local step budget this client
+	// completes (a straggler scenario's partial-work model). 0 and values
+	// >= 1 mean full work; RunLocalSGD stops after ceil(frac · steps).
+	WorkFrac float64
 }
 
 // CorrectionBuf returns a dim-sized buffer for the per-client correction a

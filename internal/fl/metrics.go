@@ -2,6 +2,7 @@ package fl
 
 import (
 	"fmt"
+	"sort"
 
 	"fedwcm/internal/data"
 	"fedwcm/internal/nn"
@@ -55,6 +56,73 @@ func Evaluate(net *nn.Network, ds *data.Dataset, chunk int) (float64, []float64)
 	return acc, perClass
 }
 
+// ShotAcc is accuracy split by training-frequency bucket — the long-tail
+// reporting convention the paper's related work uses (many/medium/few-shot):
+// classes rank by their global train sample count, the top third is Head,
+// the bottom third Tail, the rest Medium. Each field is the sample-weighted
+// test accuracy over its bucket's classes.
+type ShotAcc struct {
+	Head   float64 `json:"head"`
+	Medium float64 `json:"medium"`
+	Tail   float64 `json:"tail"`
+}
+
+// ShotBuckets assigns each class to a bucket (0 = head, 1 = medium,
+// 2 = tail) by rank of its train-set count, ties broken by class index so
+// the assignment is deterministic. With C classes the head takes the top
+// ceil(C/3), the tail the bottom floor(C/3).
+func ShotBuckets(trainCounts []int) []int {
+	c := len(trainCounts)
+	order := make([]int, c)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return trainCounts[order[i]] > trainCounts[order[j]]
+	})
+	nHead := (c + 2) / 3
+	nTail := c / 3
+	buckets := make([]int, c)
+	for rank, cls := range order {
+		switch {
+		case rank < nHead:
+			buckets[cls] = 0
+		case rank >= c-nTail:
+			buckets[cls] = 2
+		default:
+			buckets[cls] = 1
+		}
+	}
+	return buckets
+}
+
+// ShotAccuracy folds per-class accuracies into head/medium/tail buckets,
+// weighting each class by its test sample count. Returns nil when the
+// inputs are inconsistent (callers treat that as "no shot data").
+func ShotAccuracy(perClass []float64, testTotals []int, buckets []int) *ShotAcc {
+	if len(perClass) == 0 || len(perClass) != len(testTotals) || len(perClass) != len(buckets) {
+		return nil
+	}
+	var correct, total [3]float64
+	for c, acc := range perClass {
+		b := buckets[c]
+		if b < 0 || b > 2 {
+			return nil
+		}
+		n := float64(testTotals[c])
+		correct[b] += acc * n
+		total[b] += n
+	}
+	out := &ShotAcc{}
+	vals := []*float64{&out.Head, &out.Medium, &out.Tail}
+	for b := range total {
+		if total[b] > 0 {
+			*vals[b] = correct[b] / total[b]
+		}
+	}
+	return out
+}
+
 // RoundStat is one evaluation snapshot.
 type RoundStat struct {
 	Round     int                `json:"round"`
@@ -62,6 +130,10 @@ type RoundStat struct {
 	PerClass  []float64          `json:"per_class,omitempty"`
 	TrainLoss float64            `json:"train_loss"`
 	Metrics   map[string]float64 `json:"metrics,omitempty"`
+	// Shot is the head/medium/tail split of TestAcc; buckets are fixed at
+	// run start from the global train profile (drift does not move them, so
+	// the series stays comparable across rounds).
+	Shot *ShotAcc `json:"shot,omitempty"`
 }
 
 // History is the recorded trajectory of one federated run.
@@ -87,6 +159,15 @@ func (h *History) BestAcc() float64 {
 		}
 	}
 	return best
+}
+
+// FinalShot returns the last evaluation's shot-bucket accuracies (nil when
+// the history carries none, e.g. artifacts stored before shot reporting).
+func (h *History) FinalShot() *ShotAcc {
+	if len(h.Stats) == 0 {
+		return nil
+	}
+	return h.Stats[len(h.Stats)-1].Shot
 }
 
 // TailMeanAcc averages the last k evaluations — a stabler "final accuracy"

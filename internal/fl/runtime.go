@@ -97,6 +97,7 @@ type workerRuntime struct {
 	round   int
 	global  []float64
 	sampled []int
+	fracs   []float64 // per-position work fractions; empty = full work
 	results []*ClientResult
 
 	workers []*runWorker
@@ -133,10 +134,13 @@ func (rt *workerRuntime) close() { close(rt.jobs) }
 
 // runRound trains the sampled cohort (minus dropped positions, which never
 // train) and returns the per-position results; dropped positions stay nil.
-// The returned slice is valid until the next runRound call.
-func (rt *workerRuntime) runRound(round int, sampled []int, dropped []bool) []*ClientResult {
+// fracs, when non-empty, is the per-position work fraction a straggler
+// scenario assigns (parallel to sampled; dropped positions unused). The
+// returned slice is valid until the next runRound call.
+func (rt *workerRuntime) runRound(round int, sampled []int, dropped []bool, fracs []float64) []*ClientResult {
 	rt.round = round
 	rt.sampled = sampled
+	rt.fracs = fracs
 	if cap(rt.results) < len(sampled) {
 		rt.results = make([]*ClientResult, len(sampled))
 	}
@@ -170,14 +174,19 @@ func (w *runWorker) runClient(pos int) {
 	client := rt.env.Clients[rt.sampled[pos]]
 	w.net.SetVector(rt.global)
 	w.rng.Seed(xrand.DeriveSeed(rt.env.Cfg.Seed, uint64(rt.round), uint64(client.ID), 0xc11e))
+	frac := 1.0
+	if len(rt.fracs) > pos {
+		frac = rt.fracs[pos]
+	}
 	w.ctx = ClientCtx{
-		Round:   rt.round,
-		Client:  client,
-		Env:     rt.env,
-		Net:     w.net,
-		Global:  rt.global,
-		RNG:     w.rng,
-		Scratch: w.scratch,
+		Round:    rt.round,
+		Client:   client,
+		Env:      rt.env,
+		Net:      w.net,
+		Global:   rt.global,
+		RNG:      w.rng,
+		Scratch:  w.scratch,
+		WorkFrac: frac,
 	}
 	rt.results[pos] = rt.m.LocalTrain(&w.ctx)
 }

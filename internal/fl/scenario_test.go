@@ -1,0 +1,263 @@
+package fl
+
+import (
+	"encoding/json"
+	"testing"
+
+	"fedwcm/internal/partition"
+	"fedwcm/internal/scenario"
+	"fedwcm/internal/xrand"
+)
+
+// recordingMethod wraps sgdMethod and records which clients reported and
+// how many steps each took, per round.
+type recordingMethod struct {
+	sgdMethod
+	rounds [][]*ClientResult // shallow copies per round
+}
+
+func (m *recordingMethod) Aggregate(round int, global []float64, results []*ClientResult) {
+	snap := make([]*ClientResult, len(results))
+	for i, r := range results {
+		c := *r
+		snap[i] = &c
+	}
+	m.rounds = append(m.rounds, snap)
+	m.sgdMethod.Aggregate(round, global, results)
+}
+
+// TestScenarioStragglersReduceSteps: a straggler scenario must produce
+// rounds where some clients report fewer steps than the full local budget,
+// never zero, and momentum-free aggregation must still learn.
+func TestScenarioStragglersReduceSteps(t *testing.T) {
+	cfg := Config{Rounds: 12, SampleClients: 5, LocalEpochs: 3, BatchSize: 20,
+		EtaL: 0.2, EtaG: 1, Seed: 11, EvalEvery: 6,
+		Scenario: &scenario.Scenario{Straggler: &scenario.Straggler{Prob: 0.8, MinFrac: 0.2, MaxFrac: 0.6}}}
+	env := testEnv(11, cfg, 4, 8, 100, 1)
+	m := &recordingMethod{}
+	hist := Run(env, m)
+	// Clients share a size under the equal partition, so the full local
+	// budget is the max step count observed; stragglers report less.
+	maxSteps, partial := 0, 0
+	for _, round := range m.rounds {
+		for _, res := range round {
+			if res.Steps <= 0 {
+				t.Fatalf("straggler produced a zero-step report: %+v", res)
+			}
+			if res.Steps > maxSteps {
+				maxSteps = res.Steps
+			}
+		}
+	}
+	for _, round := range m.rounds {
+		for _, res := range round {
+			if res.Steps < maxSteps {
+				partial++
+			}
+		}
+	}
+	if partial == 0 {
+		t.Fatal("nobody completed partial work at prob=0.8")
+	}
+	if hist.FinalAcc() < 0.7 {
+		t.Fatalf("training should survive stragglers, got %v", hist.FinalAcc())
+	}
+}
+
+// TestScenarioAvailabilityDropsClients: under churn, some rounds must see
+// fewer reports than the cohort size, and the run must stay deterministic
+// across worker counts.
+func TestScenarioAvailabilityDropsClients(t *testing.T) {
+	sc := &scenario.Scenario{Availability: &scenario.Availability{DownProb: 0.4, UpProb: 0.4}}
+	mk := func(workers int) (*History, [][]*ClientResult) {
+		cfg := Config{Rounds: 15, SampleClients: 5, LocalEpochs: 1, BatchSize: 20,
+			EtaL: 0.2, EtaG: 1, Seed: 12, EvalEvery: 5, Workers: workers, Scenario: sc}
+		env := testEnv(12, cfg, 4, 8, 100, 1)
+		m := &recordingMethod{}
+		return Run(env, m), m.rounds
+	}
+	h1, rounds1 := mk(1)
+	h4, _ := mk(4)
+	b1, _ := json.Marshal(h1)
+	b4, _ := json.Marshal(h4)
+	if string(b1) != string(b4) {
+		t.Fatal("scenario run must be deterministic across worker counts")
+	}
+	short := 0
+	for _, round := range rounds1 {
+		if len(round) < 5 {
+			short++
+		}
+	}
+	if short == 0 {
+		t.Fatal("churn at down_prob=0.4 never dropped a sampled client")
+	}
+}
+
+// clientsSpy records the env's client views at every aggregation (the
+// round loop replaces them at drift stage boundaries).
+type clientsSpy struct {
+	sgdMethod
+	perRound [][]*Client
+}
+
+func (m *clientsSpy) Aggregate(round int, global []float64, results []*ClientResult) {
+	m.perRound = append(m.perRound, m.env.Clients)
+	m.sgdMethod.Aggregate(round, global, results)
+}
+
+// TestScenarioDriftRebuildsClients: under a drift scenario with a
+// Repartition hook, the engine must replace the client views at stage
+// boundaries (observed mid-run), restore the base views when the run ends
+// (an Env reused across runs starts from the same world), and the rebuilt
+// views must stay a consistent (sub)partition of the train set shifting
+// the effective imbalance toward the target.
+func TestScenarioDriftRebuildsClients(t *testing.T) {
+	sc := &scenario.Scenario{Drift: &scenario.Drift{ToBeta: 5, ToIF: 0.1, Stages: 3}}
+	cfg := Config{Rounds: 9, SampleClients: 4, LocalEpochs: 1, BatchSize: 20,
+		EtaL: 0.2, EtaG: 1, Seed: 13, EvalEvery: 3, Scenario: sc}
+	env := testEnv(13, cfg, 4, 8, 1.0, 1.0) // balanced base profile
+	env.BaseBeta, env.BaseIF = 1.0, 1.0
+	env.Repartition = func(seed uint64, beta float64) *partition.Partition {
+		return partition.EqualQuantity(xrand.New(seed), env.Train, len(env.Clients), beta)
+	}
+	before := env.Clients
+	spy := &clientsSpy{}
+	Run(env, spy)
+	if &env.Clients[0] != &before[0] {
+		t.Fatal("base client views must be restored after the run")
+	}
+	if len(spy.perRound) == 0 {
+		t.Fatal("no aggregations observed")
+	}
+	after := spy.perRound[len(spy.perRound)-1]
+	if &after[0] == &before[0] {
+		t.Fatal("drift never rebuilt the client views")
+	}
+	if len(after) != len(before) {
+		t.Fatalf("drift changed the client count: %d -> %d", len(before), len(after))
+	}
+	// The final stage's views must be a consistent sub-partition: indices
+	// in range, no duplicates, counts matching labels.
+	n := env.Train.Len()
+	seen := make([]bool, n)
+	kept := 0
+	for k, c := range after {
+		if c.ID != k {
+			t.Fatalf("client %d has ID %d", k, c.ID)
+		}
+		counts := make([]int, env.Train.Classes)
+		for i, gi := range c.Indices {
+			if gi < 0 || gi >= n {
+				t.Fatalf("client %d: index %d out of range", k, gi)
+			}
+			if seen[gi] {
+				t.Fatalf("client %d: index %d assigned twice", k, gi)
+			}
+			seen[gi] = true
+			kept++
+			if c.Labels[i] != env.Train.Y[gi] {
+				t.Fatalf("client %d: label view disagrees with Train.Y at %d", k, gi)
+			}
+			counts[env.Train.Y[gi]]++
+		}
+		for cls, want := range counts {
+			if c.ClassCounts[cls] != want {
+				t.Fatalf("client %d: ClassCounts[%d]=%d, recount %d", k, cls, c.ClassCounts[cls], want)
+			}
+		}
+	}
+	// ToIF=0.1 from a balanced base trims tail classes, so the final stage
+	// keeps strictly fewer samples and its global profile is imbalanced.
+	if kept >= n {
+		t.Fatalf("drift toward IF=0.1 should trim samples: kept %d of %d", kept, n)
+	}
+	global := make([]int, env.Train.Classes)
+	for _, c := range after {
+		for cls, cnt := range c.ClassCounts {
+			global[cls] += cnt
+		}
+	}
+	if global[0] <= global[len(global)-1] {
+		t.Fatalf("drifted profile should be head-heavy, got %v", global)
+	}
+}
+
+// TestScenarioZeroCanonicalisesAway: a zero-valued scenario must behave —
+// and serialize — exactly like no scenario at all.
+func TestScenarioZeroCanonicalisesAway(t *testing.T) {
+	base := Config{Rounds: 5, SampleClients: 3, Seed: 9, EvalEvery: 5}
+	withZero := base
+	withZero.Scenario = &scenario.Scenario{}
+	a, _ := json.Marshal(base.Defaults())
+	b, _ := json.Marshal(withZero.Defaults())
+	if string(a) != string(b) {
+		t.Fatalf("zero scenario must canonicalise away: %s vs %s", a, b)
+	}
+	h1 := Run(testEnv(9, base, 3, 6, 100, 1), &sgdMethod{})
+	h2 := Run(testEnv(9, withZero, 3, 6, 100, 1), &sgdMethod{})
+	j1, _ := json.Marshal(h1)
+	j2, _ := json.Marshal(h2)
+	if string(j1) != string(j2) {
+		t.Fatal("zero scenario must not change the history")
+	}
+}
+
+// TestShotBucketsAndAccuracy: bucket assignment follows train-count rank
+// and ShotAccuracy weights by test totals.
+func TestShotBucketsAndAccuracy(t *testing.T) {
+	buckets := ShotBuckets([]int{100, 80, 60, 40, 20, 10})
+	want := []int{0, 0, 1, 1, 2, 2}
+	for i := range want {
+		if buckets[i] != want[i] {
+			t.Fatalf("buckets = %v, want %v", buckets, want)
+		}
+	}
+	// Rank, not index, decides: permuted counts move the buckets with them.
+	buckets = ShotBuckets([]int{10, 100, 40, 80, 20, 60})
+	if buckets[1] != 0 || buckets[3] != 0 || buckets[0] != 2 || buckets[4] != 2 {
+		t.Fatalf("permuted counts misbucketed: %v", buckets)
+	}
+	shot := ShotAccuracy(
+		[]float64{1, 1, 0.5, 0.5, 0, 0},
+		[]int{10, 10, 10, 10, 10, 10},
+		[]int{0, 0, 1, 1, 2, 2})
+	if shot.Head != 1 || shot.Medium != 0.5 || shot.Tail != 0 {
+		t.Fatalf("shot = %+v", shot)
+	}
+	// Unequal test totals weight classes within a bucket.
+	shot = ShotAccuracy([]float64{1, 0}, []int{30, 10}, []int{0, 0})
+	if shot.Head != 0.75 {
+		t.Fatalf("weighted head = %v, want 0.75", shot.Head)
+	}
+	if ShotAccuracy(nil, nil, nil) != nil {
+		t.Fatal("empty inputs must yield nil")
+	}
+}
+
+// TestRunReportsShot: every evaluation point of a run carries the shot
+// split, and its buckets recombine to the overall accuracy.
+func TestRunReportsShot(t *testing.T) {
+	cfg := Config{Rounds: 4, SampleClients: 3, LocalEpochs: 1, BatchSize: 20,
+		EtaL: 0.2, EtaG: 1, Seed: 21, EvalEvery: 2}
+	env := testEnv(21, cfg, 6, 6, 100, 0.2)
+	hist := Run(env, &sgdMethod{})
+	if len(hist.Stats) == 0 {
+		t.Fatal("no evaluations recorded")
+	}
+	for _, s := range hist.Stats {
+		if s.Shot == nil {
+			t.Fatalf("round %d: missing shot split", s.Round)
+		}
+	}
+	// The test split is balanced and buckets partition the classes, so the
+	// bucket accuracies recombine (2:2:2 classes at 6 classes).
+	last := hist.Stats[len(hist.Stats)-1]
+	recombined := (2*last.Shot.Head + 2*last.Shot.Medium + 2*last.Shot.Tail) / 6
+	if d := recombined - last.TestAcc; d > 1e-9 || d < -1e-9 {
+		t.Fatalf("shot buckets do not recombine: %v vs %v", recombined, last.TestAcc)
+	}
+	if hist.FinalShot() == nil {
+		t.Fatal("FinalShot must surface the last split")
+	}
+}

@@ -1,0 +1,109 @@
+package partition
+
+import (
+	"testing"
+
+	"fedwcm/internal/data"
+	"fedwcm/internal/xrand"
+)
+
+// TestPartitionProperties drives both strategies over randomly drawn
+// (β, IF, clients, seed) configurations and asserts the structural
+// invariants every consumer of a Partition relies on:
+//
+//   - client index sets are pairwise disjoint and cover the dataset
+//     (Validate), except FedGraBStyle which may leave indices unassigned
+//     only via its guarantee-one-sample donor rule — it still must never
+//     duplicate or invent indices;
+//   - Counts[k][c] agrees exactly with the labels of ClientIndices[k]
+//     under Train.Y (the label views fl.NewEnv derives depend on this);
+//   - every index is in range and class counts sum to the client size.
+func TestPartitionProperties(t *testing.T) {
+	rng := xrand.New(0xbeef)
+	spec := data.GaussianSpec{Classes: 7, Dim: 6, Sep: 2, Noise: 1}
+	for trial := 0; trial < 40; trial++ {
+		beta := 0.05 + 5*rng.Float64()
+		imbalance := 0.02 + 0.98*rng.Float64()
+		clients := 1 + rng.Intn(30)
+		seed := rng.Uint64()
+		head := 40 + rng.Intn(120)
+
+		counts := data.LongTailCounts(head, spec.Classes, imbalance)
+		ds := spec.Generate(seed, 1, counts)
+		n := ds.Len()
+
+		for _, tc := range []struct {
+			name string
+			make func(*xrand.RNG, *data.Dataset, int, float64) *Partition
+		}{
+			{"equal", EqualQuantity},
+			{"fedgrab", FedGraBStyle},
+		} {
+			part := tc.make(xrand.New(seed+1), ds, clients, beta)
+			if part.NumClients() != clients {
+				t.Fatalf("%s trial %d: %d clients requested, %d produced", tc.name, trial, clients, part.NumClients())
+			}
+			// Disjoint cover of [0, n).
+			if err := part.Validate(n); err != nil {
+				t.Fatalf("%s trial %d (beta=%.3f if=%.3f clients=%d seed=%d): %v",
+					tc.name, trial, beta, imbalance, clients, seed, err)
+			}
+			// Counts agree with Train.Y exactly.
+			for k, idx := range part.ClientIndices {
+				recount := make([]int, ds.Classes)
+				for _, gi := range idx {
+					recount[ds.Y[gi]]++
+				}
+				total := 0
+				for c := range recount {
+					if part.Counts[k][c] != recount[c] {
+						t.Fatalf("%s trial %d: client %d Counts[%d]=%d, recount %d",
+							tc.name, trial, k, c, part.Counts[k][c], recount[c])
+					}
+					total += recount[c]
+				}
+				if total != len(idx) {
+					t.Fatalf("%s trial %d: client %d counts sum %d != %d indices",
+						tc.name, trial, k, total, len(idx))
+				}
+			}
+			// EqualQuantity promises near-equal sizes (±1).
+			if tc.name == "equal" {
+				lo, hi := n, 0
+				for _, s := range part.Sizes() {
+					if s < lo {
+						lo = s
+					}
+					if s > hi {
+						hi = s
+					}
+				}
+				if hi-lo > 1 {
+					t.Fatalf("equal trial %d: sizes spread %d..%d", trial, lo, hi)
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionDeterminism: the same (dataset, seed, β, clients) must yield
+// the identical partition — environment caching and drift repartitions
+// depend on it.
+func TestPartitionDeterminism(t *testing.T) {
+	spec := data.GaussianSpec{Classes: 5, Dim: 4, Sep: 2, Noise: 1}
+	ds := spec.Generate(42, 1, data.LongTailCounts(80, 5, 0.2))
+	for _, mk := range []func(*xrand.RNG, *data.Dataset, int, float64) *Partition{EqualQuantity, FedGraBStyle} {
+		a := mk(xrand.New(99), ds, 9, 0.3)
+		b := mk(xrand.New(99), ds, 9, 0.3)
+		for k := range a.ClientIndices {
+			if len(a.ClientIndices[k]) != len(b.ClientIndices[k]) {
+				t.Fatal("partition not deterministic: sizes differ")
+			}
+			for i := range a.ClientIndices[k] {
+				if a.ClientIndices[k][i] != b.ClientIndices[k][i] {
+					t.Fatal("partition not deterministic: indices differ")
+				}
+			}
+		}
+	}
+}

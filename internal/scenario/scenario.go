@@ -1,0 +1,307 @@
+// Package scenario declares seed-deterministic round-time dynamics layered
+// onto an otherwise static federated environment: clients that come and go
+// (availability churn and correlated outages), clients that finish only part
+// of their local work (stragglers), and label distributions that drift
+// between two long-tail profiles over the course of a run.
+//
+// A Scenario is pure data — it travels inside fl.Config's JSON form, so it
+// is part of a run's content address (see sweep.RunSpec.Fingerprint) — and
+// a Sim is its deterministic evaluator: every decision is derived from
+// (seed, round, client) alone, never from scheduling, so scenario-bearing
+// runs stay bit-reproducible across worker counts exactly like static ones.
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"fedwcm/internal/xrand"
+)
+
+// Scenario bundles the three dynamic models. The zero value (and nil) means
+// a static environment; empty sub-blocks canonicalise away (see Normalized)
+// so a spec spelling `"scenario": {}` fingerprints identically to one that
+// omits the field.
+type Scenario struct {
+	Availability *Availability `json:"availability,omitempty"`
+	Straggler    *Straggler    `json:"straggler,omitempty"`
+	Drift        *Drift        `json:"drift,omitempty"`
+}
+
+// Availability is a per-client churn schedule plus correlated outages,
+// replacing the engine's flat DropProb coin-flip. Each client carries an
+// up/down state evolving as a two-state Markov chain advanced once per round
+// (up→down with DownProb, down→up with UpProb), so downtime is bursty: a
+// client that fails stays away for a geometric number of rounds instead of
+// re-flipping a fair coin every round. Independently, with OutageProb per
+// round a correlated outage takes a uniformly drawn OutageFrac of the
+// population down for that round (a rack/region failure, not independent
+// client flakiness).
+type Availability struct {
+	DownProb   float64 `json:"down_prob,omitempty"`   // up→down transition per round
+	UpProb     float64 `json:"up_prob,omitempty"`     // down→up transition per round
+	OutageProb float64 `json:"outage_prob,omitempty"` // correlated outage per round
+	OutageFrac float64 `json:"outage_frac,omitempty"` // population fraction an outage takes down
+}
+
+// Straggler is the partial-work model: with Prob, a sampled client completes
+// only a uniform fraction in [MinFrac, MaxFrac] of its local step budget
+// that round. Momentum methods must tolerate this — they normalise by the
+// steps actually taken (ClientResult.Steps), not the configured budget.
+type Straggler struct {
+	Prob    float64 `json:"prob,omitempty"`
+	MinFrac float64 `json:"min_frac,omitempty"` // default 0.2
+	MaxFrac float64 `json:"max_frac,omitempty"` // default 0.8
+}
+
+// Drift interpolates the client label distributions between two long-tail
+// profiles over the run: at each of Stages-1 stage boundaries the engine
+// re-partitions the training set with a Dirichlet concentration moved
+// geometrically from the spec's base β toward ToBeta, and trims tail
+// classes so the effective train profile moves from the base imbalance
+// factor toward ToIF. Stage 0 is exactly the base environment; the last
+// stage reaches the targets. Zero targets keep the corresponding base value.
+type Drift struct {
+	ToBeta float64 `json:"to_beta,omitempty"` // target Dirichlet β (0 = keep base)
+	ToIF   float64 `json:"to_if,omitempty"`   // target imbalance factor (0 = keep base)
+	Stages int     `json:"stages,omitempty"`  // discrete stages over the run; default 4
+}
+
+// defaults for Normalized; exported constants document the canonical values.
+const (
+	DefaultMinFrac = 0.2
+	DefaultMaxFrac = 0.8
+	DefaultStages  = 4
+)
+
+// IsZero reports whether the scenario carries no dynamics at all.
+func (s *Scenario) IsZero() bool {
+	return s == nil || (s.Availability.isZero() && s.Straggler.isZero() && s.Drift.isZero())
+}
+
+// isZero reports whether the block carries no *effective* dynamics: with
+// down_prob=0 the churn chain can never take a client down (everyone starts
+// up), and an outage needs both its probability and its fraction positive.
+// Inert blocks canonicalise away so behaviorally identical specs share a
+// fingerprint.
+func (a *Availability) isZero() bool {
+	return a == nil || (a.DownProb == 0 && !a.hasOutage())
+}
+
+func (a *Availability) hasOutage() bool {
+	return a.OutageProb > 0 && a.OutageFrac > 0
+}
+
+func (st *Straggler) isZero() bool {
+	return st == nil || st.Prob == 0
+}
+
+func (d *Drift) isZero() bool {
+	return d == nil || (d.ToBeta == 0 && d.ToIF == 0)
+}
+
+// Normalized returns the canonical form: nil for a dynamics-free scenario,
+// empty sub-blocks dropped, and unset knobs replaced by their defaults — so
+// two spellings that run identically marshal to identical JSON and share a
+// fingerprint. It never mutates the receiver.
+func (s *Scenario) Normalized() *Scenario {
+	if s.IsZero() {
+		return nil
+	}
+	out := &Scenario{}
+	if !s.Availability.isZero() {
+		a := *s.Availability
+		if a.UpProb == 0 {
+			// A chain that can go down but never come back models permanent
+			// departure; the canonical default is symmetric recovery.
+			a.UpProb = a.DownProb
+		}
+		if a.DownProb == 0 {
+			// Outage-only block: the chain never moves, so its up_prob is
+			// unobservable — zero it for canonical form.
+			a.UpProb = 0
+		}
+		if !a.hasOutage() {
+			// A half-specified outage (probability without fraction, or vice
+			// versa) never fires; canonicalise the pair away.
+			a.OutageProb, a.OutageFrac = 0, 0
+		}
+		out.Availability = &a
+	}
+	if !s.Straggler.isZero() {
+		st := *s.Straggler
+		if st.MinFrac == 0 {
+			st.MinFrac = DefaultMinFrac
+		}
+		if st.MaxFrac == 0 {
+			st.MaxFrac = DefaultMaxFrac
+		}
+		out.Straggler = &st
+	}
+	if !s.Drift.isZero() {
+		d := *s.Drift
+		if d.Stages == 0 {
+			d.Stages = DefaultStages
+		}
+		out.Drift = &d
+	}
+	return out
+}
+
+// Validate range-checks a normalized scenario. It is nil-safe (a nil
+// scenario is trivially valid).
+func (s *Scenario) Validate() error {
+	if s == nil {
+		return nil
+	}
+	// Checked on the raw spelling — Normalized repairs or drops these
+	// forms, but a user who wrote them asked for something the model cannot
+	// express, so they are rejected rather than silently rewritten:
+	//   - down_prob=1 with no recovery is permanent total departure;
+	//   - a half-specified outage (probability without fraction, or vice
+	//     versa) never fires;
+	//   - a non-empty block that is still inert (e.g. only up_prob set)
+	//     would canonicalise to the static scenario under a different
+	//     spelling than the user intended.
+	if a := s.Availability; a != nil {
+		if a.DownProb >= 1 && a.UpProb == 0 {
+			return fmt.Errorf("scenario: availability with down_prob=1 and no recovery leaves no clients")
+		}
+		if (a.OutageProb > 0) != (a.OutageFrac > 0) {
+			return fmt.Errorf("scenario: outage needs both outage_prob and outage_frac positive: %+v", *a)
+		}
+		if *a != (Availability{}) && a.isZero() {
+			return fmt.Errorf("scenario: availability block has no effect (no down_prob, no complete outage): %+v", *a)
+		}
+	}
+	if st := s.Straggler; st != nil && *st != (Straggler{}) && st.isZero() {
+		return fmt.Errorf("scenario: straggler block has no effect (prob is zero): %+v", *st)
+	}
+	if d := s.Drift; d != nil && *d != (Drift{}) && d.isZero() {
+		return fmt.Errorf("scenario: drift block has no effect (no to_beta or to_if target): %+v", *d)
+	}
+	n := s.Normalized()
+	if n == nil {
+		return nil
+	}
+	if a := n.Availability; a != nil {
+		if bad(a.DownProb, 0, 1) || bad(a.UpProb, 0, 1) || bad(a.OutageProb, 0, 1) || bad(a.OutageFrac, 0, 1) {
+			return fmt.Errorf("scenario: availability probabilities must lie in [0,1]: %+v", *a)
+		}
+	}
+	if st := n.Straggler; st != nil {
+		if bad(st.Prob, 0, 1) || st.MinFrac <= 0 || st.MaxFrac > 1 || st.MinFrac > st.MaxFrac {
+			return fmt.Errorf("scenario: straggler needs prob in [0,1] and 0 < min_frac <= max_frac <= 1: %+v", *st)
+		}
+	}
+	if d := n.Drift; d != nil {
+		if d.ToBeta < 0 || d.ToIF < 0 || d.ToIF > 1 {
+			return fmt.Errorf("scenario: drift targets out of range (to_beta >= 0, to_if in [0,1]): %+v", *d)
+		}
+		// The upper bound keeps round*stages far from integer overflow for
+		// any round count the serving limits admit (10^6 rounds · 10^4
+		// stages ≪ 2^63); more stages than rounds are clamped by the Sim
+		// anyway.
+		if d.Stages < 2 || d.Stages > 10_000 {
+			return fmt.Errorf("scenario: drift stages must lie in [2, 10000], got %d", d.Stages)
+		}
+	}
+	return nil
+}
+
+func bad(v, lo, hi float64) bool { return math.IsNaN(v) || v < lo || v > hi }
+
+// Named resolves a scenario preset by name. "" and "static" mean no
+// dynamics (nil). The presets are the evaluation regimes the related
+// long-tail federated work studies: bursty churn, correlated outages,
+// partial local work, and distribution drift.
+func Named(name string) (*Scenario, error) {
+	switch name {
+	case "", "static":
+		return nil, nil
+	case "churn":
+		return &Scenario{Availability: &Availability{DownProb: 0.15, UpProb: 0.35}}, nil
+	case "outage":
+		return &Scenario{Availability: &Availability{OutageProb: 0.2, OutageFrac: 0.5}}, nil
+	case "stragglers":
+		return &Scenario{Straggler: &Straggler{Prob: 0.4, MinFrac: 0.2, MaxFrac: 0.7}}, nil
+	case "drift":
+		return &Scenario{Drift: &Drift{ToBeta: 1, ToIF: 0.05, Stages: DefaultStages}}, nil
+	case "churn+drift":
+		return &Scenario{
+			Availability: &Availability{DownProb: 0.15, UpProb: 0.35},
+			Drift:        &Drift{ToBeta: 1, ToIF: 0.05, Stages: DefaultStages},
+		}, nil
+	case "hostile":
+		// Everything at once: bursty churn, occasional correlated outages,
+		// heavy stragglers and drift toward a harsher tail.
+		return &Scenario{
+			Availability: &Availability{DownProb: 0.2, UpProb: 0.4, OutageProb: 0.1, OutageFrac: 0.5},
+			Straggler:    &Straggler{Prob: 0.5, MinFrac: 0.2, MaxFrac: 0.6},
+			Drift:        &Drift{ToBeta: 1, ToIF: 0.05, Stages: DefaultStages},
+		}, nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown preset %q (known: %v)", name, Names())
+	}
+}
+
+// Names lists the named presets, static first.
+func Names() []string {
+	return []string{"static", "churn", "outage", "stragglers", "drift", "churn+drift", "hostile"}
+}
+
+// CanonicalName maps preset aliases to their canonical spelling ("" for the
+// static scenario), leaving unknown names untouched for Named to reject.
+func CanonicalName(name string) string {
+	if name == "static" {
+		return ""
+	}
+	return name
+}
+
+// KeepFracs returns the per-class keep fraction that moves a long-tail
+// train profile with imbalance factor baseIF to one with factor ifac by
+// subsetting: keep_c = min(1, (ifac/baseIF)^{c/(C-1)}). Classes are the
+// profile's canonical order (class 0 = head). Drifting toward a *larger*
+// (more balanced) IF cannot add samples, so those fractions clamp at 1.
+func KeepFracs(classes int, baseIF, ifac float64) []float64 {
+	out := make([]float64, classes)
+	for c := range out {
+		out[c] = 1
+	}
+	if classes <= 1 || baseIF <= 0 || ifac <= 0 || ifac >= baseIF {
+		return out
+	}
+	ratio := ifac / baseIF
+	for c := 1; c < classes; c++ {
+		frac := math.Pow(ratio, float64(c)/float64(classes-1))
+		if frac < 1 {
+			out[c] = frac
+		}
+	}
+	return out
+}
+
+// Lerp interpolates geometrically from base toward target: base^(1−t)·target^t.
+// A zero target keeps the base (the "unset" sentinel in Drift).
+func Lerp(base, target, t float64) float64 {
+	if target <= 0 || base <= 0 {
+		return base
+	}
+	return base * math.Pow(target/base, t)
+}
+
+// rng stream tags; distinct per concern so adding one stream never perturbs
+// another (the determinism contract documented in DESIGN.md).
+const (
+	tagChurn    = 0x5cea01
+	tagOutage   = 0x5cea02
+	tagStraggle = 0x5cea03
+	tagDrift    = 0x5cea04
+)
+
+// DriftSeed derives the partition seed for a drift stage, exported so the
+// engine and tests agree on the stream.
+func DriftSeed(seed uint64, stage int) uint64 {
+	return xrand.DeriveSeed(seed, uint64(stage), tagDrift)
+}

@@ -1,0 +1,302 @@
+package scenario
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestNormalizedCanonicalises: zero-valued scenarios and sub-blocks must
+// canonicalise to nil/omitted, so `"scenario": {}` fingerprints like an
+// omitted field; unset knobs must take their documented defaults.
+func TestNormalizedCanonicalises(t *testing.T) {
+	if (&Scenario{}).Normalized() != nil {
+		t.Fatal("empty scenario must normalize to nil")
+	}
+	var nilSc *Scenario
+	if nilSc.Normalized() != nil {
+		t.Fatal("nil scenario must normalize to nil")
+	}
+	s := &Scenario{
+		Availability: &Availability{}, // zero block drops
+		Straggler:    &Straggler{Prob: 0.5},
+		Drift:        &Drift{ToIF: 0.05},
+	}
+	n := s.Normalized()
+	if n.Availability != nil {
+		t.Fatal("zero availability block must drop")
+	}
+	// Inert availability spellings — no way for anyone to ever be down —
+	// canonicalise away entirely; half-specified outages clear their pair.
+	for _, inert := range []*Availability{
+		{UpProb: 0.4},                  // nobody ever goes down
+		{OutageProb: 0.2},              // outage without a fraction never fires
+		{OutageFrac: 0.5},              // fraction without a probability
+		{UpProb: 0.9, OutageProb: 0.3}, // both inert forms combined
+	} {
+		if got := (&Scenario{Availability: inert}).Normalized(); got != nil {
+			t.Fatalf("inert availability %+v must normalize to nil, got %+v", *inert, got)
+		}
+	}
+	halfOutage := (&Scenario{Availability: &Availability{DownProb: 0.2, OutageProb: 0.3}}).Normalized()
+	if halfOutage.Availability.OutageProb != 0 || halfOutage.Availability.OutageFrac != 0 {
+		t.Fatalf("half-specified outage pair must clear: %+v", *halfOutage.Availability)
+	}
+	outageOnly := (&Scenario{Availability: &Availability{OutageProb: 0.3, OutageFrac: 0.5, UpProb: 0.7}}).Normalized()
+	if outageOnly == nil || outageOnly.Availability.UpProb != 0 {
+		t.Fatalf("outage-only block must keep the outage and zero the unobservable up_prob: %+v", outageOnly)
+	}
+	if n.Straggler.MinFrac != DefaultMinFrac || n.Straggler.MaxFrac != DefaultMaxFrac {
+		t.Fatalf("straggler defaults not applied: %+v", n.Straggler)
+	}
+	if n.Drift.Stages != DefaultStages {
+		t.Fatalf("drift stage default not applied: %+v", n.Drift)
+	}
+	if s.Straggler.MinFrac != 0 {
+		t.Fatal("Normalized must not mutate the receiver")
+	}
+	// Canonical JSON of two equivalent spellings must agree.
+	a, _ := json.Marshal((&Scenario{Straggler: &Straggler{Prob: 0.5}}).Normalized())
+	b, _ := json.Marshal((&Scenario{
+		Availability: &Availability{},
+		Straggler:    &Straggler{Prob: 0.5, MinFrac: DefaultMinFrac, MaxFrac: DefaultMaxFrac},
+	}).Normalized())
+	if string(a) != string(b) {
+		t.Fatalf("equivalent scenarios marshal differently: %s vs %s", a, b)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := []*Scenario{
+		nil,
+		{},
+		{Availability: &Availability{DownProb: 0.2, UpProb: 0.4}},
+		{Straggler: &Straggler{Prob: 1, MinFrac: 0.1, MaxFrac: 1}},
+		{Drift: &Drift{ToBeta: 2, ToIF: 0.5, Stages: 2}},
+	}
+	for i, s := range good {
+		if err := s.Validate(); err != nil {
+			t.Errorf("good[%d]: unexpected error %v", i, err)
+		}
+	}
+	bad := []*Scenario{
+		{Availability: &Availability{DownProb: 1.5}},
+		{Availability: &Availability{DownProb: -0.1, UpProb: 0.5}},
+		// down_prob=1 with no recovery spelled out is permanent total
+		// departure, rejected on the raw form (Normalized would otherwise
+		// silently rewrite it into symmetric flapping).
+		{Availability: &Availability{DownProb: 1}},
+		{Straggler: &Straggler{Prob: 0.5, MinFrac: 0.9, MaxFrac: 0.2}},
+		{Straggler: &Straggler{Prob: 2}},
+		{Drift: &Drift{ToIF: 1.5}},
+		{Drift: &Drift{ToBeta: 1, Stages: -1}},
+		{Drift: &Drift{ToBeta: 1, Stages: 1 << 50}}, // overflow guard
+		// Half-specified or inert blocks would silently canonicalise into
+		// something the user did not write (typically the static scenario).
+		{Availability: &Availability{OutageProb: 0.3}},
+		{Availability: &Availability{DownProb: 0.2, OutageFrac: 0.5}},
+		{Availability: &Availability{UpProb: 0.4}},
+		{Straggler: &Straggler{MinFrac: 0.3, MaxFrac: 0.9}}, // prob forgotten
+		{Drift: &Drift{Stages: 8}},                          // targets forgotten
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad[%d]: expected validation error for %+v", i, s)
+		}
+	}
+}
+
+func TestNamedPresets(t *testing.T) {
+	for _, name := range Names() {
+		sc, err := Named(name)
+		if err != nil {
+			t.Fatalf("preset %q: %v", name, err)
+		}
+		if err := sc.Validate(); err != nil {
+			t.Errorf("preset %q does not validate: %v", name, err)
+		}
+		if name == "static" && sc != nil {
+			t.Error("static preset must be nil")
+		}
+		if name != "static" && sc.IsZero() {
+			t.Errorf("preset %q carries no dynamics", name)
+		}
+	}
+	if _, err := Named("no-such-preset"); err == nil {
+		t.Fatal("unknown preset must error")
+	}
+}
+
+// TestSimDeterminism: two sims over the same (scenario, seed) must agree on
+// every availability/work-fraction answer regardless of query interleaving,
+// and a different seed must (somewhere) disagree — the property that makes
+// scenario runs schedule-independent and content-addressable.
+func TestSimDeterminism(t *testing.T) {
+	sc := &Scenario{
+		Availability: &Availability{DownProb: 0.3, UpProb: 0.4, OutageProb: 0.2, OutageFrac: 0.5},
+		Straggler:    &Straggler{Prob: 0.5, MinFrac: 0.2, MaxFrac: 0.9},
+	}
+	const clients, rounds = 17, 25
+	a := NewSim(sc, 7, clients, rounds)
+	b := NewSim(sc, 7, clients, rounds)
+	c := NewSim(sc, 8, clients, rounds)
+	diff := false
+	for r := 0; r < rounds; r++ {
+		a.BeginRound(r)
+		b.BeginRound(r)
+		c.BeginRound(r)
+		for id := 0; id < clients; id++ {
+			if a.Available(id) != b.Available(id) {
+				t.Fatalf("round %d client %d: availability diverged under equal seeds", r, id)
+			}
+			if a.WorkFraction(r, id) != b.WorkFraction(r, id) {
+				t.Fatalf("round %d client %d: work fraction diverged under equal seeds", r, id)
+			}
+			if wf := a.WorkFraction(r, id); wf != a.WorkFraction(r, id) {
+				t.Fatalf("WorkFraction not pure: %v", wf)
+			}
+			diff = diff || a.Available(id) != c.Available(id) || a.WorkFraction(r, id) != c.WorkFraction(r, id)
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds never diverged — suspicious stream derivation")
+	}
+}
+
+// TestSimChurnIsBursty: with DownProb=1 and UpProb=0... is rejected, so use
+// a near-permanent chain and check state persists across rounds (a down
+// client stays down when UpProb is tiny), distinguishing the Markov chain
+// from a memoryless coin-flip.
+func TestSimChurnIsBursty(t *testing.T) {
+	sc := &Scenario{Availability: &Availability{DownProb: 0.5, UpProb: 1e-12}}
+	const clients, rounds = 50, 30
+	sim := NewSim(sc, 3, clients, rounds)
+	everDown := make([]bool, clients)
+	for r := 0; r < rounds; r++ {
+		sim.BeginRound(r)
+		for id := 0; id < clients; id++ {
+			down := !sim.Available(id)
+			if everDown[id] && !down {
+				t.Fatalf("round %d client %d: recovered despite up_prob≈0 — churn state not persistent", r, id)
+			}
+			everDown[id] = everDown[id] || down
+		}
+	}
+	n := 0
+	for _, d := range everDown {
+		if d {
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("no client ever went down at down_prob=0.5")
+	}
+}
+
+func TestWorkFractionBounds(t *testing.T) {
+	sc := &Scenario{Straggler: &Straggler{Prob: 0.7, MinFrac: 0.25, MaxFrac: 0.75}}
+	sim := NewSim(sc, 11, 40, 20)
+	straggled := 0
+	for r := 0; r < 20; r++ {
+		for id := 0; id < 40; id++ {
+			f := sim.WorkFraction(r, id)
+			if f == 1 {
+				continue
+			}
+			straggled++
+			if f < 0.25 || f > 0.75 {
+				t.Fatalf("fraction %v outside [min,max]", f)
+			}
+		}
+	}
+	if straggled == 0 {
+		t.Fatal("nobody straggled at prob=0.7")
+	}
+}
+
+// TestStageSchedule: stages must start at 0, end at Stages-1, be
+// non-decreasing, and StageParams must reach the targets exactly at the
+// final stage.
+func TestStageSchedule(t *testing.T) {
+	sc := &Scenario{Drift: &Drift{ToBeta: 1.0, ToIF: 0.05, Stages: 4}}
+	const rounds = 40
+	sim := NewSim(sc, 1, 10, rounds)
+	prev := 0
+	for r := 0; r < rounds; r++ {
+		st := sim.Stage(r)
+		if st < prev {
+			t.Fatalf("stage went backwards at round %d: %d -> %d", r, prev, st)
+		}
+		prev = st
+	}
+	if sim.Stage(0) != 0 {
+		t.Fatal("run must start at stage 0")
+	}
+	if got := sim.Stage(rounds - 1); got != 3 {
+		t.Fatalf("final round should reach stage 3, got %d", got)
+	}
+	b0, i0 := sim.StageParams(0, 0.3, 0.2)
+	if b0 != 0.3 || i0 != 0.2 {
+		t.Fatalf("stage 0 must be the base environment, got beta=%v if=%v", b0, i0)
+	}
+	b3, i3 := sim.StageParams(3, 0.3, 0.2)
+	if !close(b3, 1.0) || !close(i3, 0.05) {
+		t.Fatalf("final stage must reach targets, got beta=%v if=%v", b3, i3)
+	}
+	// Interior stages lie strictly between base and target (geometric path).
+	b1, i1 := sim.StageParams(1, 0.3, 0.2)
+	if b1 <= 0.3 || b1 >= 1.0 || i1 >= 0.2 || i1 <= 0.05 {
+		t.Fatalf("interior stage outside (base, target): beta=%v if=%v", b1, i1)
+	}
+}
+
+// TestStageClampShortRun: a run shorter than the configured stage count
+// clamps its effective stages to the round count, so the final round still
+// reaches the drift targets instead of stalling mid-interpolation.
+func TestStageClampShortRun(t *testing.T) {
+	sc := &Scenario{Drift: &Drift{ToBeta: 1.0, ToIF: 0.05, Stages: 4}}
+	const rounds = 3
+	sim := NewSim(sc, 1, 10, rounds)
+	last := sim.Stage(rounds - 1)
+	b, i := sim.StageParams(last, 0.3, 0.2)
+	if !close(b, 1.0) || !close(i, 0.05) {
+		t.Fatalf("short run must still reach the drift targets at its last stage: beta=%v if=%v", b, i)
+	}
+	if sim.Stage(0) != 0 {
+		t.Fatal("short run must still start at the base stage")
+	}
+	// A one-round run cannot drift at all: stage stays 0 at base params.
+	one := NewSim(sc, 1, 10, 1)
+	if one.Stage(0) != 0 {
+		t.Fatal("one-round run must stay at stage 0")
+	}
+	if b, i := one.StageParams(0, 0.3, 0.2); b != 0.3 || i != 0.2 {
+		t.Fatalf("one-round run must keep base params, got beta=%v if=%v", b, i)
+	}
+}
+
+func close(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}
+
+func TestKeepFracs(t *testing.T) {
+	// Drift toward a harsher tail trims tail classes monotonically.
+	kf := KeepFracs(10, 0.2, 0.05)
+	if kf[0] != 1 {
+		t.Fatalf("head class must keep everything, got %v", kf[0])
+	}
+	for c := 1; c < 10; c++ {
+		if kf[c] > kf[c-1] {
+			t.Fatalf("keep fractions must be non-increasing: %v", kf)
+		}
+	}
+	if kf[9] >= kf[0] {
+		t.Fatalf("tail must be trimmed: %v", kf)
+	}
+	// Drifting toward a *more balanced* profile cannot add samples: all 1.
+	for _, f := range KeepFracs(10, 0.1, 0.5) {
+		if f != 1 {
+			t.Fatal("balancing drift must clamp keep fractions at 1")
+		}
+	}
+}

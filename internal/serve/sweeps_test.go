@@ -64,7 +64,9 @@ func getSweep(t *testing.T, ts *httptest.Server, id string) (int, sweepSummary) 
 
 func waitSweepDone(t *testing.T, ts *httptest.Server, id string) sweepSummary {
 	t.Helper()
-	deadline := time.Now().Add(30 * time.Second)
+	// Generous: real-runner sweeps (TestSweepStatusReportsEnvCache) run
+	// several times slower under the race detector in CI's race job.
+	deadline := time.Now().Add(180 * time.Second)
 	for time.Now().Before(deadline) {
 		code, sum := getSweep(t, ts, id)
 		if code != http.StatusOK {

@@ -241,6 +241,7 @@ func historyFromRecords(recs []trace.Record) *fl.History {
 			PerClass:  r.PerClass,
 			TrainLoss: r.Loss,
 			Metrics:   r.Metrics,
+			Shot:      r.Shot,
 		})
 	}
 	return h

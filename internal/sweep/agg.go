@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"fedwcm/internal/fl"
+	"fedwcm/internal/scenario"
 )
 
 // Cell terminal statuses as reported in Results and over the sweep API.
@@ -26,13 +27,16 @@ type CellResult struct {
 // Group aggregates the cells that differ only in seed — the unit the
 // paper's tables report. Scalars aggregate TailMeanAcc(3) (the same "mean
 // test accuracy over the tail evaluations" metric the single-seed tables
-// used); curves average pointwise across seeds.
+// used); curves average pointwise across seeds. Shot is the across-seed
+// mean of the final evaluation's head/medium/tail accuracies (nil when no
+// seed's history carries shot data, e.g. pre-scenario store artifacts).
 type Group struct {
 	Axes  Axes          `json:"axes"` // Seed zeroed
 	Seeds []uint64      `json:"seeds"`
 	N     int           `json:"n"`
 	Mean  float64       `json:"mean"`
 	Std   float64       `json:"std"`
+	Shot  *fl.ShotAcc   `json:"shot,omitempty"`
 	Hists []*fl.History `json:"-"`
 }
 
@@ -167,6 +171,22 @@ func NewResult(sp Spec, cells []CellResult) *Result {
 			}
 			g.Std = math.Sqrt(ss / float64(g.N-1)) // sample std across seeds
 		}
+		shotN := 0
+		var shot fl.ShotAcc
+		for _, h := range g.Hists {
+			if s := h.FinalShot(); s != nil {
+				shot.Head += s.Head
+				shot.Medium += s.Medium
+				shot.Tail += s.Tail
+				shotN++
+			}
+		}
+		if shotN > 0 {
+			shot.Head /= float64(shotN)
+			shot.Medium /= float64(shotN)
+			shot.Tail /= float64(shotN)
+			g.Shot = &shot
+		}
 		r.Groups = append(r.Groups, g)
 	}
 	return r
@@ -197,6 +217,11 @@ func (r *Result) Find(probe Axes) *Group {
 			continue
 		}
 		if probe.LocalEpochs != 0 && g.Axes.LocalEpochs != probe.LocalEpochs {
+			continue
+		}
+		// "" is a wildcard like the other zero fields; probe "static"
+		// explicitly to match only static groups (whose Scenario is "").
+		if probe.Scenario != "" && g.Axes.Scenario != scenario.CanonicalName(probe.Scenario) {
 			continue
 		}
 		return g
@@ -240,6 +265,12 @@ func (r *Result) AggTable(title string) *Table {
 		{"clients", func(a Axes) string { return fmt.Sprintf("%d", a.Clients) }},
 		{"sample", func(a Axes) string { return fmt.Sprintf("%d", a.SampleClients) }},
 		{"epochs", func(a Axes) string { return fmt.Sprintf("%d", a.LocalEpochs) }},
+		{"scenario", func(a Axes) string {
+			if a.Scenario == "" {
+				return "static"
+			}
+			return a.Scenario
+		}},
 	}
 	var cols []column
 	for _, c := range all {
@@ -251,11 +282,20 @@ func (r *Result) AggTable(title string) *Table {
 			cols = append(cols, c)
 		}
 	}
-	headers := make([]string, 0, len(cols)+3)
+	// Shot-bucket columns appear whenever any group carries shot data (the
+	// paper's long-tail reporting convention: head/medium/tail accuracy).
+	withShot := false
+	for _, g := range r.Groups {
+		withShot = withShot || g.Shot != nil
+	}
+	headers := make([]string, 0, len(cols)+6)
 	for _, c := range cols {
 		headers = append(headers, c.name)
 	}
 	headers = append(headers, "n", "mean", "std")
+	if withShot {
+		headers = append(headers, "head", "medium", "tail")
+	}
 	t := &Table{Title: title, Headers: headers}
 	groups := append([]*Group(nil), r.Groups...)
 	sort.SliceStable(groups, func(i, j int) bool { // stable row order for diffs
@@ -268,11 +308,18 @@ func (r *Result) AggTable(title string) *Table {
 		return false
 	})
 	for _, g := range groups {
-		row := make([]string, 0, len(cols)+3)
+		row := make([]string, 0, len(headers))
 		for _, c := range cols {
 			row = append(row, c.get(g.Axes))
 		}
 		row = append(row, fmt.Sprintf("%d", g.N), F(g.Mean), F(g.Std))
+		if withShot {
+			if g.Shot != nil {
+				row = append(row, F(g.Shot.Head), F(g.Shot.Medium), F(g.Shot.Tail))
+			} else {
+				row = append(row, "-", "-", "-")
+			}
+		}
 		t.AddRow(row...)
 	}
 	return t

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"fedwcm/internal/fl"
+	"fedwcm/internal/scenario"
 )
 
 // goldenSpec is the shared fixture: a deliberately small but fully featured
@@ -31,12 +32,30 @@ func goldenSpec(method string) RunSpec {
 }
 
 // goldenHistories pins a SHA-256 of the canonical JSON history for one small
-// run per method family. These hashes were recorded on the pre-runtime
-// seed implementation (PR 2); any engine, scratch-buffer or kernel change
+// run per method family. The hashes were recorded on the pre-runtime seed
+// implementation (PR 2) and re-pinned when RoundStat gained the shot-bucket
+// field; TestGoldenTrajectoriesMatchPreShotDigests proves mechanically that
+// only the serialization changed, by stripping `shot` and comparing against
+// the original PR 2 digests. Any engine, scratch-buffer or kernel change
 // that shifts a single bit of any history must fail here. They complement
 // the Workers=1v4 determinism test in internal/fl, which only proves
 // schedule-independence, not stability across refactors.
 var goldenHistories = map[string]string{
+	"fedavg":    "575487d4e7e7aaff713fc6d5f48f46fd08815ccba8fcf21accd8376f4ef5509d",
+	"fedcm":     "ed237def79c3dd4f9c2d371abb3de037ec2084800e6e88dcd5cf5daea21acdd3",
+	"fedwcm":    "ba1575cf0ad3c8716171fe139f45d35c3537f9249060dedcbc763d4a5db4d156",
+	"scaffold":  "c4dc354ef107cd62f9afcb522e524ac91ce97be922bb559a69131d59a10409f8",
+	"feddyn":    "b120d44b6e16a4edbce42a302be1b931146bb199406be6f825f760dd903c7f13",
+	"mofedsam":  "00840f9f8a38ac20b989b5e9c32876261cac3bfa195fede522c288e0112595c0",
+	"fedgrab":   "36e19056692f673e0e9064fb5bf23efb103c774a2815c25cfb0917489990e733",
+	"balancefl": "8e3efe5416da65c6647f8fba6d07815f4117e444d8541d069a88085779f260d4",
+}
+
+// goldenPreShotHistories are the original PR 2 digests, recorded before
+// RoundStat carried the `shot` field. The static training trajectories must
+// still reproduce them exactly once `shot` is stripped — the mechanical
+// proof that the shot-era re-pin changed serialization, not computation.
+var goldenPreShotHistories = map[string]string{
 	"fedavg":    "416ec63e755b5f48a8eab5425576d716421df2ecddab82d32cb50c425cecd8d1",
 	"fedcm":     "a7a6a228725b6687dbf9b569ee633508017a988231e7a8f210c6b1fb4a06bd1a",
 	"fedwcm":    "62e339a14ee5f5091b43142c8d8b756996e936dbbe9d85985857c6ab1d8b6719",
@@ -45,6 +64,23 @@ var goldenHistories = map[string]string{
 	"mofedsam":  "b81b86c38a989ad9f78819669933e0ee721541a223144f8ac0f572d2acb64f91",
 	"fedgrab":   "3fcacd4940adf9543841f0458785de77a363e2c46377e4d3d74ebffe42e607a8",
 	"balancefl": "8482bb06896e853ba558dd4aa06d9058baab426ea2fe055cdbe9a116f68e7658",
+}
+
+func TestGoldenTrajectoriesMatchPreShotDigests(t *testing.T) {
+	for method, want := range goldenPreShotHistories {
+		t.Run(method, func(t *testing.T) {
+			h, err := goldenSpec(method).Run()
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			for i := range h.Stats {
+				h.Stats[i].Shot = nil
+			}
+			if got := historyHash(t, h); got != want {
+				t.Errorf("static trajectory diverged from the pre-shot era: got %s want %s", got, want)
+			}
+		})
+	}
 }
 
 // historyHash is the pinned digest: hex SHA-256 of the history's canonical
@@ -61,32 +97,74 @@ func historyHash(t *testing.T, h *fl.History) string {
 	return hex.EncodeToString(sum[:])
 }
 
+// runGolden executes spec at Workers=1 and Workers=4, asserts the two
+// histories hash identically, and compares against the pinned digest.
+func runGolden(t *testing.T, spec RunSpec, want string) {
+	t.Helper()
+	h1, err := spec.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := historyHash(t, h1)
+
+	spec4 := spec
+	spec4.Cfg.Workers = 4
+	h4, err := spec4.Run()
+	if err != nil {
+		t.Fatalf("run workers=4: %v", err)
+	}
+	if got4 := historyHash(t, h4); got4 != got {
+		t.Fatalf("Workers=4 history diverges from Workers=1: %s vs %s", got4, got)
+	}
+
+	if want == "" {
+		t.Fatalf("no golden hash pinned; computed %s", got)
+	}
+	if got != want {
+		t.Errorf("history hash changed: got %s want %s", got, want)
+	}
+}
+
 func TestGoldenHistoriesBitIdentical(t *testing.T) {
 	for method, want := range goldenHistories {
 		t.Run(method, func(t *testing.T) {
-			spec := goldenSpec(method)
-			h1, err := spec.Run()
-			if err != nil {
-				t.Fatalf("run: %v", err)
-			}
-			got := historyHash(t, h1)
+			runGolden(t, goldenSpec(method), want)
+		})
+	}
+}
 
-			spec4 := spec
-			spec4.Cfg.Workers = 4
-			h4, err := spec4.Run()
-			if err != nil {
-				t.Fatalf("run workers=4: %v", err)
-			}
-			if got4 := historyHash(t, h4); got4 != got {
-				t.Fatalf("Workers=4 history diverges from Workers=1: %s vs %s", got4, got)
-			}
+// goldenScenarioSpec layers the full dynamics stack — availability churn
+// with correlated outages, partial-work stragglers and label drift — over
+// the golden fixture, so scenario-driven sampling, drop, partial-epoch and
+// repartition paths are pinned bit-for-bit like everything else. DropProb
+// is cleared: the availability trace replaces it (Validate enforces that).
+func goldenScenarioSpec(method string) RunSpec {
+	spec := goldenSpec(method)
+	spec.Cfg.DropProb = 0
+	spec.Cfg.Rounds = 6 // span at least two drift stages
+	spec.Cfg.Scenario = &scenario.Scenario{
+		Availability: &scenario.Availability{DownProb: 0.3, UpProb: 0.5, OutageProb: 0.2, OutageFrac: 0.5},
+		Straggler:    &scenario.Straggler{Prob: 0.5, MinFrac: 0.3, MaxFrac: 0.8},
+		Drift:        &scenario.Drift{ToBeta: 1, ToIF: 0.05, Stages: 3},
+	}
+	return spec
+}
 
-			if want == "" {
-				t.Fatalf("no golden hash pinned for %s; computed %s", method, got)
+// goldenScenarioHistories pins scenario-enabled runs for a momentum method
+// (the paper's focus — it must tolerate partial work) and plain FedAvg.
+var goldenScenarioHistories = map[string]string{
+	"fedavg": "c43b6bb52f35bdd5e3ca67fbfb9a151148213c94df9e60c758c13cdc4a717159",
+	"fedwcm": "e42f60488ca81a3779b989b54e1b920793d118e7e2005341945836c4ec80984d",
+}
+
+func TestGoldenScenarioHistoriesBitIdentical(t *testing.T) {
+	for method, want := range goldenScenarioHistories {
+		t.Run(method, func(t *testing.T) {
+			spec := goldenScenarioSpec(method)
+			if err := spec.Validate(); err != nil {
+				t.Fatalf("scenario golden spec must validate: %v", err)
 			}
-			if got != want {
-				t.Errorf("history hash changed: got %s want %s", got, want)
-			}
+			runGolden(t, spec, want)
 		})
 	}
 }

@@ -67,6 +67,10 @@ func (s RunSpec) Defaults() RunSpec {
 // an environment. Serving layers call it to reject bad specs at submission
 // time instead of failing the queued run.
 func (s RunSpec) Validate() error {
+	// Captured before Defaults(): scenario validation must see the raw
+	// spelling — normalization rewrites some degenerate forms (e.g.
+	// down_prob=1 with no recovery) that should be rejected, not repaired.
+	rawScenario := s.Cfg.Scenario
 	s = s.Defaults()
 	spec, err := data.Lookup(s.Dataset)
 	if err != nil {
@@ -92,6 +96,13 @@ func (s RunSpec) Validate() error {
 	if c.EtaL <= 0 || c.EtaG <= 0 || c.DropProb < 0 || c.DropProb >= 1 {
 		return fmt.Errorf("sweep: out-of-range config: eta_l=%v eta_g=%v drop_prob=%v",
 			c.EtaL, c.EtaG, c.DropProb)
+	}
+	if err := rawScenario.Validate(); err != nil {
+		return err
+	}
+	// Defaults() above already normalized the scenario (nil or canonical).
+	if c.Scenario != nil && c.Scenario.Availability != nil && c.DropProb > 0 {
+		return fmt.Errorf("sweep: scenario availability replaces drop_prob; set one, not both")
 	}
 	// Upper bounds protect a serving deployment from a single submission
 	// occupying a worker indefinitely (there is no cancellation path). They
@@ -167,7 +178,21 @@ func (s RunSpec) BuildEnvCached(cache *EnvCache) (*fl.Env, error) {
 	if err != nil {
 		return nil, err
 	}
-	return fl.NewEnv(s.Cfg, pieces.train, pieces.test, pieces.part, build, nil), nil
+	env := fl.NewEnv(s.Cfg, pieces.train, pieces.test, pieces.part, build, nil)
+	// Dynamics hooks: drift scenarios re-partition the (shared, immutable)
+	// train set at stage boundaries with the same strategy this spec used.
+	// Set unconditionally — they are inert without a drift scenario — so a
+	// cached and an uncached env behave identically.
+	makePart, err := partitionFor(s.Partition)
+	if err != nil {
+		return nil, err
+	}
+	env.BaseBeta, env.BaseIF = s.Beta, s.IF
+	clients := s.Clients
+	env.Repartition = func(seed uint64, beta float64) *partition.Partition {
+		return makePart(xrand.New(seed), pieces.train, clients, beta)
+	}
+	return env, nil
 }
 
 // Run executes the spec and returns its history.

@@ -29,6 +29,8 @@ package sweep
 import (
 	"encoding/json"
 	"fmt"
+
+	"fedwcm/internal/scenario"
 )
 
 // MaxCells bounds a single sweep's expansion. It protects a serving
@@ -68,6 +70,13 @@ type Spec struct {
 	Clients     []int     `json:"clients,omitempty"`
 	LocalEpochs []int     `json:"local_epochs,omitempty"`
 
+	// Scenarios lists named scenario presets (see scenario.Named) as a grid
+	// axis: "static" (or "") is the unchanged environment, the others layer
+	// churn / outages / stragglers / drift over every cell. Empty means
+	// static only, and canonicalises away so pre-scenario sweep ids are
+	// unchanged.
+	Scenarios []string `json:"scenarios,omitempty"`
+
 	Partition string `json:"partition,omitempty"` // "equal" (default) or "fedgrab"
 	Model     string `json:"model,omitempty"`     // "auto" (default), "linear", "mlp", "resnet"
 
@@ -90,6 +99,7 @@ type Axes struct {
 	Clients       int     `json:"clients"`
 	SampleClients int     `json:"sample_clients"`
 	LocalEpochs   int     `json:"local_epochs"`
+	Scenario      string  `json:"scenario,omitempty"` // preset name; "" = static
 	Seed          uint64  `json:"seed"`
 }
 
@@ -136,6 +146,21 @@ func (sp Spec) Defaults() Spec {
 		}
 	}
 	sp.SeedCount, sp.SeedBase = 0, 0 // subsumed by the explicit list
+	// Canonicalise scenario names ("static" → "") and drop an axis that only
+	// spells out the static default, so pre-scenario grids keep their ids.
+	if len(sp.Scenarios) > 0 {
+		names := make([]string, len(sp.Scenarios))
+		allStatic := true
+		for i, n := range sp.Scenarios {
+			names[i] = scenario.CanonicalName(n)
+			allStatic = allStatic && names[i] == ""
+		}
+		if allStatic {
+			sp.Scenarios = nil
+		} else {
+			sp.Scenarios = names
+		}
+	}
 	if sp.Partition == "" {
 		sp.Partition = "equal"
 	}
@@ -188,6 +213,7 @@ func (sp Spec) ExpandValidated() ([]Cell, error) {
 	for _, k := range []int{
 		len(sp.Datasets), len(sp.Methods), len(sp.Betas), len(sp.IFs), len(sp.Seeds),
 		max(1, len(sp.SampleRates)), max(1, len(sp.Clients)), max(1, len(sp.LocalEpochs)),
+		max(1, len(sp.Scenarios)),
 	} {
 		n *= k
 		if n > MaxCells {
@@ -211,6 +237,11 @@ func (sp Spec) ExpandValidated() ([]Cell, error) {
 	for _, v := range sp.LocalEpochs {
 		if v <= 0 {
 			return nil, fmt.Errorf("sweep: local_epochs axis value %d out of range", v)
+		}
+	}
+	for _, name := range sp.Scenarios {
+		if _, err := scenario.Named(name); err != nil {
+			return nil, err
 		}
 	}
 	cells, err := sp.Expand()
@@ -245,6 +276,21 @@ func (sp Spec) Expand() ([]Cell, error) {
 	if len(epochs) == 0 {
 		epochs = []int{0}
 	}
+	scens := sp.Scenarios
+	if len(scens) == 0 {
+		scens = []string{""}
+	}
+	// Resolve each scenario preset once, outside the axis cross product; the
+	// resolved values are immutable and safely shared by every cell
+	// (Defaults normalises into a copy).
+	resolved := make([]*scenario.Scenario, len(scens))
+	for i, name := range scens {
+		sc, err := scenario.Named(name)
+		if err != nil {
+			return nil, err
+		}
+		resolved[i] = sc
+	}
 	var cells []Cell
 	seen := make(map[string]struct{})
 	for _, ds := range sp.Datasets {
@@ -254,57 +300,62 @@ func (sp Spec) Expand() ([]Cell, error) {
 					for _, nc := range clients {
 						for _, rate := range rates {
 							for _, ep := range epochs {
-								for _, seed := range sp.Seeds {
-									spec := PresetSpec(ds, m, b, f, seed, sp.Effort)
-									spec.Partition = sp.Partition
-									spec.Model = sp.Model
-									if nc > 0 {
-										spec.Clients = nc
+								for si, scen := range scens {
+									sc := resolved[si]
+									for _, seed := range sp.Seeds {
+										spec := PresetSpec(ds, m, b, f, seed, sp.Effort)
+										spec.Partition = sp.Partition
+										spec.Model = sp.Model
+										if nc > 0 {
+											spec.Clients = nc
+										}
+										if rate > 0 {
+											spec.Cfg.SampleClients = SampleFor(spec.Clients, rate)
+										}
+										if ep > 0 {
+											spec.Cfg.LocalEpochs = ep
+										}
+										if sp.Rounds > 0 {
+											spec.Cfg.Rounds = ScaleRounds(sp.Rounds, sp.Effort)
+										}
+										spec.Cfg.Scenario = sc
+										// Canonicalize the resolved cell. The engine samples
+										// min(SampleClients, Clients) at runtime, so a preset
+										// sample above an overridden client count must clamp
+										// here — otherwise the identical computation would be
+										// cached under two fingerprints and labelled with a
+										// participation that never happens.
+										if spec.Cfg.SampleClients > spec.Clients {
+											spec.Cfg.SampleClients = spec.Clients
+										}
+										// Axes report what will actually run, which is the
+										// defaults-applied spec (e.g. a listed beta of 0 means
+										// the 0.1 default, and that is what Find must match).
+										spec = spec.Defaults()
+										fp, err := spec.Fingerprint()
+										if err != nil {
+											return nil, err
+										}
+										if _, dup := seen[fp]; dup {
+											continue
+										}
+										seen[fp] = struct{}{}
+										cells = append(cells, Cell{
+											Axes: Axes{
+												Dataset:       spec.Dataset,
+												Method:        spec.Method,
+												Beta:          spec.Beta,
+												IF:            spec.IF,
+												Clients:       spec.Clients,
+												SampleClients: spec.Cfg.SampleClients,
+												LocalEpochs:   spec.Cfg.LocalEpochs,
+												Scenario:      scenario.CanonicalName(scen),
+												Seed:          spec.Cfg.Seed,
+											},
+											ID:   fp,
+											Spec: spec,
+										})
 									}
-									if rate > 0 {
-										spec.Cfg.SampleClients = SampleFor(spec.Clients, rate)
-									}
-									if ep > 0 {
-										spec.Cfg.LocalEpochs = ep
-									}
-									if sp.Rounds > 0 {
-										spec.Cfg.Rounds = ScaleRounds(sp.Rounds, sp.Effort)
-									}
-									// Canonicalize the resolved cell. The engine samples
-									// min(SampleClients, Clients) at runtime, so a preset
-									// sample above an overridden client count must clamp
-									// here — otherwise the identical computation would be
-									// cached under two fingerprints and labelled with a
-									// participation that never happens.
-									if spec.Cfg.SampleClients > spec.Clients {
-										spec.Cfg.SampleClients = spec.Clients
-									}
-									// Axes report what will actually run, which is the
-									// defaults-applied spec (e.g. a listed beta of 0 means
-									// the 0.1 default, and that is what Find must match).
-									spec = spec.Defaults()
-									fp, err := spec.Fingerprint()
-									if err != nil {
-										return nil, err
-									}
-									if _, dup := seen[fp]; dup {
-										continue
-									}
-									seen[fp] = struct{}{}
-									cells = append(cells, Cell{
-										Axes: Axes{
-											Dataset:       spec.Dataset,
-											Method:        spec.Method,
-											Beta:          spec.Beta,
-											IF:            spec.IF,
-											Clients:       spec.Clients,
-											SampleClients: spec.Cfg.SampleClients,
-											LocalEpochs:   spec.Cfg.LocalEpochs,
-											Seed:          spec.Cfg.Seed,
-										},
-										ID:   fp,
-										Spec: spec,
-									})
 								}
 							}
 						}
@@ -321,6 +372,10 @@ func (sp Spec) Expand() ([]Cell, error) {
 
 // describeAxes renders axes compactly for error messages and logs.
 func describeAxes(a Axes) string {
-	return fmt.Sprintf("%s/%s beta=%g if=%g n=%d s=%d e=%d seed=%d",
+	s := fmt.Sprintf("%s/%s beta=%g if=%g n=%d s=%d e=%d seed=%d",
 		a.Dataset, a.Method, a.Beta, a.IF, a.Clients, a.SampleClients, a.LocalEpochs, a.Seed)
+	if a.Scenario != "" {
+		s += " scenario=" + a.Scenario
+	}
+	return s
 }

@@ -130,6 +130,10 @@ type Record struct {
 	Loss     float64            `json:"train_loss"`
 	Metrics  map[string]float64 `json:"metrics,omitempty"`
 	PerClass []float64          `json:"per_class,omitempty"`
+	// Shot carries the head/medium/tail accuracy split; omitted on
+	// histories recorded before shot-bucket evaluation existed, so old
+	// store artifacts keep round-tripping.
+	Shot *fl.ShotAcc `json:"shot,omitempty"`
 }
 
 // WriteJSONL writes one JSON object per evaluation point.
@@ -154,6 +158,7 @@ func WriteJSONL(w io.Writer, runs map[string]*fl.History) error {
 				Loss:     s.TrainLoss,
 				Metrics:  s.Metrics,
 				PerClass: s.PerClass,
+				Shot:     s.Shot,
 			}
 			if err := enc.Encode(rec); err != nil {
 				return err
