@@ -15,6 +15,10 @@
 //	fedbench -run table1 -effort 0.3
 //	fedbench -run all -effort 0.5 -out results
 //	fedbench -run table1 -store ""          # disable the result store
+//	fedbench -run table1 -remote http://localhost:8080   # cells run on fedserve
+//
+// A failed sweep prints one line per failed axes group (its first error)
+// and exits non-zero.
 package main
 
 import (
@@ -26,6 +30,7 @@ import (
 	"strings"
 	"time"
 
+	"fedwcm/internal/dispatch"
 	"fedwcm/internal/experiments"
 	"fedwcm/internal/store"
 	"fedwcm/internal/sweep"
@@ -41,6 +46,7 @@ func main() {
 		cells    = flag.Int("cellworkers", 3, "concurrent sweep cells")
 		storeDir = flag.String("store", "results/store", "result store root (empty disables caching)")
 		envCap   = flag.Int("envcache", sweep.DefaultEnvCacheCap, "environments kept in the shared env cache")
+		remote   = flag.String("remote", "", "execute sweep cells on a running fedserve at this base URL instead of in-process")
 	)
 	flag.Parse()
 
@@ -68,6 +74,20 @@ func main() {
 	// One environment cache across every experiment in this invocation:
 	// tables sharing a dataset grid reuse each other's construction work.
 	envs := sweep.NewEnvCache(*envCap)
+
+	// -remote dispatches declarative cells to a running fedserve (which may
+	// itself be coordinator-backed), so a laptop drives a grid that trains
+	// on a fleet. Hand-rolled experiments with Mod hooks still run locally.
+	var executor dispatch.Executor
+	if *remote != "" {
+		client, err := dispatch.NewClient(dispatch.ClientConfig{BaseURL: *remote})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fedbench:", err)
+			os.Exit(1)
+		}
+		defer client.Close()
+		executor = client
+	}
 
 	ids := []string{*run}
 	if *run == "all" {
@@ -101,6 +121,7 @@ func main() {
 			CellWorkers: *cells,
 			Store:       st,
 			Envs:        envs,
+			Executor:    executor,
 			Out:         w,
 		})
 		if f != nil {

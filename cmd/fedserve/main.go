@@ -5,7 +5,13 @@
 // recomputes only the missing fingerprints and aggregates mean±std
 // server-side. Full endpoint reference: docs/API.md.
 //
-// Example:
+// Execution is pluggable (internal/dispatch). By default runs train on an
+// in-process worker pool; with -remote the server instead coordinates a
+// fleet of worker processes that join over HTTP, lease jobs, heartbeat
+// progress and upload finished histories — so one grid spreads across as
+// many machines as register. A worker is this same binary in -worker mode.
+//
+// Examples:
 //
 //	fedserve -addr :8080 -store ./results -workers 4
 //	curl -s localhost:8080/v1/experiments
@@ -15,6 +21,11 @@
 //	curl -s -X POST localhost:8080/v1/sweeps \
 //	  -d '{"methods":["fedavg","fedwcm"],"ifs":[1,0.1],"seed_count":3,"effort":0.2}'
 //	curl -s localhost:8080/v1/sweeps/<id>/result
+//
+//	# distributed: a coordinator and two workers
+//	fedserve -remote -addr :8080 -store ./results
+//	fedserve -worker -join http://localhost:8080 -slots 2
+//	fedserve -worker -join http://localhost:8080 -slots 2
 package main
 
 import (
@@ -29,26 +40,60 @@ import (
 	"syscall"
 	"time"
 
+	"fedwcm/internal/dispatch"
 	"fedwcm/internal/serve"
 	"fedwcm/internal/store"
+	"fedwcm/internal/sweep"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
+		addr    = flag.String("addr", ":8080", "listen address (server modes)")
 		root    = flag.String("store", "results/store", "result store root directory")
-		workers = flag.Int("workers", max(1, runtime.GOMAXPROCS(0)/2), "concurrent training runs")
+		workers = flag.Int("workers", max(1, runtime.GOMAXPROCS(0)/2), "concurrent training runs (local backend)")
 		queue   = flag.Int("queue", 64, "max queued (not yet running) submissions")
 		lru     = flag.Int("lru", store.DefaultLRUSize, "in-memory history cache size")
+		envCap  = flag.Int("envcache", sweep.DefaultEnvCacheCap, "environments kept in the env cache")
+
+		remote   = flag.Bool("remote", false, "serve with the remote-worker backend: jobs wait for workers that -join")
+		leaseTTL = flag.Duration("lease", 15*time.Second, "remote backend: lease TTL before a silent worker's job requeues")
+
+		workerMode = flag.Bool("worker", false, "run as a worker: join a coordinator, lease and execute jobs")
+		join       = flag.String("join", "", "worker mode: coordinator base URL, e.g. http://host:8080")
+		name       = flag.String("name", "", "worker mode: name reported at registration")
+		slots      = flag.Int("slots", 1, "worker mode: concurrent jobs this worker executes")
 	)
 	flag.Parse()
+
+	if *workerMode {
+		if err := runWorker(*join, *name, *slots, *envCap); err != nil && err != context.Canceled {
+			fmt.Fprintln(os.Stderr, "fedserve:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	st, err := store.Open(*root, *lru)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fedserve:", err)
 		os.Exit(1)
 	}
-	srv, err := serve.New(serve.Config{Store: st, Workers: *workers, QueueDepth: *queue})
+	cfg := serve.Config{Store: st, Workers: *workers, QueueDepth: *queue, Envs: sweep.NewEnvCache(*envCap)}
+	backend := fmt.Sprintf("local pool, %d workers", *workers)
+	if *remote {
+		coord, err := dispatch.NewCoordinator(dispatch.CoordinatorConfig{
+			Store:    st,
+			LeaseTTL: *leaseTTL,
+			Queue:    *queue,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fedserve:", err)
+			os.Exit(1)
+		}
+		cfg.Executor = coord
+		backend = fmt.Sprintf("remote workers, lease TTL %v", *leaseTTL)
+	}
+	srv, err := serve.New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fedserve:", err)
 		os.Exit(1)
@@ -62,9 +107,9 @@ func main() {
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 		log.Println("fedserve: shutting down")
-		// Graceful: in-flight responses (incl. SSE on live runs) finish;
-		// runs still training when the grace period lapses are completed
-		// by srv.Close below, only their streams are cut.
+		// Graceful: in-flight responses (incl. SSE on live runs) get a grace
+		// period to finish; srv.Close below then cancels runs still training
+		// so their streams terminate with a "done" event instead of hanging.
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {
@@ -72,11 +117,32 @@ func main() {
 		}
 	}()
 
-	log.Printf("fedserve: listening on %s (store %s, %d workers)", *addr, *root, *workers)
+	log.Printf("fedserve: listening on %s (store %s; %s)", *addr, *root, backend)
 	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		fmt.Fprintln(os.Stderr, "fedserve:", err)
 		os.Exit(1)
 	}
-	srv.Close()    // finish in-flight runs so their artifacts land in the store
+	srv.Close()    // cancel in-flight jobs and drain subscribers
 	<-shutdownDone // let in-flight responses (SSE done events) drain before exit
+}
+
+// runWorker joins a coordinator and serves leases until SIGTERM/SIGINT,
+// then deregisters so in-flight jobs hand over cleanly.
+func runWorker(join, name string, slots, envCap int) error {
+	if join == "" {
+		return fmt.Errorf("-worker requires -join <coordinator url>")
+	}
+	w, err := dispatch.NewWorker(dispatch.WorkerConfig{
+		Coordinator: join,
+		Runner:      sweep.DispatchRunner(sweep.NewEnvCache(envCap)),
+		Name:        name,
+		Slots:       slots,
+	})
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	log.Printf("fedserve: worker joining %s (%d slots)", join, slots)
+	return w.Run(ctx)
 }

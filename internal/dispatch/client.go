@@ -1,0 +1,224 @@
+package dispatch
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"time"
+
+	"fedwcm/internal/fl"
+)
+
+// ClientConfig wires a Client.
+type ClientConfig struct {
+	BaseURL string // required: fedserve base URL, e.g. http://host:8080
+	// PollEvery is the status-poll cadence while a submitted run executes.
+	// 0 = 250ms.
+	PollEvery  time.Duration
+	HTTPClient *http.Client
+	Logf       func(format string, args ...any)
+}
+
+// Client is the push-side remote backend: jobs are submitted to a running
+// fedserve over the public run API (POST /v1/runs) and polled to
+// completion. It is what fedbench -remote uses, so an experiment grid can
+// execute against a shared server — which may itself be local-pool or
+// coordinator backed — instead of inside the CLI process. Content
+// addressing survives the hop: the server files the run under the same
+// fingerprint the client computed, and cached cells return immediately.
+type Client struct {
+	cfg    ClientConfig
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
+// Run-status strings of the serve API (mirrored here: serve imports
+// dispatch, so dispatch cannot import serve's constants).
+const (
+	runQueued  = "queued"
+	runRunning = "running"
+	runDone    = "done"
+	runFailed  = "failed"
+	runCached  = "cached"
+)
+
+// runStatus mirrors serve's runResponse wire shape.
+type runStatus struct {
+	ID       string         `json:"id"`
+	Status   string         `json:"status"`
+	Progress []fl.RoundStat `json:"progress,omitempty"`
+	History  *fl.History    `json:"history,omitempty"`
+	Error    string         `json:"error,omitempty"`
+}
+
+// NewClient returns a client executor for the server at cfg.BaseURL.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("dispatch: ClientConfig.BaseURL is required")
+	}
+	if cfg.PollEvery <= 0 {
+		cfg.PollEvery = 250 * time.Millisecond
+	}
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Client{cfg: cfg, ctx: ctx, cancel: cancel}, nil
+}
+
+// Submit posts the job's spec to the server. A cached response completes
+// the handle immediately; an accepted one is polled to completion on a
+// background goroutine. A 503 (full server queue) returns ErrQueueFull,
+// or retries with backoff under opts.Block.
+func (c *Client) Submit(job Job, opts SubmitOpts) (Handle, error) {
+	backoff := 200 * time.Millisecond
+	for {
+		select {
+		case <-c.ctx.Done():
+			return nil, ErrClosed
+		default:
+		}
+		code, rs, err := c.post(job)
+		switch {
+		case err != nil:
+			return nil, err
+		case code == http.StatusServiceUnavailable:
+			if !opts.Block {
+				return nil, ErrQueueFull
+			}
+			select {
+			case <-c.ctx.Done():
+				return nil, ErrClosed
+			case <-time.After(backoff):
+			}
+			if backoff < 5*time.Second {
+				backoff *= 2
+			}
+			continue
+		case code != http.StatusOK && code != http.StatusAccepted:
+			return nil, fmt.Errorf("dispatch: submitting job %.12s: HTTP %d: %s", job.ID, code, rs.Error)
+		}
+		if rs.ID != job.ID {
+			// Both sides hash the same canonical bytes; a mismatch means the
+			// server would file the artifact somewhere this client will
+			// never look.
+			return nil, fmt.Errorf("dispatch: server filed job under %.12s, client computed %.12s", rs.ID, job.ID)
+		}
+		h := newHandle(job)
+		if rs.Status == runCached && rs.History != nil {
+			h.complete(rs.History, nil)
+			return h, nil
+		}
+		go c.poll(h, opts)
+		return h, nil
+	}
+}
+
+func (c *Client) post(job Job) (int, runStatus, error) {
+	req, err := http.NewRequestWithContext(c.ctx, http.MethodPost, c.cfg.BaseURL+"/v1/runs", bytes.NewReader(job.Spec))
+	if err != nil {
+		return 0, runStatus{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return 0, runStatus{}, fmt.Errorf("dispatch: submitting job %.12s: %w", job.ID, err)
+	}
+	defer resp.Body.Close()
+	var rs runStatus
+	if err := json.NewDecoder(resp.Body).Decode(&rs); err != nil {
+		return resp.StatusCode, runStatus{}, fmt.Errorf("dispatch: decoding submit response: %w", err)
+	}
+	return resp.StatusCode, rs, nil
+}
+
+// poll drives the handle to completion off the status endpoint, relaying
+// progress rounds it has not seen before.
+func (c *Client) poll(h *handle, opts SubmitOpts) {
+	url := c.cfg.BaseURL + "/v1/runs/" + h.job.ID
+	started := false
+	seen := 0
+	t := time.NewTicker(c.cfg.PollEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.ctx.Done():
+			h.complete(nil, ErrClosed)
+			return
+		case <-t.C:
+		}
+		req, err := http.NewRequestWithContext(c.ctx, http.MethodGet, url, nil)
+		if err != nil {
+			h.complete(nil, err)
+			return
+		}
+		resp, err := c.cfg.HTTPClient.Do(req)
+		if err != nil {
+			if c.ctx.Err() != nil {
+				h.complete(nil, ErrClosed)
+				return
+			}
+			c.cfg.Logf("dispatch: polling job %.12s: %v", h.job.ID, err)
+			continue // transient; next tick retries
+		}
+		var rs runStatus
+		derr := json.NewDecoder(resp.Body).Decode(&rs)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusNotFound {
+			// The server forgot the run (restart with a wiped store): the
+			// job will never finish there, so fail the handle instead of
+			// polling an error page forever.
+			h.complete(nil, fmt.Errorf("dispatch: job %.12s vanished server-side: %s", h.job.ID, rs.Error))
+			return
+		}
+		if derr != nil || resp.StatusCode != http.StatusOK {
+			c.cfg.Logf("dispatch: polling job %.12s: HTTP %d (decode: %v)", h.job.ID, resp.StatusCode, derr)
+			continue // transient (5xx, truncated body); next tick retries
+		}
+		if !started && (rs.Status == runRunning || rs.Status == runDone || rs.Status == runCached) {
+			started = true
+			if opts.OnStart != nil {
+				opts.OnStart()
+			}
+		}
+		if opts.OnRound != nil {
+			for ; seen < len(rs.Progress); seen++ {
+				opts.OnRound(rs.Progress[seen])
+			}
+		}
+		switch rs.Status {
+		case runDone, runCached:
+			if rs.History == nil {
+				h.complete(nil, fmt.Errorf("dispatch: job %.12s finished with no history", h.job.ID))
+				return
+			}
+			if opts.OnRound != nil {
+				// The terminal response carries history instead of progress
+				// (the server omits progress once the history exists); replay
+				// whatever the polls had not relayed yet so consumers see
+				// every round exactly once.
+				for ; seen < len(rs.History.Stats); seen++ {
+					opts.OnRound(rs.History.Stats[seen])
+				}
+			}
+			h.complete(rs.History, nil)
+			return
+		case runFailed:
+			h.complete(nil, fmt.Errorf("dispatch: job %.12s failed remotely: %s", h.job.ID, rs.Error))
+			return
+		}
+	}
+}
+
+// Close aborts in-flight polls; their handles complete with ErrClosed.
+func (c *Client) Close() { c.cancel() }
+
+var _ Executor = (*Client)(nil)

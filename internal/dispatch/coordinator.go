@@ -1,0 +1,658 @@
+package dispatch
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+	"time"
+
+	"fedwcm/internal/fl"
+	"fedwcm/internal/store"
+)
+
+// CoordinatorConfig wires a Coordinator.
+type CoordinatorConfig struct {
+	Store *store.Store // required: the artifact exchange finished histories land in
+	// LeaseTTL is how long a worker may hold a job without heartbeating
+	// before the job is requeued onto surviving workers. 0 = 15s.
+	LeaseTTL time.Duration
+	// MaxAttempts caps how many leases a job may consume (first execution
+	// included) before lease expiry fails it for good. 0 = 3.
+	MaxAttempts int
+	// Queue bounds jobs waiting for a lease. 0 = 4096 (one maximal sweep).
+	Queue int
+	// MaxWorkerSlots caps the per-worker in-flight limit a worker may
+	// declare at registration. 0 = 8.
+	MaxWorkerSlots int
+	Logf           func(format string, args ...any)
+}
+
+// Coordinator is the remote dispatch backend: jobs queue here, workers
+// registered over HTTP pull them via time-limited leases, heartbeat
+// progress, and upload finished histories keyed by the job fingerprint.
+// The upload path writes straight into the store, so duplicate uploads —
+// a requeued job finished by two workers, a tardy worker acking after its
+// lease expired — are idempotent by content address. Lease expiry requeues
+// the job (capped by MaxAttempts); an explicit deregistration requeues
+// without consuming an attempt (clean handover).
+//
+// Mount attaches the worker-facing endpoints to a mux; internal/serve does
+// this for any Executor that implements it, so `fedserve -remote` serves
+// the public run API and the worker protocol from one listener.
+type Coordinator struct {
+	cfg CoordinatorConfig
+
+	mu      sync.Mutex
+	workers map[string]*remoteWorker
+	jobs    map[string]*remoteJob // every non-terminal job by fingerprint
+	pending []*remoteJob          // FIFO awaiting a lease; requeues go to the front
+	notify  chan struct{}         // closed+remade when work or capacity appears
+	space   chan struct{}         // closed+remade when the pending queue shrinks
+	seq     uint64
+
+	closed    chan struct{}
+	closeOnce sync.Once
+	reaperWG  sync.WaitGroup
+}
+
+type remoteWorker struct {
+	id       string
+	name     string
+	slots    int // max concurrent leases
+	inflight map[string]*remoteJob
+	lastSeen time.Time
+}
+
+// remoteJob states.
+const (
+	jobPending = iota
+	jobLeased
+)
+
+type remoteJob struct {
+	h        *handle
+	onRound  []func(fl.RoundStat)
+	onStart  []func()
+	started  bool
+	state    int
+	worker   string // current lease holder when leased
+	expiry   time.Time
+	attempts int // leases granted so far
+	// Heartbeat dedup across attempts: a requeued job is re-run from round
+	// zero by the next worker (runs are deterministic, so the stats repeat
+	// exactly). relayed counts rounds already delivered to subscribers over
+	// the job's lifetime; attemptSeen counts rounds received in the current
+	// attempt and resets on each lease grant, so only genuinely new rounds
+	// are relayed.
+	relayed     int
+	attemptSeen int
+}
+
+// NewCoordinator validates cfg, starts the lease reaper and returns the
+// coordinator.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("dispatch: CoordinatorConfig.Store is required")
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 15 * time.Second
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.Queue <= 0 {
+		cfg.Queue = 4096
+	}
+	if cfg.MaxWorkerSlots <= 0 {
+		cfg.MaxWorkerSlots = 8
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	c := &Coordinator{
+		cfg:     cfg,
+		workers: make(map[string]*remoteWorker),
+		jobs:    make(map[string]*remoteJob),
+		notify:  make(chan struct{}),
+		space:   make(chan struct{}),
+		closed:  make(chan struct{}),
+	}
+	c.reaperWG.Add(1)
+	go c.reaper()
+	return c, nil
+}
+
+// notifyLocked wakes every lease long-poller; caller holds c.mu.
+func (c *Coordinator) notifyLocked() {
+	close(c.notify)
+	c.notify = make(chan struct{})
+}
+
+// spaceLocked wakes every blocked Submit; caller holds c.mu.
+func (c *Coordinator) spaceLocked() {
+	close(c.space)
+	c.space = make(chan struct{})
+}
+
+// Submit queues the job for the next free worker. Identical in-flight
+// submissions coalesce onto one job (their progress callbacks are all
+// relayed), and a job whose artifact is already stored completes
+// immediately without queueing — cached cells are never re-shipped.
+func (c *Coordinator) Submit(job Job, opts SubmitOpts) (Handle, error) {
+	for {
+		select {
+		case <-c.closed:
+			return nil, ErrClosed
+		default:
+		}
+		// Store fast path: the artifact exchange already has this cell.
+		if hist, ok, err := c.cfg.Store.Get(job.ID); err != nil {
+			return nil, err
+		} else if ok {
+			h := newHandle(job)
+			h.complete(hist, nil)
+			return h, nil
+		}
+		c.mu.Lock()
+		// Re-check under the lock: Close fails jobs while holding c.mu, so a
+		// submission that only saw the pre-lock check could otherwise insert
+		// into an already-drained coordinator and orphan its handle forever.
+		select {
+		case <-c.closed:
+			c.mu.Unlock()
+			return nil, ErrClosed
+		default:
+		}
+		if j, ok := c.jobs[job.ID]; ok { // single-flight: share the execution
+			if opts.OnRound != nil {
+				j.onRound = append(j.onRound, opts.OnRound)
+			}
+			if opts.OnStart != nil {
+				if j.started {
+					c.mu.Unlock()
+					opts.OnStart()
+					return j.h, nil
+				}
+				j.onStart = append(j.onStart, opts.OnStart)
+			}
+			c.mu.Unlock()
+			return j.h, nil
+		}
+		if len(c.pending) >= c.cfg.Queue {
+			space := c.space
+			c.mu.Unlock()
+			if !opts.Block {
+				return nil, ErrQueueFull
+			}
+			select {
+			case <-space:
+				continue // re-check from the top (including the store)
+			case <-c.closed:
+				return nil, ErrClosed
+			}
+		}
+		j := &remoteJob{h: newHandle(job), state: jobPending}
+		if opts.OnRound != nil {
+			j.onRound = append(j.onRound, opts.OnRound)
+		}
+		if opts.OnStart != nil {
+			j.onStart = append(j.onStart, opts.OnStart)
+		}
+		c.jobs[job.ID] = j
+		c.pending = append(c.pending, j)
+		c.notifyLocked()
+		c.mu.Unlock()
+		return j.h, nil
+	}
+}
+
+// Close fails every non-terminal job with ErrClosed and stops the reaper.
+// Workers discover the shutdown on their next poll (connection refused or
+// 404) and re-register when a coordinator returns.
+func (c *Coordinator) Close() {
+	c.closeOnce.Do(func() {
+		close(c.closed)
+		c.mu.Lock()
+		for id, j := range c.jobs {
+			j.h.complete(nil, ErrClosed)
+			delete(c.jobs, id)
+		}
+		c.pending = nil
+		for _, w := range c.workers {
+			w.inflight = make(map[string]*remoteJob)
+		}
+		c.notifyLocked()
+		c.spaceLocked()
+		c.mu.Unlock()
+	})
+	c.reaperWG.Wait()
+}
+
+var _ Executor = (*Coordinator)(nil)
+
+// reaper expires leases: a job whose worker stopped heartbeating is
+// requeued to the front of the queue (it has waited longest), consuming
+// one attempt; past MaxAttempts it fails for good. Workers with no
+// in-flight leases that have not been seen for ten TTLs are pruned.
+func (c *Coordinator) reaper() {
+	defer c.reaperWG.Done()
+	tick := c.cfg.LeaseTTL / 4
+	if tick < 5*time.Millisecond {
+		tick = 5 * time.Millisecond
+	}
+	if tick > time.Second {
+		tick = time.Second
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.closed:
+			return
+		case now := <-t.C:
+			c.expireLeases(now)
+		}
+	}
+}
+
+func (c *Coordinator) expireLeases(now time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	woke := false
+	for wid, w := range c.workers {
+		for id, j := range w.inflight {
+			if now.Before(j.expiry) {
+				continue
+			}
+			delete(w.inflight, id)
+			j.worker = ""
+			if j.attempts >= c.cfg.MaxAttempts {
+				c.cfg.Logf("dispatch: job %.12s: lease expired on worker %s, attempt %d/%d — failing",
+					id, wid, j.attempts, c.cfg.MaxAttempts)
+				j.h.complete(nil, fmt.Errorf("dispatch: job %.12s failed: lease expired after %d attempts", id, j.attempts))
+				delete(c.jobs, id)
+				continue
+			}
+			c.cfg.Logf("dispatch: job %.12s: lease expired on worker %s, attempt %d/%d — requeueing",
+				id, wid, j.attempts, c.cfg.MaxAttempts)
+			j.state = jobPending
+			c.pending = append([]*remoteJob{j}, c.pending...)
+			woke = true
+		}
+		if len(w.inflight) == 0 && now.Sub(w.lastSeen) > 10*c.cfg.LeaseTTL {
+			delete(c.workers, wid)
+		}
+	}
+	if woke {
+		c.notifyLocked()
+	}
+}
+
+// Stats is a point-in-time snapshot of the coordinator, reported by sweep
+// status responses (and useful in tests).
+type CoordinatorStats struct {
+	Workers int `json:"workers"`
+	Pending int `json:"pending"`
+	Leased  int `json:"leased"`
+}
+
+// Stats snapshots the queue.
+func (c *Coordinator) Stats() CoordinatorStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := CoordinatorStats{Workers: len(c.workers), Pending: len(c.pending)}
+	for _, w := range c.workers {
+		st.Leased += len(w.inflight)
+	}
+	return st
+}
+
+// --- wire types (shared with Worker, which lives in this package) ---
+
+type registerRequest struct {
+	Name  string `json:"name,omitempty"`
+	Slots int    `json:"slots,omitempty"` // concurrent leases; 0 = 1
+}
+
+type registerResponse struct {
+	ID       string `json:"id"`
+	Slots    int    `json:"slots"` // possibly capped by the coordinator
+	LeaseTTL int64  `json:"lease_ttl_ms"`
+}
+
+type leaseRequest struct {
+	WaitMS int64 `json:"wait_ms,omitempty"` // long-poll budget; capped at 30s
+}
+
+type leaseResponse struct {
+	Job Job `json:"job"`
+}
+
+type heartbeatRequest struct {
+	// Rounds carries the stats recorded since the previous heartbeat; the
+	// coordinator relays them to the job's progress subscribers.
+	Rounds []fl.RoundStat `json:"rounds,omitempty"`
+}
+
+type resultRequest struct {
+	History *fl.History `json:"history,omitempty"`
+	Error   string      `json:"error,omitempty"`
+}
+
+type resultResponse struct {
+	Status string `json:"status"` // "stored", "duplicate" or "failed"
+}
+
+// errorBody mirrors internal/serve's error shape so worker-endpoint errors
+// read like the rest of the API.
+func httpErr(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		httpErr(w, http.StatusInternalServerError, "encoding response: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(b, '\n'))
+}
+
+// Mount attaches the worker protocol to mux. Endpoint reference with
+// example flows: docs/API.md.
+func (c *Coordinator) Mount(mux *http.ServeMux) {
+	mux.HandleFunc("POST /v1/workers", c.handleRegister)
+	mux.HandleFunc("DELETE /v1/workers/{id}", c.handleDeregister)
+	mux.HandleFunc("POST /v1/workers/{id}/lease", c.handleLease)
+	mux.HandleFunc("POST /v1/workers/{id}/jobs/{job}/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("POST /v1/workers/{id}/jobs/{job}/result", c.handleResult)
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, req *http.Request) {
+	var r registerRequest
+	if err := json.NewDecoder(req.Body).Decode(&r); err != nil {
+		httpErr(w, http.StatusBadRequest, "decoding registration: %v", err)
+		return
+	}
+	if r.Slots <= 0 {
+		r.Slots = 1
+	}
+	if r.Slots > c.cfg.MaxWorkerSlots {
+		r.Slots = c.cfg.MaxWorkerSlots
+	}
+	c.mu.Lock()
+	c.seq++
+	id := fmt.Sprintf("w-%d", c.seq)
+	c.workers[id] = &remoteWorker{
+		id: id, name: r.Name, slots: r.Slots,
+		inflight: make(map[string]*remoteJob),
+		lastSeen: time.Now(),
+	}
+	c.mu.Unlock()
+	c.cfg.Logf("dispatch: worker %s registered (name %q, %d slots)", id, r.Name, r.Slots)
+	writeJSON(w, http.StatusCreated, registerResponse{
+		ID: id, Slots: r.Slots, LeaseTTL: c.cfg.LeaseTTL.Milliseconds(),
+	})
+}
+
+// handleDeregister is the clean-shutdown path: the worker's in-flight jobs
+// requeue immediately (to the front, without consuming an attempt) instead
+// of waiting out their leases.
+func (c *Coordinator) handleDeregister(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	c.mu.Lock()
+	wk, ok := c.workers[id]
+	if !ok {
+		c.mu.Unlock()
+		httpErr(w, http.StatusNotFound, "unknown worker %s", id)
+		return
+	}
+	requeued := 0
+	for jid, j := range wk.inflight {
+		delete(wk.inflight, jid)
+		j.state, j.worker = jobPending, ""
+		j.attempts-- // clean handover: the retry budget is for crashes
+		c.pending = append([]*remoteJob{j}, c.pending...)
+		requeued++
+	}
+	delete(c.workers, id)
+	if requeued > 0 {
+		c.notifyLocked()
+	}
+	c.mu.Unlock()
+	c.cfg.Logf("dispatch: worker %s deregistered (%d jobs requeued)", id, requeued)
+	writeJSON(w, http.StatusOK, map[string]int{"requeued": requeued})
+}
+
+// handleLease hands the next pending job to the worker, long-polling up to
+// the requested budget when the queue is empty or the worker is at its
+// in-flight limit. 204 means "nothing yet, poll again"; 404 means the
+// worker is unknown (pruned or post-restart) and must re-register.
+func (c *Coordinator) handleLease(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	var lr leaseRequest
+	if req.ContentLength != 0 {
+		if err := json.NewDecoder(req.Body).Decode(&lr); err != nil {
+			httpErr(w, http.StatusBadRequest, "decoding lease request: %v", err)
+			return
+		}
+	}
+	wait := time.Duration(lr.WaitMS) * time.Millisecond
+	if wait > 30*time.Second {
+		wait = 30 * time.Second
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		c.mu.Lock()
+		wk, ok := c.workers[id]
+		if !ok {
+			c.mu.Unlock()
+			httpErr(w, http.StatusNotFound, "unknown worker %s (re-register)", id)
+			return
+		}
+		wk.lastSeen = time.Now()
+		if len(wk.inflight) < wk.slots && len(c.pending) > 0 {
+			j := c.pending[0]
+			c.pending = c.pending[1:]
+			j.state, j.worker = jobLeased, id
+			j.expiry = time.Now().Add(c.cfg.LeaseTTL)
+			j.attempts++
+			j.attemptSeen = 0 // fresh attempt re-runs from round zero
+			wk.inflight[j.h.job.ID] = j
+			starts := j.onStart
+			started := j.started
+			j.started, j.onStart = true, nil
+			c.spaceLocked()
+			c.mu.Unlock()
+			if !started {
+				for _, f := range starts {
+					f()
+				}
+			}
+			writeJSON(w, http.StatusOK, leaseResponse{Job: j.h.job})
+			return
+		}
+		notify := c.notify
+		c.mu.Unlock()
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		timer := time.NewTimer(remaining)
+		select {
+		case <-notify:
+		case <-timer.C:
+		case <-req.Context().Done():
+		case <-c.closed:
+		}
+		timer.Stop()
+		select {
+		case <-req.Context().Done():
+			return
+		case <-c.closed:
+			w.WriteHeader(http.StatusNoContent)
+			return
+		default:
+		}
+		if !time.Now().Before(deadline) {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+	}
+}
+
+// handleHeartbeat extends the lease and relays progress. 410 tells the
+// worker its lease is gone (expired and requeued, or the job finished
+// elsewhere): abandon the work.
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, req *http.Request) {
+	wid, jid := req.PathValue("id"), req.PathValue("job")
+	var hb heartbeatRequest
+	if req.ContentLength != 0 {
+		if err := json.NewDecoder(req.Body).Decode(&hb); err != nil {
+			httpErr(w, http.StatusBadRequest, "decoding heartbeat: %v", err)
+			return
+		}
+	}
+	c.mu.Lock()
+	wk, ok := c.workers[wid]
+	if !ok {
+		c.mu.Unlock()
+		httpErr(w, http.StatusNotFound, "unknown worker %s (re-register)", wid)
+		return
+	}
+	wk.lastSeen = time.Now()
+	j, held := wk.inflight[jid]
+	if !held {
+		c.mu.Unlock()
+		httpErr(w, http.StatusGone, "lease on job %s lost", jid)
+		return
+	}
+	j.expiry = time.Now().Add(c.cfg.LeaseTTL)
+	subs := append([]func(fl.RoundStat){}, j.onRound...)
+	// Relay only rounds past the high-water mark: a retry of a requeued job
+	// re-reports the rounds its predecessor already delivered.
+	var relay []fl.RoundStat
+	for _, st := range hb.Rounds {
+		j.attemptSeen++
+		if j.attemptSeen > j.relayed {
+			j.relayed = j.attemptSeen
+			relay = append(relay, st)
+		}
+	}
+	c.mu.Unlock()
+	for _, st := range relay {
+		for _, f := range subs {
+			f(st)
+		}
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+// handleResult ingests a finished job: the history is persisted under the
+// job fingerprint (the ack the worker waits for) and the handle completes.
+// Uploads are idempotent by content address — a duplicate from a second
+// worker that computed the same requeued job, or from a worker whose lease
+// expired mid-upload, is acknowledged without a second store write.
+func (c *Coordinator) handleResult(w http.ResponseWriter, req *http.Request) {
+	wid, jid := req.PathValue("id"), req.PathValue("job")
+	var rr resultRequest
+	if err := json.NewDecoder(req.Body).Decode(&rr); err != nil {
+		httpErr(w, http.StatusBadRequest, "decoding result: %v", err)
+		return
+	}
+	c.mu.Lock()
+	if wk, ok := c.workers[wid]; ok {
+		wk.lastSeen = time.Now()
+	}
+	j, ok := c.jobs[jid]
+	if !ok {
+		c.mu.Unlock()
+		// Terminal already (or never submitted): the store arbitrates. An
+		// artifact under this fingerprint means an equivalent upload landed
+		// first — acknowledge the duplicate so the worker frees its slot.
+		if _, found, err := c.cfg.Store.Get(jid); err == nil && found {
+			writeJSON(w, http.StatusOK, resultResponse{Status: "duplicate"})
+			return
+		}
+		httpErr(w, http.StatusNotFound, "unknown job %s", jid)
+		return
+	}
+	// An error upload is only honoured from the current lease holder: a
+	// stale worker (lease expired, job requeued) reporting a worker-local
+	// failure must not kill a retry that is actively recomputing the job.
+	// Successful uploads are accepted from anyone — the result is a
+	// deterministic function of the job, so whoever finishes first wins.
+	if rr.Error != "" && (j.state != jobLeased || j.worker != wid) {
+		c.mu.Unlock()
+		httpErr(w, http.StatusGone, "lease on job %s lost; error discarded", jid)
+		return
+	}
+	// Detach the job wherever it currently lives: its uploader's inflight
+	// set, another worker's (requeued + re-leased), or the pending queue.
+	subs := append([]func(fl.RoundStat){}, j.onRound...)
+	relayed := j.relayed
+	delete(c.jobs, jid)
+	if j.worker != "" {
+		if wk, ok := c.workers[j.worker]; ok {
+			delete(wk.inflight, jid)
+		}
+	}
+	if j.state == jobPending {
+		for i, p := range c.pending {
+			if p == j {
+				c.pending = append(c.pending[:i], c.pending[i+1:]...)
+				// The queue shrank: wake submitters blocked on a full queue,
+				// not just lease long-pollers.
+				c.spaceLocked()
+				break
+			}
+		}
+	}
+	c.notifyLocked() // capacity freed
+	c.mu.Unlock()
+
+	if rr.Error != "" {
+		// An execution error is deterministic (same spec, same code path on
+		// every worker) — retrying elsewhere would fail identically, so the
+		// job fails now; the retry budget is reserved for lease expiry.
+		j.h.complete(nil, fmt.Errorf("dispatch: job %.12s failed on worker %s: %s", jid, wid, rr.Error))
+		writeJSON(w, http.StatusOK, resultResponse{Status: "failed"})
+		return
+	}
+	if rr.History == nil || len(rr.History.Stats) == 0 {
+		// Reject before completing the handle: an empty upload must not pin
+		// the cell "done" with nothing in the store. The job is already
+		// detached; the worker sees the error and the submitter sees the
+		// failure.
+		j.h.complete(nil, fmt.Errorf("dispatch: job %.12s: worker %s uploaded an empty history", jid, wid))
+		httpErr(w, http.StatusBadRequest, "empty history for job %s", jid)
+		return
+	}
+	if err := c.cfg.Store.Put(jid, rr.History); err != nil {
+		// Mirror the local backend: the computation succeeded, so the
+		// submitter gets the history even though re-serving after restart
+		// is lost.
+		c.cfg.Logf("dispatch: persisting job %.12s: %v", jid, err)
+	}
+	// Backfill progress the heartbeats never carried (rounds recorded after
+	// the final beat — or all of them, for a job faster than one beat):
+	// the history holds the full ordered round list, so relaying past the
+	// high-water mark delivers every round exactly once, matching the
+	// local backend's progress contract.
+	if relayed < len(rr.History.Stats) {
+		for _, st := range rr.History.Stats[relayed:] {
+			for _, f := range subs {
+				f(st)
+			}
+		}
+	}
+	j.h.complete(rr.History, nil)
+	writeJSON(w, http.StatusOK, resultResponse{Status: "stored"})
+}

@@ -1,0 +1,147 @@
+// Package dispatch is the pluggable execution layer between the serving /
+// sweep orchestration above it and the training runtime below it. A Job is
+// one content-addressed unit of work — a canonical RunSpec JSON document
+// plus its SHA-256 fingerprint — and an Executor turns jobs into fl.History
+// artifacts:
+//
+//   - Local runs jobs on an in-process bounded worker pool (the backend a
+//     single-machine fedserve or fedbench uses; it wraps the same runner +
+//     env-cache path the pre-dispatch server had).
+//   - Coordinator queues jobs for remote workers, which register over HTTP
+//     (POST /v1/workers), pull work via time-limited leases, heartbeat
+//     progress, and upload finished histories keyed by the job fingerprint.
+//     A lease that expires (worker crash, heartbeat loss) requeues the job
+//     onto surviving workers with capped retries.
+//   - Worker is the pull-side client of a Coordinator: fedserve -worker
+//     -join <url> wraps one around the local runner.
+//   - Client submits jobs to a remote fedserve over the public run API —
+//     the backend behind fedbench -remote.
+//
+// Jobs deliberately carry the spec as opaque canonical JSON rather than a
+// decoded struct: the layer above owns spec semantics (validation,
+// fingerprinting, env construction), dispatch owns queueing, leases and
+// artifact movement, and the JSON form is what crosses the wire anyway.
+// Both sides of that contract hash the same canonical bytes, so a job
+// computes to the same fingerprint no matter which backend ran it.
+package dispatch
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"sync"
+
+	"fedwcm/internal/fl"
+)
+
+// Job is one unit of work: the canonical JSON of a sweep.RunSpec and the
+// hex SHA-256 fingerprint of exactly those bytes (the content address its
+// history is filed under).
+type Job struct {
+	ID   string          `json:"id"`
+	Spec json.RawMessage `json:"spec"`
+}
+
+// Runner executes one job's spec, reporting per-round progress, honouring
+// ctx cancellation between rounds. Backends are handed one at construction;
+// the standard implementation decodes Job.Spec into a sweep.RunSpec and
+// runs it against a shared EnvCache (see sweep.DispatchRunner).
+type Runner func(ctx context.Context, job Job, onRound func(fl.RoundStat)) (*fl.History, error)
+
+// SubmitOpts control one submission.
+type SubmitOpts struct {
+	// Block selects between failing fast on a full queue (direct run
+	// submissions → HTTP 503) and waiting for space (sweep feeders trickling
+	// a grid in).
+	Block bool
+	// OnRound, when non-nil, receives per-round progress. Local backends
+	// invoke it synchronously from the training loop; remote backends relay
+	// it from worker heartbeats, so cadence differs but content does not.
+	OnRound func(fl.RoundStat)
+	// OnStart, when non-nil, is invoked once when the job leaves the queue
+	// and begins executing (locally: a pool worker picked it; remotely: a
+	// worker leased it).
+	OnStart func()
+}
+
+// Handle tracks one submitted job to completion.
+type Handle interface {
+	// Job returns the submitted job.
+	Job() Job
+	// Done is closed when the job reaches a terminal state.
+	Done() <-chan struct{}
+	// Result returns the history or error; valid only after Done is closed.
+	Result() (*fl.History, error)
+}
+
+// Executor is the dispatch abstraction internal/serve and sweep.Engine are
+// built on: submit a job, get a handle, read the artifact. Implementations
+// persist successful histories to their configured store before completing
+// the handle, so the store doubles as the artifact exchange between
+// backends.
+type Executor interface {
+	Submit(job Job, opts SubmitOpts) (Handle, error)
+	// Close cancels in-flight jobs (their handles complete with an error)
+	// and releases backend resources. Submissions after Close fail with
+	// ErrClosed.
+	Close()
+}
+
+// Sentinel errors shared by all backends.
+var (
+	// ErrQueueFull is returned by non-blocking Submit when the backend's
+	// queue is at capacity.
+	ErrQueueFull = errors.New("dispatch: queue full")
+	// ErrClosed is returned by Submit after Close, and is the terminal error
+	// of handles cancelled by Close.
+	ErrClosed = errors.New("dispatch: executor closed")
+)
+
+// handle is the one Handle implementation, shared by every backend.
+type handle struct {
+	job  Job
+	done chan struct{}
+
+	mu   sync.Mutex
+	hist *fl.History
+	err  error
+}
+
+func newHandle(job Job) *handle {
+	return &handle{job: job, done: make(chan struct{})}
+}
+
+func (h *handle) Job() Job              { return h.job }
+func (h *handle) Done() <-chan struct{} { return h.done }
+
+func (h *handle) Result() (*fl.History, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.hist, h.err
+}
+
+// complete resolves the handle exactly once; later calls are no-ops (a
+// requeued job can race a tardy first worker's upload against the retry).
+func (h *handle) complete(hist *fl.History, err error) bool {
+	h.mu.Lock()
+	select {
+	case <-h.done:
+		h.mu.Unlock()
+		return false
+	default:
+	}
+	h.hist, h.err = hist, err
+	close(h.done)
+	h.mu.Unlock()
+	return true
+}
+
+// completed reports whether the handle is terminal without blocking.
+func (h *handle) completed() bool {
+	select {
+	case <-h.done:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,181 @@
+package dispatch
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+
+	"fedwcm/internal/store"
+)
+
+// LocalConfig wires a Local executor.
+type LocalConfig struct {
+	Runner  Runner       // required: how one job executes
+	Workers int          // concurrent jobs; 0 = 2
+	Queue   int          // queued (not yet running) jobs; 0 = 64
+	Store   *store.Store // optional: successful histories are persisted here
+	Logf    func(format string, args ...any)
+}
+
+// Local executes jobs on an in-process bounded worker pool — the
+// single-machine backend. It preserves the pre-dispatch serve semantics: a
+// bounded queue with fail-fast or blocking submission, and persistence of
+// successful histories before the handle completes. Close cancels in-flight
+// jobs via context; queued jobs fail with ErrClosed.
+type Local struct {
+	cfg    LocalConfig
+	jobs   chan *localTask
+	space  chan struct{} // signalled when a worker dequeues (capacity freed)
+	ctx    context.Context
+	cancel context.CancelFunc
+	closed chan struct{}
+	wg     sync.WaitGroup
+
+	mu        sync.Mutex // guards the closing flag vs. enqueue (see Submit)
+	closing   bool
+	closeOnce sync.Once
+}
+
+type localTask struct {
+	h    *handle
+	opts SubmitOpts
+}
+
+// NewLocal starts the pool and returns the executor.
+func NewLocal(cfg LocalConfig) (*Local, error) {
+	if cfg.Runner == nil {
+		return nil, fmt.Errorf("dispatch: LocalConfig.Runner is required")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.Queue <= 0 {
+		cfg.Queue = 64
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	l := &Local{
+		cfg:    cfg,
+		jobs:   make(chan *localTask, cfg.Queue),
+		space:  make(chan struct{}, 1),
+		ctx:    ctx,
+		cancel: cancel,
+		closed: make(chan struct{}),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		l.wg.Add(1)
+		go l.worker()
+	}
+	return l, nil
+}
+
+func (l *Local) worker() {
+	defer l.wg.Done()
+	for {
+		select {
+		case <-l.closed:
+			// Fail whatever is still queued, then exit. Workers drain
+			// cooperatively; complete() is idempotent so races are harmless.
+			for {
+				select {
+				case t := <-l.jobs:
+					t.h.complete(nil, ErrClosed)
+				default:
+					return
+				}
+			}
+		case t := <-l.jobs:
+			select {
+			case l.space <- struct{}{}: // wake one blocked submitter
+			default:
+			}
+			select {
+			case <-l.closed:
+				// Dequeued after Close: fail it like the drain path would,
+				// instead of running it against an already-cancelled context.
+				t.h.complete(nil, ErrClosed)
+			default:
+				l.execute(t)
+			}
+		}
+	}
+}
+
+func (l *Local) execute(t *localTask) {
+	if t.opts.OnStart != nil {
+		t.opts.OnStart()
+	}
+	hist, err := l.cfg.Runner(l.ctx, t.h.job, t.opts.OnRound)
+	if err == nil && l.cfg.Store != nil {
+		if perr := l.cfg.Store.Put(t.h.job.ID, hist); perr != nil {
+			// The run itself succeeded; callers still get the history from
+			// the handle, only re-serving after restart is lost.
+			l.cfg.Logf("dispatch: persisting job %s: %v", t.h.job.ID, perr)
+		}
+	}
+	t.h.complete(hist, err)
+}
+
+// Submit enqueues the job. With opts.Block it waits for queue space (or
+// Close); without, a full queue returns ErrQueueFull immediately.
+//
+// The closing check and the channel send happen under one lock so a task
+// can never land in the queue after Close's final drain — the send itself
+// is always non-blocking (blocking submissions wait for a space signal
+// outside the lock and retry), so holding the lock is fine.
+func (l *Local) Submit(job Job, opts SubmitOpts) (Handle, error) {
+	h := newHandle(job)
+	t := &localTask{h: h, opts: opts}
+	for {
+		l.mu.Lock()
+		if l.closing {
+			l.mu.Unlock()
+			return nil, ErrClosed
+		}
+		select {
+		case l.jobs <- t:
+			l.mu.Unlock()
+			return h, nil
+		default:
+		}
+		l.mu.Unlock()
+		if !opts.Block {
+			return nil, ErrQueueFull
+		}
+		select {
+		case <-l.space:
+		case <-l.closed:
+			return nil, ErrClosed
+		}
+	}
+}
+
+// Close cancels in-flight jobs (the runner observes the executor context
+// between rounds and returns early), fails queued jobs with ErrClosed, and
+// waits for the pool to exit. The closing flag is set under the same lock
+// Submit enqueues under, so once the pool has drained nothing can slip a
+// task in behind it; the final drain catches whatever the exiting workers
+// left behind.
+func (l *Local) Close() {
+	l.closeOnce.Do(func() {
+		l.mu.Lock()
+		l.closing = true
+		l.mu.Unlock()
+		close(l.closed)
+		l.cancel()
+	})
+	l.wg.Wait()
+	for {
+		select {
+		case t := <-l.jobs:
+			t.h.complete(nil, ErrClosed)
+		default:
+			return
+		}
+	}
+}
+
+var _ Executor = (*Local)(nil)

@@ -1,0 +1,361 @@
+package dispatch
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sync"
+	"time"
+
+	"fedwcm/internal/fl"
+)
+
+// WorkerConfig wires a Worker.
+type WorkerConfig struct {
+	Coordinator string // required: coordinator base URL, e.g. http://host:8080
+	Runner      Runner // required: how one leased job executes
+	Name        string // reported at registration; defaults to the hostname-free "worker"
+	Slots       int    // concurrent jobs; 0 = 1 (the coordinator may cap it)
+	// PollWait is the long-poll budget per lease request. 0 = 10s.
+	PollWait time.Duration
+	// HeartbeatEvery overrides the heartbeat cadence; 0 derives it from the
+	// coordinator's lease TTL (TTL/3).
+	HeartbeatEvery time.Duration
+	HTTPClient     *http.Client
+	Logf           func(format string, args ...any)
+}
+
+// Worker is the pull side of the remote backend: it registers with a
+// coordinator, leases jobs, heartbeats progress while training, and
+// uploads finished histories. fedserve -worker -join <url> runs one.
+//
+// Failure behaviour: a heartbeat answered with 410 Gone means the lease
+// was lost (expired and requeued elsewhere) — the job's context is
+// cancelled and the work abandoned, never uploaded twice as a conflicting
+// result (uploads are idempotent by fingerprint anyway). A 404 on lease or
+// heartbeat means the coordinator forgot the worker (restart, pruning):
+// the worker re-registers and carries on.
+type Worker struct {
+	cfg WorkerConfig
+
+	mu  sync.Mutex
+	id  string
+	ttl time.Duration
+
+	regMu sync.Mutex // single-flights re-registration across slot loops
+}
+
+// NewWorker validates cfg and returns the worker; Run starts it.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.Coordinator == "" {
+		return nil, fmt.Errorf("dispatch: WorkerConfig.Coordinator is required")
+	}
+	if cfg.Runner == nil {
+		return nil, fmt.Errorf("dispatch: WorkerConfig.Runner is required")
+	}
+	if cfg.Name == "" {
+		cfg.Name = "worker"
+	}
+	if cfg.Slots <= 0 {
+		cfg.Slots = 1
+	}
+	if cfg.PollWait <= 0 {
+		cfg.PollWait = 10 * time.Second
+	}
+	if cfg.HTTPClient == nil {
+		// Lease long-polls hold the connection open for PollWait; leave
+		// headroom over it instead of inheriting a tight global timeout.
+		cfg.HTTPClient = &http.Client{Timeout: cfg.PollWait + 30*time.Second}
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	return &Worker{cfg: cfg}, nil
+}
+
+// Run registers and serves leases until ctx is cancelled, then deregisters
+// so in-flight leases hand over cleanly instead of timing out. It returns
+// ctx.Err() on cancellation.
+func (w *Worker) Run(ctx context.Context) error {
+	if err := w.register(ctx); err != nil {
+		return err
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < w.cfg.Slots; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.slotLoop(ctx)
+		}()
+	}
+	wg.Wait()
+	w.deregister()
+	return ctx.Err()
+}
+
+// register (re-)registers with the coordinator, retrying with backoff so a
+// worker booted before its coordinator comes up cleanly.
+func (w *Worker) register(ctx context.Context) error {
+	backoff := 100 * time.Millisecond
+	for {
+		var resp registerResponse
+		code, err := w.postJSON(ctx, w.cfg.Coordinator+"/v1/workers",
+			registerRequest{Name: w.cfg.Name, Slots: w.cfg.Slots}, &resp)
+		if err == nil && code == http.StatusCreated {
+			w.mu.Lock()
+			w.id = resp.ID
+			w.ttl = time.Duration(resp.LeaseTTL) * time.Millisecond
+			w.mu.Unlock()
+			w.cfg.Logf("dispatch: registered as %s (lease TTL %v)", resp.ID, w.ttl)
+			return nil
+		}
+		if err == nil {
+			err = fmt.Errorf("registration returned HTTP %d", code)
+		}
+		w.cfg.Logf("dispatch: registering with %s: %v (retrying in %v)", w.cfg.Coordinator, err, backoff)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(backoff):
+		}
+		if backoff < 5*time.Second {
+			backoff *= 2
+		}
+	}
+}
+
+func (w *Worker) deregister() {
+	w.mu.Lock()
+	id := w.id
+	w.mu.Unlock()
+	if id == "" {
+		return
+	}
+	req, err := http.NewRequest(http.MethodDelete, w.cfg.Coordinator+"/v1/workers/"+id, nil)
+	if err != nil {
+		return
+	}
+	resp, err := w.cfg.HTTPClient.Do(req)
+	if err != nil {
+		w.cfg.Logf("dispatch: deregistering %s: %v (lease will lapse instead)", id, err)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	w.cfg.Logf("dispatch: worker %s deregistered", id)
+}
+
+// slotLoop leases and executes jobs one at a time until ctx cancels.
+func (w *Worker) slotLoop(ctx context.Context) {
+	for ctx.Err() == nil {
+		job, id, ok := w.lease(ctx)
+		if !ok {
+			continue // no job this poll (or transient error; lease backs off)
+		}
+		w.execute(ctx, job, id)
+	}
+}
+
+// lease asks for one job, long-polling server-side, and returns the worker
+// id the lease was granted under — the id the job must heartbeat and
+// upload as, even if another slot re-registers meanwhile. false means
+// "nothing leased": empty queue, transient error, or a 404 that forced a
+// re-registration.
+func (w *Worker) lease(ctx context.Context) (Job, string, bool) {
+	w.mu.Lock()
+	id := w.id
+	w.mu.Unlock()
+	var resp leaseResponse
+	code, err := w.postJSON(ctx, w.cfg.Coordinator+"/v1/workers/"+id+"/lease",
+		leaseRequest{WaitMS: w.cfg.PollWait.Milliseconds()}, &resp)
+	switch {
+	case ctx.Err() != nil:
+		return Job{}, id, false
+	case err != nil:
+		w.cfg.Logf("dispatch: lease: %v", err)
+		select { // transient (coordinator restarting?): back off briefly
+		case <-ctx.Done():
+		case <-time.After(500 * time.Millisecond):
+		}
+		return Job{}, id, false
+	case code == http.StatusOK:
+		return resp.Job, id, true
+	case code == http.StatusNotFound:
+		w.reregister(ctx, id)
+		return Job{}, id, false
+	case code == http.StatusNoContent:
+		return Job{}, id, false
+	default:
+		w.cfg.Logf("dispatch: lease returned HTTP %d", code)
+		return Job{}, id, false
+	}
+}
+
+// reregister obtains a fresh registration after the coordinator forgot the
+// worker (restart, idle pruning). Single-flighted: when both slot loops
+// hit 404 at once, only the first re-registers — a second would leave a
+// phantom registration and flap w.id under the first one's leases.
+func (w *Worker) reregister(ctx context.Context, stale string) {
+	w.regMu.Lock()
+	defer w.regMu.Unlock()
+	w.mu.Lock()
+	cur := w.id
+	w.mu.Unlock()
+	if cur != stale {
+		return // another slot already re-registered
+	}
+	w.cfg.Logf("dispatch: coordinator forgot worker %s; re-registering", stale)
+	w.register(ctx)
+}
+
+// execute runs one leased job under the worker id it was leased to:
+// heartbeats flow while training, the result (or execution error) is
+// uploaded at the end. A lost lease cancels the job's context and abandons
+// the upload.
+func (w *Worker) execute(ctx context.Context, job Job, id string) {
+	w.mu.Lock()
+	ttl := w.ttl
+	w.mu.Unlock()
+	every := w.cfg.HeartbeatEvery
+	if every <= 0 {
+		every = ttl / 3
+	}
+	if every < 10*time.Millisecond {
+		every = 10 * time.Millisecond
+	}
+
+	jobCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Progress accumulates under a lock; each heartbeat drains and relays
+	// whatever arrived since the last one.
+	var (
+		statsMu   sync.Mutex
+		stats     []fl.RoundStat
+		leaseLost bool
+	)
+	onRound := func(st fl.RoundStat) {
+		statsMu.Lock()
+		stats = append(stats, st)
+		statsMu.Unlock()
+	}
+	drain := func() []fl.RoundStat {
+		statsMu.Lock()
+		out := stats
+		stats = nil
+		statsMu.Unlock()
+		return out
+	}
+	hbURL := fmt.Sprintf("%s/v1/workers/%s/jobs/%s/heartbeat", w.cfg.Coordinator, id, job.ID)
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-jobCtx.Done():
+				return
+			case <-t.C:
+				batch := drain()
+				code, err := w.postJSON(jobCtx, hbURL, heartbeatRequest{Rounds: batch}, nil)
+				if err != nil {
+					// Transient: put the drained rounds back so the next beat
+					// relays them instead of losing that progress forever.
+					statsMu.Lock()
+					stats = append(batch, stats...)
+					statsMu.Unlock()
+					continue
+				}
+				if code == http.StatusGone || code == http.StatusNotFound {
+					w.cfg.Logf("dispatch: lease on job %.12s lost (HTTP %d); abandoning", job.ID, code)
+					statsMu.Lock()
+					leaseLost = true
+					statsMu.Unlock()
+					cancel()
+					return
+				}
+			}
+		}
+	}()
+
+	hist, err := w.cfg.Runner(jobCtx, job, onRound)
+	cancel()
+	<-hbDone
+
+	statsMu.Lock()
+	lost := leaseLost
+	statsMu.Unlock()
+	if lost {
+		return // requeued elsewhere; never upload a zombie result
+	}
+	if ctx.Err() != nil && err != nil {
+		// Shutting down mid-job: deregistration (or lease lapse) requeues
+		// it; an aborted partial run must not be uploaded as a failure.
+		return
+	}
+	rr := resultRequest{History: hist}
+	if err != nil {
+		rr = resultRequest{Error: err.Error()}
+	}
+	// A run that finished uploads even while the worker shuts down — the
+	// work is done, shipping it beats making a survivor redo it.
+	upCtx := ctx
+	if err == nil {
+		var upCancel context.CancelFunc
+		upCtx, upCancel = context.WithTimeout(context.Background(), 10*time.Second)
+		defer upCancel()
+	}
+	resURL := fmt.Sprintf("%s/v1/workers/%s/jobs/%s/result", w.cfg.Coordinator, id, job.ID)
+	var ack resultResponse
+	for attempt := 0; attempt < 3; attempt++ {
+		code, uerr := w.postJSON(upCtx, resURL, rr, &ack)
+		if uerr == nil && code < 500 {
+			if code >= 400 {
+				w.cfg.Logf("dispatch: result for job %.12s rejected: HTTP %d", job.ID, code)
+			}
+			return
+		}
+		select {
+		case <-upCtx.Done():
+			return
+		case <-time.After(200 * time.Millisecond << attempt):
+		}
+	}
+	w.cfg.Logf("dispatch: giving up uploading job %.12s; lease will expire and requeue", job.ID)
+}
+
+// postJSON posts body as JSON and decodes the response into out (when
+// non-nil and the status is 2xx). It returns the status code; err covers
+// transport-level failures only.
+func (w *Worker) postJSON(ctx context.Context, url string, body, out any) (int, error) {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(b))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	// 204 (empty lease poll) carries no body by definition; don't feed the
+	// decoder an EOF.
+	if out != nil && resp.StatusCode >= 200 && resp.StatusCode < 300 && resp.StatusCode != http.StatusNoContent {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, fmt.Errorf("decoding %s response: %w", url, err)
+		}
+	}
+	return resp.StatusCode, nil
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"fedwcm/internal/dispatch"
 	"fedwcm/internal/fl"
 	"fedwcm/internal/store"
 	"fedwcm/internal/sweep"
@@ -30,7 +31,12 @@ type Options struct {
 	// build it once. Nil gets a per-Execute cache; callers running many
 	// experiments (cmd/fedbench) pass one cache to share across them.
 	Envs *sweep.EnvCache
-	Out  io.Writer
+	// Executor, when set, dispatches declarative sweep cells to a dispatch
+	// backend (e.g. a remote fedserve via fedbench -remote) instead of
+	// training in-process. Hand-rolled experiments with Mod hooks always
+	// run locally.
+	Executor dispatch.Executor
+	Out      io.Writer
 }
 
 // Defaults normalises options.
@@ -83,9 +89,17 @@ func (e *Experiment) Execute(opt Options) error {
 	if sp.Name == "" {
 		sp.Name = e.ID
 	}
-	eng := &sweep.Engine{Store: opt.Store, Workers: opt.CellWorkers, Envs: opt.Envs}
+	eng := &sweep.Engine{Store: opt.Store, Workers: opt.CellWorkers, Envs: opt.Envs, Executor: opt.Executor}
 	before := opt.Envs.Stats()
 	res, err := eng.RunSweep(sp, nil)
+	if res != nil && res.Failed > 0 {
+		// Surface per-group causes, not a bare count: one line per failed
+		// axes group with its first error.
+		fmt.Fprintf(opt.Out, "[sweep %s: %d/%d cells FAILED]\n", sp.Name, res.Failed, len(res.Cells))
+		for _, line := range res.FailureSummary() {
+			fmt.Fprintf(opt.Out, "  %s\n", line)
+		}
+	}
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package fl
 
 import (
+	"context"
 	"sort"
 
 	"fedwcm/internal/scenario"
@@ -27,6 +28,16 @@ func Run(env *Env, m Method) *History {
 // run itself, so Run(env, m) and RunWithProgress(env, m, cb) produce
 // identical histories.
 func RunWithProgress(env *Env, m Method, onRound func(RoundStat)) *History {
+	hist, _ := RunWithProgressCtx(context.Background(), env, m, onRound)
+	return hist
+}
+
+// RunWithProgressCtx is RunWithProgress with cooperative cancellation:
+// ctx is checked once per round, and a cancelled run returns the history
+// accumulated so far alongside ctx's error. Cancellation is the only error
+// source, and it never fires between the check and the round's stat, so an
+// uncancelled ctx yields a history identical to RunWithProgress's.
+func RunWithProgressCtx(ctx context.Context, env *Env, m Method, onRound func(RoundStat)) (*History, error) {
 	cfg := env.Cfg
 	globalNet := env.Build(cfg.Seed)
 	dim := globalNet.NumParams()
@@ -77,6 +88,9 @@ func RunWithProgress(env *Env, m Method, onRound func(RoundStat)) *History {
 	arrived := make([]*ClientResult, 0, k)
 	lastTrainLoss := 0.0
 	for r := 0; r < cfg.Rounds; r++ {
+		if err := ctx.Err(); err != nil {
+			return hist, err
+		}
 		if sim != nil {
 			// Drift: at a stage boundary, re-partition the (immutable) train
 			// set under the stage's interpolated β and trim tail classes
@@ -176,5 +190,5 @@ func RunWithProgress(env *Env, m Method, onRound func(RoundStat)) *History {
 			}
 		}
 	}
-	return hist
+	return hist, nil
 }

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"strings"
@@ -14,7 +15,7 @@ import (
 // shotRunner returns canned histories carrying shot-bucket data, counting
 // executions so cache behaviour stays observable.
 func shotRunner(execs *atomic.Int64) Runner {
-	return func(spec sweep.RunSpec, onRound func(fl.RoundStat)) (*fl.History, error) {
+	return func(_ context.Context, spec sweep.RunSpec, onRound func(fl.RoundStat)) (*fl.History, error) {
 		execs.Add(1)
 		stats := []fl.RoundStat{{
 			Round: 8, TestAcc: 0.55,

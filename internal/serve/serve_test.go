@@ -3,6 +3,7 @@ package serve
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -107,7 +108,7 @@ func TestSubmitCachesSecondIdenticalRun(t *testing.T) {
 	}
 	_, ts := newTestServer(t, Config{
 		Store: st,
-		Runner: func(spec experiments.RunSpec, onRound func(fl.RoundStat)) (*fl.History, error) {
+		Runner: func(_ context.Context, spec experiments.RunSpec, onRound func(fl.RoundStat)) (*fl.History, error) {
 			executions.Add(1)
 			return spec.RunWithProgress(onRound)
 		},
@@ -159,14 +160,18 @@ func newBlockingRunner() *blockingRunner {
 	return &blockingRunner{started: make(chan struct{}), release: make(chan struct{})}
 }
 
-func (b *blockingRunner) run(spec experiments.RunSpec, onRound func(fl.RoundStat)) (*fl.History, error) {
+func (b *blockingRunner) run(ctx context.Context, spec experiments.RunSpec, onRound func(fl.RoundStat)) (*fl.History, error) {
 	b.execs.Add(1)
 	stat := fl.RoundStat{Round: 1, TestAcc: 0.5, TrainLoss: 1.0}
 	if onRound != nil {
 		onRound(stat)
 	}
 	b.startedOnce.Do(func() { close(b.started) })
-	<-b.release
+	select {
+	case <-b.release:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 	return &fl.History{Method: spec.Method, Stats: []fl.RoundStat{stat}}, nil
 }
 
@@ -444,7 +449,7 @@ func TestRegistryEndpoint(t *testing.T) {
 func TestFailedRunRetries(t *testing.T) {
 	var attempts atomic.Int64
 	_, ts := newTestServer(t, Config{
-		Runner: func(spec experiments.RunSpec, onRound func(fl.RoundStat)) (*fl.History, error) {
+		Runner: func(_ context.Context, spec experiments.RunSpec, onRound func(fl.RoundStat)) (*fl.History, error) {
 			if attempts.Add(1) == 1 {
 				return nil, fmt.Errorf("transient failure")
 			}

@@ -28,12 +28,16 @@
 //
 // Identical in-flight submissions coalesce onto one execution
 // (single-flight), for sweeps cell-by-cell; identical finished submissions
-// are store hits. The worker pool bounds concurrent training; the queue
-// bounds memory. A full queue rejects direct run submissions with 503,
-// while accepted sweeps trickle their cells in as space frees up.
+// are store hits. Execution itself is delegated to a dispatch.Executor —
+// an in-process bounded pool by default, or a remote-worker coordinator
+// (fedserve -remote) whose lease endpoints this server mounts alongside
+// the public API. Either way the executor's queue bounds memory: a full
+// queue rejects direct run submissions with 503, while accepted sweeps
+// trickle their cells in as space frees up.
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -42,6 +46,7 @@ import (
 	"sync"
 
 	"fedwcm/internal/data"
+	"fedwcm/internal/dispatch"
 	"fedwcm/internal/experiments"
 	"fedwcm/internal/fl"
 	"fedwcm/internal/fl/methods"
@@ -49,21 +54,26 @@ import (
 	"fedwcm/internal/sweep"
 )
 
-// Runner executes one spec, reporting per-round progress. The default is
-// sweep.RunSpec.RunWithProgress; tests substitute counting or canned
-// runners.
+// Runner executes one spec, reporting per-round progress and honouring ctx
+// cancellation. The default is sweep.RunSpec.RunCtx against the shared env
+// cache; tests substitute counting or canned runners.
 type Runner = sweep.Runner
 
 // Config wires a Server.
 type Config struct {
-	Store      *store.Store // required: result cache and artifact store
-	Workers    int          // concurrent training runs; 0 = 2
-	QueueDepth int          // queued (not yet running) submissions; 0 = 64
-	Runner     Runner       // nil = run specs for real
+	Store *store.Store // required: result cache and artifact store
+	// Executor, when set, is the dispatch backend runs execute on (e.g. a
+	// dispatch.Coordinator for the remote-worker mode; its worker endpoints
+	// are mounted automatically). The server owns it from here on: Close
+	// closes it. Nil builds a dispatch.Local from the fields below.
+	Executor   dispatch.Executor
+	Workers    int    // local backend: concurrent training runs; 0 = 2
+	QueueDepth int    // local backend: queued (not yet running) submissions; 0 = 64
+	Runner     Runner // local backend: nil = run specs for real
 	// Envs backs environment construction for the default runner: runs and
 	// sweep cells sharing a dataset+partition sub-spec build it once. Nil
-	// gets a fresh cache of DefaultEnvCacheCap; ignored when Runner is
-	// overridden (the cache counters then stay zero).
+	// gets a fresh cache of DefaultEnvCacheCap; ignored when Runner or
+	// Executor is overridden (the cache counters then stay zero).
 	Envs *sweep.EnvCache
 	Logf func(format string, args ...any) // nil = log.Printf
 }
@@ -73,7 +83,7 @@ type Config struct {
 type Server struct {
 	cfg  Config
 	mux  *http.ServeMux
-	jobs chan *run
+	exec dispatch.Executor
 
 	mu       sync.Mutex
 	runs     map[string]*run      // fingerprint → in-process record
@@ -83,11 +93,12 @@ type Server struct {
 
 	closeOnce sync.Once
 	closed    chan struct{}
-	wg        sync.WaitGroup // workers + cell watchers
-	feedWg    sync.WaitGroup // sweep feeders; drained first on Close
+	wg        sync.WaitGroup // run watchers
+	feedWg    sync.WaitGroup // sweep feeders
 }
 
-// New validates cfg, starts the worker pool and returns the server.
+// New validates cfg, builds (or adopts) the dispatch backend and returns
+// the server.
 func New(cfg Config) (*Server, error) {
 	if cfg.Store == nil {
 		return nil, fmt.Errorf("serve: Config.Store is required")
@@ -101,22 +112,43 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Envs == nil {
 		cfg.Envs = sweep.NewEnvCache(0)
 	}
-	if cfg.Runner == nil {
-		envs := cfg.Envs
-		cfg.Runner = func(spec sweep.RunSpec, onRound func(fl.RoundStat)) (*fl.History, error) {
-			return spec.RunWithProgressCached(envs, onRound)
-		}
-	}
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
 	}
 	s := &Server{
 		cfg:    cfg,
 		mux:    http.NewServeMux(),
-		jobs:   make(chan *run, cfg.QueueDepth),
 		runs:   make(map[string]*run),
 		sweeps: make(map[string]*sweepRun),
 		closed: make(chan struct{}),
+	}
+	if cfg.Executor != nil {
+		s.exec = cfg.Executor
+	} else {
+		runner := dispatch.Runner(sweep.DispatchRunner(cfg.Envs))
+		if cfg.Runner != nil {
+			// Test/override path: decode the dispatched job back into the
+			// spec shape the override expects.
+			override := cfg.Runner
+			runner = func(ctx context.Context, job dispatch.Job, onRound func(fl.RoundStat)) (*fl.History, error) {
+				var spec sweep.RunSpec
+				if err := json.Unmarshal(job.Spec, &spec); err != nil {
+					return nil, fmt.Errorf("serve: decoding job spec: %w", err)
+				}
+				return override(ctx, spec, onRound)
+			}
+		}
+		local, err := dispatch.NewLocal(dispatch.LocalConfig{
+			Runner:  runner,
+			Workers: cfg.Workers,
+			Queue:   cfg.QueueDepth,
+			Store:   cfg.Store,
+			Logf:    cfg.Logf,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.exec = local
 	}
 	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
@@ -126,22 +158,23 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/sweeps/{id}/result", s.handleSweepResult)
 	s.mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleSweepEvents)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleRegistry)
-	for i := 0; i < cfg.Workers; i++ {
-		s.wg.Add(1)
-		go s.worker()
+	// A backend with worker-facing endpoints (the remote coordinator)
+	// serves them from this listener too.
+	if m, ok := s.exec.(interface{ Mount(*http.ServeMux) }); ok {
+		m.Mount(s.mux)
 	}
 	return s, nil
 }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Close stops accepting new work and waits for the workers to drain the
-// queue and finish in-flight runs. Ordering matters: sweep feeders are the
-// only producers that can block-send into the queue, so they are stopped
-// first (ensureCell refuses once closing is set, and an in-flight blocking
-// send resolves against s.closed); then any job that slipped in behind the
-// exiting workers is failed explicitly, which also unblocks its sweep
-// watchers; only then is the worker/watcher group waited on.
+// Close stops accepting new work, cancels in-flight jobs and drains every
+// subscriber. Ordering: refuse new submissions (closing flag), close the
+// executor — which unblocks sweep feeders waiting for queue space, fails
+// queued jobs, and cancels running ones via context so they return within
+// a round — then wait for the feeders and run watchers. Every run record
+// reaches a terminal state on this path, so SSE streams end with a "done"
+// event instead of being abandoned mid-stream.
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
 		s.mu.Lock()
@@ -149,56 +182,27 @@ func (s *Server) Close() {
 		s.mu.Unlock()
 		close(s.closed)
 	})
+	s.exec.Close()
 	s.feedWg.Wait()
-	for drained := false; !drained; {
-		select {
-		case r := <-s.jobs:
-			r.finish(nil, fmt.Errorf("serve: server closed before run started"))
-			s.dropRun(r.id, r)
-		default:
-			drained = true
-		}
-	}
 	s.wg.Wait()
 }
 
-func (s *Server) worker() {
+// watch drives one run record from its dispatch handle: the handle
+// completes (the backend has already persisted a success to the store),
+// the record finishes, and — once the artifact is servable from the store
+// — the record is dropped so s.runs stays bounded by in-flight + failed
+// work.
+func (s *Server) watch(r *run, h dispatch.Handle) {
 	defer s.wg.Done()
-	for {
-		select {
-		case <-s.closed:
-			// Drain what was already accepted, then exit.
-			select {
-			case r := <-s.jobs:
-				s.execute(r)
-			default:
-				return
-			}
-		case r := <-s.jobs:
-			s.execute(r)
-		}
-	}
-}
-
-func (s *Server) execute(r *run) {
-	r.setRunning()
-	hist, err := s.cfg.Runner(r.spec, r.onRound)
-	persisted := false
-	if err == nil {
-		if perr := s.cfg.Store.Put(r.id, hist); perr != nil {
-			// The run itself succeeded; callers still get the history from
-			// the in-process record, only re-serving after restart is lost.
-			s.cfg.Logf("serve: persisting run %s: %v", r.id, perr)
-		} else {
-			persisted = true
-		}
-	}
+	<-h.Done()
+	hist, err := h.Result()
 	r.finish(hist, err)
-	if persisted {
-		// The store serves this cell from here on; dropping the record
-		// bounds s.runs by in-flight + failed work instead of every spec
-		// ever submitted. Failed (and unpersisted) runs stay queryable.
-		s.dropRun(r.id, r)
+	if err == nil {
+		if _, ok, serr := s.cfg.Store.Get(r.id); serr == nil && ok {
+			s.dropRun(r.id, r)
+		}
+		// A run whose persist failed keeps its record: callers still get
+		// the history from memory, only re-serving after restart is lost.
 	}
 }
 
@@ -237,12 +241,12 @@ var (
 )
 
 // ensureCell resolves one grid cell to either a finished history (hist !=
-// nil, status "cached") or a live run record (r != nil) — creating and
-// enqueueing a fresh record when the cell is neither stored nor in flight.
-// It is the single-flight core shared by direct run submission and sweep
-// scheduling; block selects between failing fast on a full queue (direct
-// submissions → 503) and waiting for space (sweep feeders trickling a grid
-// in).
+// nil, status "cached") or a live run record (r != nil) — submitting a
+// fresh job to the dispatch backend when the cell is neither stored nor in
+// flight. It is the single-flight core shared by direct run submission and
+// sweep scheduling; block selects between failing fast on a full queue
+// (direct submissions → 503) and waiting for space (sweep feeders
+// trickling a grid in).
 func (s *Server) ensureCell(spec sweep.RunSpec, fp string, block bool) (r *run, hist *fl.History, status string, err error) {
 	// Fast path, outside the lock: the grid cell has been computed before.
 	if hist, ok, err := s.cfg.Store.Get(fp); err != nil {
@@ -284,33 +288,45 @@ func (s *Server) ensureCell(spec sweep.RunSpec, fp string, block bool) (r *run, 
 		s.mu.Unlock()
 		return nil, hist, StatusCached, nil
 	}
+	// The record must be visible (for coalescing) before the submit, and
+	// the submit cannot hold the lock (a blocking submit waits for queue
+	// space). A recorded-but-not-yet-submitted run is indistinguishable
+	// from a queued one to observers; a refused submit finishes the record
+	// (any coalescer that joined meanwhile observes the failure) and drops
+	// it so a later resubmission starts fresh. The watcher's wg.Add happens
+	// under the same critical section as the closing check, so Close — which
+	// sets closing under mu before waiting — can never start waiting between
+	// the check and the Add.
 	r = newRun(fp, spec)
-	if !block {
-		// Record and enqueue atomically (the send is non-blocking, so
-		// holding the lock is fine): either both happen or neither does.
-		select {
-		case s.jobs <- r:
-			s.runs[fp] = r
-			s.mu.Unlock()
-			return r, nil, StatusQueued, nil
-		default:
-			s.mu.Unlock()
-			return nil, nil, "", errQueueFull
-		}
-	}
-	// Blocking path: the record must be visible (for coalescing) before the
-	// send, and the send cannot hold the lock. A queued-but-not-yet-sent
-	// record is indistinguishable from a queued one to observers.
 	s.runs[fp] = r
+	s.wg.Add(1)
 	s.mu.Unlock()
-	select {
-	case s.jobs <- r:
-		return r, nil, StatusQueued, nil
-	case <-s.closed:
-		r.finish(nil, errClosing)
+	specJSON, err := spec.CanonicalJSON()
+	if err != nil {
+		s.wg.Done()
+		r.finish(nil, err)
 		s.dropRun(fp, r)
-		return nil, nil, "", errClosing
+		return nil, nil, "", err
 	}
+	h, err := s.exec.Submit(dispatch.Job{ID: fp, Spec: specJSON}, dispatch.SubmitOpts{
+		Block:   block,
+		OnRound: r.onRound,
+		OnStart: r.setRunning,
+	})
+	if err != nil {
+		s.wg.Done()
+		r.finish(nil, err)
+		s.dropRun(fp, r)
+		switch {
+		case errors.Is(err, dispatch.ErrQueueFull):
+			return nil, nil, "", errQueueFull
+		case errors.Is(err, dispatch.ErrClosed):
+			return nil, nil, "", errClosing
+		}
+		return nil, nil, "", err
+	}
+	go s.watch(r, h) // owns the wg slot added above
+	return r, nil, StatusQueued, nil
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {

@@ -3,6 +3,7 @@ package serve
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -18,7 +19,7 @@ import (
 
 // countingRunner returns canned two-point histories and counts executions.
 func countingRunner(execs *atomic.Int64) Runner {
-	return func(spec sweep.RunSpec, onRound func(fl.RoundStat)) (*fl.History, error) {
+	return func(_ context.Context, spec sweep.RunSpec, onRound func(fl.RoundStat)) (*fl.History, error) {
 		execs.Add(1)
 		stats := []fl.RoundStat{{Round: 1, TestAcc: 0.4}, {Round: 2, TestAcc: 0.6}}
 		if onRound != nil {

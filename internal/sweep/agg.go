@@ -192,6 +192,39 @@ func NewResult(sp Spec, cells []CellResult) *Result {
 	return r
 }
 
+// FailureSummary reports failed cells grouped the same way successes
+// aggregate (seed-zeroed axes): one line per failed group with how many of
+// its seeds failed and the first error seen. CLIs print it so a failed
+// sweep names its causes instead of a bare count.
+func (r *Result) FailureSummary() []string {
+	type fg struct {
+		n     int
+		first string
+	}
+	groups := make(map[Axes]*fg)
+	var order []Axes
+	for _, c := range r.Cells {
+		if c.Status != CellFailed {
+			continue
+		}
+		key := c.Axes
+		key.Seed = 0
+		g, ok := groups[key]
+		if !ok {
+			g = &fg{first: c.Err}
+			groups[key] = g
+			order = append(order, key)
+		}
+		g.n++
+	}
+	out := make([]string, 0, len(order))
+	for _, key := range order {
+		g := groups[key]
+		out = append(out, fmt.Sprintf("%s: %d cell(s) failed; first error: %s", describeAxes(key), g.n, g.first))
+	}
+	return out
+}
+
 // Find returns the first group matching the non-zero fields of the probe
 // (zero fields are wildcards; Seed is ignored — groups are seedless), or
 // nil. Renderers use it to place groups into table cells by the axes they

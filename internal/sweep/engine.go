@@ -1,23 +1,33 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
+	"fedwcm/internal/dispatch"
 	"fedwcm/internal/fl"
 	"fedwcm/internal/store"
 )
 
-// Runner executes one cell, reporting per-round progress. The default runs
-// the spec for real; tests substitute counting or canned runners. It is the
-// same shape internal/serve.Runner has, so one implementation serves both.
-type Runner func(spec RunSpec, onRound func(fl.RoundStat)) (*fl.History, error)
+// Runner executes one cell, reporting per-round progress and honouring ctx
+// cancellation between rounds. The default runs the spec for real; tests
+// substitute counting or canned runners. It is the same shape
+// internal/serve.Runner has, so one implementation serves both.
+type Runner func(ctx context.Context, spec RunSpec, onRound func(fl.RoundStat)) (*fl.History, error)
 
-// Engine executes sweeps locally: cells run on a bounded worker pool,
+// Engine executes sweeps: cells run on a bounded worker pool,
 // short-circuit on store hits, coalesce with identical in-flight cells
 // (single-flight), and persist results so the next overlapping sweep costs
 // only its missing fingerprints. It is the in-process counterpart of the
 // HTTP run service — cmd/fedbench drives experiments through it.
+//
+// With Executor set, cell execution is delegated to a dispatch backend
+// (remote coordinator, HTTP client, or a shared local pool) instead of
+// running inline; the engine keeps store short-circuiting and
+// single-flight, so a backend only ever sees each missing fingerprint
+// once. Cells carrying process-local Mod hooks have no fingerprint and
+// cannot travel, so they always run inline.
 type Engine struct {
 	Store   *store.Store // optional: nil runs without result caching
 	Workers int          // concurrent cells; 0 = 3
@@ -26,6 +36,11 @@ type Engine struct {
 	// runner: cells sharing a dataset+partition sub-spec build it once
 	// (see EnvCache). Ignored when Runner is overridden.
 	Envs *EnvCache
+	// Executor, when set, dispatches cells instead of running them inline.
+	// The backend persists successful histories to its own store; when the
+	// engine's Store is a different instance it additionally persists what
+	// comes back, so fedbench -remote still fills a local cache.
+	Executor dispatch.Executor
 
 	mu       sync.Mutex
 	inflight map[string]*flight
@@ -102,7 +117,8 @@ func (e *Engine) RunSweep(sp Spec, onCell func(CellUpdate)) (*Result, error) {
 }
 
 // runCell resolves one cell: store hit, joined in-flight execution, or a
-// fresh run (persisted on success).
+// fresh run (persisted on success) — executed inline or through the
+// dispatch backend.
 func (e *Engine) runCell(c Cell) CellResult {
 	out := CellResult{Cell: c}
 	if e.Store != nil {
@@ -132,13 +148,7 @@ func (e *Engine) runCell(c Cell) CellResult {
 	e.inflight[c.ID] = f
 	e.mu.Unlock()
 
-	run := e.Runner
-	if run == nil {
-		run = func(spec RunSpec, onRound func(fl.RoundStat)) (*fl.History, error) {
-			return spec.RunWithProgressCached(e.Envs, onRound)
-		}
-	}
-	f.hist, f.err = run(c.Spec, nil)
+	f.hist, f.err = e.executeCell(c)
 	if f.err == nil && e.Store != nil {
 		// The run itself succeeded; a failed Put only costs re-serving later.
 		_ = e.Store.Put(c.ID, f.hist)
@@ -153,4 +163,28 @@ func (e *Engine) runCell(c Cell) CellResult {
 		out.Status, out.Hist = CellComputed, f.hist
 	}
 	return out
+}
+
+// executeCell performs one cell's training: through the dispatch backend
+// when configured (and the spec is content-addressable), inline otherwise.
+func (e *Engine) executeCell(c Cell) (*fl.History, error) {
+	if e.Executor != nil && c.Spec.Mod == nil {
+		specJSON, err := c.Spec.CanonicalJSON()
+		if err != nil {
+			return nil, err
+		}
+		h, err := e.Executor.Submit(dispatch.Job{ID: c.ID, Spec: specJSON}, dispatch.SubmitOpts{Block: true})
+		if err != nil {
+			return nil, err
+		}
+		<-h.Done()
+		return h.Result()
+	}
+	run := e.Runner
+	if run == nil {
+		run = func(ctx context.Context, spec RunSpec, onRound func(fl.RoundStat)) (*fl.History, error) {
+			return spec.RunCtx(ctx, e.Envs, onRound)
+		}
+	}
+	return run(context.Background(), c.Spec, nil)
 }

@@ -1,9 +1,12 @@
 package sweep
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 
 	"fedwcm/internal/data"
+	"fedwcm/internal/dispatch"
 	"fedwcm/internal/fl"
 	"fedwcm/internal/fl/methods"
 	"fedwcm/internal/nn"
@@ -211,6 +214,14 @@ func (s RunSpec) RunWithProgress(onRound func(fl.RoundStat)) (*fl.History, error
 // served from cache when cache is non-nil. Histories are identical either
 // way; the cache only removes redundant dataset+partition builds.
 func (s RunSpec) RunWithProgressCached(cache *EnvCache, onRound func(fl.RoundStat)) (*fl.History, error) {
+	return s.RunCtx(context.Background(), cache, onRound)
+}
+
+// RunCtx is RunWithProgressCached with cooperative cancellation: a
+// cancelled ctx aborts the run between rounds and returns ctx's error (see
+// fl.RunWithProgressCtx). Dispatch backends use it so a shutting-down
+// executor can abandon in-flight training instead of finishing it.
+func (s RunSpec) RunCtx(ctx context.Context, cache *EnvCache, onRound func(fl.RoundStat)) (*fl.History, error) {
 	s = s.Defaults() // a spec relying on defaults must run, not fail on Method ""
 	env, err := s.BuildEnvCached(cache)
 	if err != nil {
@@ -223,7 +234,23 @@ func (s RunSpec) RunWithProgressCached(cache *EnvCache, onRound func(fl.RoundSta
 	if err != nil {
 		return nil, err
 	}
-	return fl.RunWithProgress(env, m, onRound), nil
+	return fl.RunWithProgressCtx(ctx, env, m, onRound)
+}
+
+// DispatchRunner adapts the spec layer to the dispatch layer: the returned
+// runner decodes a job's canonical spec JSON and executes it with
+// environment construction served from envs (nil runs uncached). It is the
+// standard dispatch.Runner used by the local backend in internal/serve and
+// by remote workers (fedserve -worker), so a job computes identically on
+// either.
+func DispatchRunner(envs *EnvCache) dispatch.Runner {
+	return func(ctx context.Context, job dispatch.Job, onRound func(fl.RoundStat)) (*fl.History, error) {
+		var spec RunSpec
+		if err := json.Unmarshal(job.Spec, &spec); err != nil {
+			return nil, fmt.Errorf("sweep: decoding dispatched spec: %w", err)
+		}
+		return spec.RunCtx(ctx, envs, onRound)
+	}
 }
 
 // ModelFor maps a dataset spec and model name to a network builder. "auto"

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"strings"
 	"sync/atomic"
@@ -182,7 +183,7 @@ func TestHugeSeedCountRejectedCheaply(t *testing.T) {
 
 // cannedRunner returns a fixed-shape history and counts executions.
 func cannedRunner(execs *atomic.Int64) Runner {
-	return func(spec RunSpec, onRound func(fl.RoundStat)) (*fl.History, error) {
+	return func(_ context.Context, spec RunSpec, onRound func(fl.RoundStat)) (*fl.History, error) {
 		execs.Add(1)
 		acc := 0.5
 		if spec.Method == "fedwcm" {
@@ -254,12 +255,12 @@ func TestEngineWithoutStore(t *testing.T) {
 }
 
 func TestEngineReportsFailures(t *testing.T) {
-	eng := &Engine{Workers: 2, Runner: func(spec RunSpec, _ func(fl.RoundStat)) (*fl.History, error) {
+	eng := &Engine{Workers: 2, Runner: func(_ context.Context, spec RunSpec, _ func(fl.RoundStat)) (*fl.History, error) {
 		if spec.Method == "fedcm" {
 			return nil, fmt.Errorf("diverged")
 		}
 		var n atomic.Int64
-		return cannedRunner(&n)(spec, nil)
+		return cannedRunner(&n)(context.Background(), spec, nil)
 	}}
 	updates := 0
 	res, err := eng.RunSweep(Spec{Methods: []string{"fedavg", "fedcm"}, Effort: 0.1}, func(u CellUpdate) { updates++ })

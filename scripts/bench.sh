@@ -2,28 +2,30 @@
 # bench.sh — run the hot-path micro-benchmarks and record the trajectory.
 #
 # Writes BENCH_hotpath.json (or $1) with ns/op, B/op and allocs/op per
-# benchmark, so performance work lands as tracked numbers instead of claims.
-# CI smoke-runs this with BENCHTIME=1x to keep it executable; real numbers
-# come from the default BENCHTIME (or a longer one on quiet hardware):
+# benchmark, plus BENCH_dispatch.json (or $2) with the dispatch-layer
+# overhead (time-to-complete for a 16-cell trivial sweep: in-process local
+# backend vs. coordinator + 2 workers over localhost HTTP), so performance
+# work lands as tracked numbers instead of claims. CI smoke-runs this with
+# BENCHTIME=1x to keep it executable; real numbers come from the default
+# BENCHTIME (or a longer one on quiet hardware):
 #
-#   scripts/bench.sh                    # writes BENCH_hotpath.json
+#   scripts/bench.sh                    # writes BENCH_hotpath.json + BENCH_dispatch.json
 #   BENCHTIME=100x scripts/bench.sh     # steadier numbers
-#   BENCHTIME=1x scripts/bench.sh /tmp/bench.json   # CI smoke
+#   BENCHTIME=1x scripts/bench.sh /tmp/bench.json /tmp/dispatch.json   # CI smoke
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-20x}"
 OUT="${1:-BENCH_hotpath.json}"
+DISPATCH_OUT="${2:-BENCH_dispatch.json}"
 # The system's hot paths: one aggregation round, one client's local round,
 # server-side aggregation, evaluation, the CNN forward/backward, and the
 # Dirichlet partitioner. Table/figure regeneration benches are excluded —
 # they measure experiment breadth, not the execution runtime.
 PATTERN='^(BenchmarkRoundHotPath|BenchmarkClientLocalRound|BenchmarkFedWCMAggregate|BenchmarkEvaluate|BenchmarkResNetLiteForward|BenchmarkResNetLiteTrainStep|BenchmarkDirichletPartition)$'
 
-raw=$(go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" .)
-echo "$raw"
-
-echo "$raw" | awk -v benchtime="$BENCHTIME" -v goversion="$(go env GOVERSION)" '
+tojson() {
+  awk -v benchtime="$BENCHTIME" -v goversion="$(go env GOVERSION)" '
 BEGIN { n = 0 }
 /^Benchmark/ {
   name = $1; sub(/-[0-9]+$/, "", name); sub(/^Benchmark/, "", name)
@@ -36,5 +38,19 @@ END {
     printf "    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
       names[i], iters[i], ns[i], bytes[i], allocs[i], (i < n-1 ? "," : "")
   printf "  ]\n}\n"
-}' > "$OUT"
+}'
+}
+
+raw=$(go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" .)
+echo "$raw"
+echo "$raw" | tojson > "$OUT"
 echo "wrote $OUT"
+
+# Dispatch-layer overhead: a 16-cell sweep whose runner does no training,
+# completed by the in-process local backend vs. a coordinator + 2 workers
+# over localhost HTTP. The gap between the two lines is the per-sweep cost
+# of leases, heartbeat wiring and artifact upload.
+rawd=$(go test -run '^$' -bench '^BenchmarkDispatch(Local|Remote)16Cell$' -benchmem -benchtime "$BENCHTIME" ./internal/dispatch/ 2>/dev/null | grep -E '^(Benchmark|PASS|ok)')
+echo "$rawd"
+echo "$rawd" | tojson > "$DISPATCH_OUT"
+echo "wrote $DISPATCH_OUT"

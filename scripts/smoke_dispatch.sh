@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# smoke_dispatch.sh — distributed-dispatch smoke test.
+#
+# Boots a coordinator (fedserve -remote) plus two -worker processes on
+# localhost, runs a small sweep across both workers, then runs the same
+# sweep on a plain local-backend fedserve and asserts the aggregated
+# /result responses are byte-for-byte identical (the env_cache counters are
+# stripped first: they live on whichever side builds environments, workers
+# remotely vs. the server pool locally — everything else must match
+# exactly: fingerprints, counts, groups, rendered table).
+#
+#   scripts/smoke_dispatch.sh          # used by CI's dispatch-smoke job
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+command -v jq >/dev/null || { echo "smoke_dispatch: jq is required"; exit 1; }
+
+WORK="$(mktemp -d)"
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+  wait 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+go build -o "$WORK/fedserve" ./cmd/fedserve
+
+COORD_ADDR="127.0.0.1:18091"
+LOCAL_ADDR="127.0.0.1:18092"
+SWEEP='{"methods":["fedavg"],"seed_count":2,"clients":[4],"sample_rates":[0.5],"local_epochs":[1],"model":"linear","rounds":8,"effort":0.01}'
+
+wait_up() { # addr
+  for _ in $(seq 1 100); do
+    curl -sf "http://$1/v1/experiments" >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  echo "smoke_dispatch: server at $1 never came up"; exit 1
+}
+
+wait_result() { # addr sweep_id outfile
+  for _ in $(seq 1 300); do
+    code=$(curl -s -o "$3" -w '%{http_code}' "http://$1/v1/sweeps/$2/result")
+    [ "$code" = 200 ] && return 0
+    [ "$code" = 202 ] || { echo "smoke_dispatch: /result returned $code: $(cat "$3")"; exit 1; }
+    sleep 0.2
+  done
+  echo "smoke_dispatch: sweep $2 on $1 never finished"; exit 1
+}
+
+echo "== coordinator + 2 workers"
+"$WORK/fedserve" -remote -addr "$COORD_ADDR" -store "$WORK/remote-store" -lease 5s &
+PIDS+=($!)
+wait_up "$COORD_ADDR"
+"$WORK/fedserve" -worker -join "http://$COORD_ADDR" -name w1 &
+PIDS+=($!)
+"$WORK/fedserve" -worker -join "http://$COORD_ADDR" -name w2 &
+PIDS+=($!)
+
+remote_id=$(curl -sf -X POST "http://$COORD_ADDR/v1/sweeps" -d "$SWEEP" | jq -r .id)
+echo "   sweep $remote_id submitted to the remote backend"
+wait_result "$COORD_ADDR" "$remote_id" "$WORK/remote.json"
+
+echo "== local-backend reference"
+"$WORK/fedserve" -addr "$LOCAL_ADDR" -store "$WORK/local-store" -workers 2 &
+PIDS+=($!)
+wait_up "$LOCAL_ADDR"
+local_id=$(curl -sf -X POST "http://$LOCAL_ADDR/v1/sweeps" -d "$SWEEP" | jq -r .id)
+[ "$local_id" = "$remote_id" ] || { echo "smoke_dispatch: sweep ids diverge: $local_id vs $remote_id"; exit 1; }
+wait_result "$LOCAL_ADDR" "$local_id" "$WORK/local.json"
+
+echo "== comparing aggregated results"
+jq -S 'del(.env_cache)' "$WORK/remote.json" > "$WORK/remote.canon.json"
+jq -S 'del(.env_cache)' "$WORK/local.json" > "$WORK/local.canon.json"
+if ! cmp -s "$WORK/remote.canon.json" "$WORK/local.canon.json"; then
+  echo "smoke_dispatch: results diverge between backends:"
+  diff "$WORK/local.canon.json" "$WORK/remote.canon.json" || true
+  exit 1
+fi
+computed=$(jq -r .computed "$WORK/remote.json")
+[ "$computed" = 2 ] || { echo "smoke_dispatch: expected 2 computed cells, got $computed"; exit 1; }
+
+# Artifact files must match bit-for-bit across the two stores.
+for f in $(cd "$WORK/local-store" && find . -name '*.json'); do
+  cmp -s "$WORK/local-store/$f" "$WORK/remote-store/$f" \
+    || { echo "smoke_dispatch: artifact $f differs between stores"; exit 1; }
+done
+
+echo "smoke_dispatch: OK — remote (2 workers) and local backends agree byte-for-byte"
