@@ -110,6 +110,7 @@ func BenchmarkRoundHotPath(b *testing.B) {
 	cfg := fl.Config{Rounds: 4, SampleClients: 6, LocalEpochs: 2, BatchSize: 32,
 		EtaL: 0.1, EtaG: 1, Seed: 1, EvalEvery: 100, Workers: 2, DropProb: 0.1}
 	env := fl.NewEnv(cfg, train, test, part, nn.MLPBuilder(48, []int{64, 32}, 10, true), loss.CrossEntropy{})
+	fl.Run(env, methods.NewFedCM(0.1)) // warm up one-time state (default metric registration)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

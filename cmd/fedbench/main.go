@@ -32,23 +32,30 @@ import (
 
 	"fedwcm/internal/dispatch"
 	"fedwcm/internal/experiments"
+	"fedwcm/internal/obs"
 	"fedwcm/internal/store"
 	"fedwcm/internal/sweep"
 )
 
 func main() {
 	var (
-		run      = flag.String("run", "", "experiment id to run, or \"all\"")
-		list     = flag.Bool("list", false, "list experiment ids and exit")
-		effort   = flag.Float64("effort", 1, "effort scale in (0,1]: scales rounds and data size")
-		seed     = flag.Uint64("seed", 1, "experiment seed")
-		outDir   = flag.String("out", "", "also write each experiment's output to <out>/<id>.txt")
-		cells    = flag.Int("cellworkers", 3, "concurrent sweep cells")
-		storeDir = flag.String("store", "results/store", "result store root (empty disables caching)")
-		envCap   = flag.Int("envcache", sweep.DefaultEnvCacheCap, "environments kept in the shared env cache")
-		remote   = flag.String("remote", "", "execute sweep cells on a running fedserve at this base URL instead of in-process")
+		run       = flag.String("run", "", "experiment id to run, or \"all\"")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		effort    = flag.Float64("effort", 1, "effort scale in (0,1]: scales rounds and data size")
+		seed      = flag.Uint64("seed", 1, "experiment seed")
+		outDir    = flag.String("out", "", "also write each experiment's output to <out>/<id>.txt")
+		cells     = flag.Int("cellworkers", 3, "concurrent sweep cells")
+		storeDir  = flag.String("store", "results/store", "result store root (empty disables caching)")
+		envCap    = flag.Int("envcache", sweep.DefaultEnvCacheCap, "environments kept in the shared env cache")
+		remote    = flag.String("remote", "", "execute sweep cells on a running fedserve at this base URL instead of in-process")
+		logFormat = flag.String("log-format", "text", "log output format: text | json")
 	)
 	flag.Parse()
+
+	if err := obs.SetupLogging(os.Stderr, *logFormat, "fedbench"); err != nil {
+		fmt.Fprintln(os.Stderr, "fedbench:", err)
+		os.Exit(1)
+	}
 
 	if *list || *run == "" {
 		fmt.Println("available experiments:")
@@ -69,11 +76,15 @@ func main() {
 			fmt.Fprintln(os.Stderr, "fedbench:", err)
 			os.Exit(1)
 		}
+		st.Instrument(obs.Default())
 	}
 
 	// One environment cache across every experiment in this invocation:
 	// tables sharing a dataset grid reuse each other's construction work.
+	// Instrumented on the default registry so the "envs built/reused" summary
+	// line and any /metrics scrape read the same counters.
 	envs := sweep.NewEnvCache(*envCap)
+	envs.Instrument(obs.Default())
 
 	// -remote dispatches declarative cells to a running fedserve (which may
 	// itself be coordinator-backed), so a laptop drives a grid that trains

@@ -32,7 +32,6 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
 	"os"
 	"os/signal"
@@ -41,6 +40,7 @@ import (
 	"time"
 
 	"fedwcm/internal/dispatch"
+	"fedwcm/internal/obs"
 	"fedwcm/internal/serve"
 	"fedwcm/internal/store"
 	"fedwcm/internal/sweep"
@@ -62,11 +62,20 @@ func main() {
 		join       = flag.String("join", "", "worker mode: coordinator base URL, e.g. http://host:8080")
 		name       = flag.String("name", "", "worker mode: name reported at registration")
 		slots      = flag.Int("slots", 1, "worker mode: concurrent jobs this worker executes")
+		obsAddr    = flag.String("obs-addr", "", "worker mode: serve /metrics, /healthz, /readyz and /debug on this address (empty = disabled)")
+
+		logFormat = flag.String("log-format", "text", "log output format: text | json")
 	)
 	flag.Parse()
 
+	if err := obs.SetupLogging(os.Stderr, *logFormat, "fedserve"); err != nil {
+		fmt.Fprintln(os.Stderr, "fedserve:", err)
+		os.Exit(1)
+	}
+	logf := obs.Logf("fedserve")
+
 	if *workerMode {
-		if err := runWorker(*join, *name, *slots, *envCap); err != nil && err != context.Canceled {
+		if err := runWorker(*join, *name, *slots, *envCap, *obsAddr); err != nil && err != context.Canceled {
 			fmt.Fprintln(os.Stderr, "fedserve:", err)
 			os.Exit(1)
 		}
@@ -106,7 +115,7 @@ func main() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		log.Println("fedserve: shutting down")
+		logf("fedserve: shutting down")
 		// Graceful: in-flight responses (incl. SSE on live runs) get a grace
 		// period to finish; srv.Close below then cancels runs still training
 		// so their streams terminate with a "done" event instead of hanging.
@@ -117,7 +126,7 @@ func main() {
 		}
 	}()
 
-	log.Printf("fedserve: listening on %s (store %s; %s)", *addr, *root, backend)
+	logf("fedserve: listening on %s (store %s; %s)", *addr, *root, backend)
 	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		fmt.Fprintln(os.Stderr, "fedserve:", err)
 		os.Exit(1)
@@ -127,22 +136,38 @@ func main() {
 }
 
 // runWorker joins a coordinator and serves leases until SIGTERM/SIGINT,
-// then deregisters so in-flight jobs hand over cleanly.
-func runWorker(join, name string, slots, envCap int) error {
+// then deregisters so in-flight jobs hand over cleanly. obsAddr, when set,
+// serves the worker's own observability surface (/metrics, /healthz,
+// /readyz, /debug); readiness reflects a live registration with the
+// coordinator.
+func runWorker(join, name string, slots, envCap int, obsAddr string) error {
 	if join == "" {
 		return fmt.Errorf("-worker requires -join <coordinator url>")
 	}
+	logf := obs.Logf("worker")
+	envs := sweep.NewEnvCache(envCap)
+	envs.Instrument(obs.Default())
 	w, err := dispatch.NewWorker(dispatch.WorkerConfig{
 		Coordinator: join,
-		Runner:      sweep.DispatchRunner(sweep.NewEnvCache(envCap)),
+		Runner:      sweep.DispatchRunner(envs),
 		Name:        name,
 		Slots:       slots,
 	})
 	if err != nil {
 		return err
 	}
+	if obsAddr != "" {
+		mux := http.NewServeMux()
+		obs.Mount(mux, obs.Default(), obs.DefaultTracer(), w.Ready)
+		go func() {
+			if err := http.ListenAndServe(obsAddr, mux); err != nil {
+				logf("fedserve: worker observability listener: %v", err)
+			}
+		}()
+		logf("fedserve: worker observability on %s", obsAddr)
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	log.Printf("fedserve: worker joining %s (%d slots)", join, slots)
+	logf("fedserve: worker joining %s (%d slots)", join, slots)
 	return w.Run(ctx)
 }

@@ -17,6 +17,7 @@ import (
 	"fedwcm/internal/experiments"
 	"fedwcm/internal/fl"
 	"fedwcm/internal/fl/methods"
+	"fedwcm/internal/obs"
 	"fedwcm/internal/trace"
 )
 
@@ -41,8 +42,14 @@ func main() {
 		quiet     = flag.Bool("q", false, "only print the final summary line")
 		csvPath   = flag.String("csv", "", "also write the history as CSV to this path")
 		jsonPath  = flag.String("json", "", "also write the history as trace JSONL to this path")
+		logFormat = flag.String("log-format", "text", "log output format: text | json")
 	)
 	flag.Parse()
+
+	if err := obs.SetupLogging(os.Stderr, *logFormat, "fedsim"); err != nil {
+		fmt.Fprintln(os.Stderr, "fedsim:", err)
+		os.Exit(1)
+	}
 
 	spec := experiments.RunSpec{
 		Dataset:   *dataset,

@@ -6,11 +6,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"log"
 	"net/http"
 	"time"
 
 	"fedwcm/internal/fl"
+	"fedwcm/internal/obs"
 )
 
 // ClientConfig wires a Client.
@@ -20,7 +20,8 @@ type ClientConfig struct {
 	// 0 = 250ms.
 	PollEvery  time.Duration
 	HTTPClient *http.Client
-	Logf       func(format string, args ...any)
+	// Logf defaults to the unified slog route (obs.Logf("dispatch")).
+	Logf func(format string, args ...any)
 }
 
 // Client is the push-side remote backend: jobs are submitted to a running
@@ -67,7 +68,7 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		cfg.HTTPClient = &http.Client{Timeout: 30 * time.Second}
 	}
 	if cfg.Logf == nil {
-		cfg.Logf = log.Printf
+		cfg.Logf = obs.Logf("dispatch")
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Client{cfg: cfg, ctx: ctx, cancel: cancel}, nil
@@ -127,6 +128,7 @@ func (c *Client) post(job Job) (int, runStatus, error) {
 		return 0, runStatus{}, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.TraceHeader, job.ID)
 	resp, err := c.cfg.HTTPClient.Do(req)
 	if err != nil {
 		return 0, runStatus{}, fmt.Errorf("dispatch: submitting job %.12s: %w", job.ID, err)

@@ -3,12 +3,12 @@ package dispatch
 import (
 	"encoding/json"
 	"fmt"
-	"log"
 	"net/http"
 	"sync"
 	"time"
 
 	"fedwcm/internal/fl"
+	"fedwcm/internal/obs"
 	"fedwcm/internal/store"
 )
 
@@ -26,7 +26,14 @@ type CoordinatorConfig struct {
 	// MaxWorkerSlots caps the per-worker in-flight limit a worker may
 	// declare at registration. 0 = 8.
 	MaxWorkerSlots int
-	Logf           func(format string, args ...any)
+	// Logf defaults to the unified slog route (obs.Logf("dispatch")); tests
+	// pass t.Logf.
+	Logf func(format string, args ...any)
+	// Metrics receives the coordinator's series; nil uses the process
+	// default registry. Tracer records lease-level spans; nil uses the
+	// process default tracer.
+	Metrics *obs.Registry
+	Tracer  *obs.Tracer
 }
 
 // Coordinator is the remote dispatch backend: jobs queue here, workers
@@ -55,6 +62,8 @@ type Coordinator struct {
 	closed    chan struct{}
 	closeOnce sync.Once
 	reaperWG  sync.WaitGroup
+
+	cm coordMetrics
 }
 
 type remoteWorker struct {
@@ -63,6 +72,15 @@ type remoteWorker struct {
 	slots    int // max concurrent leases
 	inflight map[string]*remoteJob
 	lastSeen time.Time
+}
+
+// label is the worker's metric label: the operator-chosen name when one was
+// registered (stable across restarts), the coordinator-assigned id otherwise.
+func (w *remoteWorker) label() string {
+	if w.name != "" {
+		return w.name
+	}
+	return w.id
 }
 
 // remoteJob states.
@@ -80,6 +98,12 @@ type remoteJob struct {
 	worker   string // current lease holder when leased
 	expiry   time.Time
 	attempts int // leases granted so far
+	// Observation timestamps: enqueuedAt feeds the lease-wait histogram
+	// (reset on requeue — each wait is its own observation), leasedAt the
+	// lease-hold histogram and lease spans, lastBeat the heartbeat-gap one.
+	enqueuedAt time.Time
+	leasedAt   time.Time
+	lastBeat   time.Time
 	// Heartbeat dedup across attempts: a requeued job is re-run from round
 	// zero by the next worker (runs are deterministic, so the stats repeat
 	// exactly). relayed counts rounds already delivered to subscribers over
@@ -109,7 +133,13 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		cfg.MaxWorkerSlots = 8
 	}
 	if cfg.Logf == nil {
-		cfg.Logf = log.Printf
+		cfg.Logf = obs.Logf("dispatch")
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.Default()
+	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = obs.DefaultTracer()
 	}
 	c := &Coordinator{
 		cfg:     cfg,
@@ -119,9 +149,33 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		space:   make(chan struct{}),
 		closed:  make(chan struct{}),
 	}
+	c.cm = newCoordMetrics(cfg.Metrics, c.Stats)
 	c.reaperWG.Add(1)
 	go c.reaper()
 	return c, nil
+}
+
+// endLeaseLocked observes the end of j's current lease (upload, expiry or
+// clean handover): the lease-hold histogram and a "dispatch.lease" span
+// under the job's trace ID. outcome "" means a successful upload; anything
+// else lands in the span's error field. Caller holds c.mu.
+func (c *Coordinator) endLeaseLocked(j *remoteJob, wid, outcome string) {
+	if j.leasedAt.IsZero() {
+		return
+	}
+	now := time.Now()
+	held := now.Sub(j.leasedAt)
+	c.cm.leaseHold.Observe(held.Seconds())
+	sp := obs.Span{
+		Trace: j.h.job.ID, Name: "dispatch.lease",
+		Start: j.leasedAt.UnixMicro(), DurMS: float64(held) / float64(time.Millisecond),
+		Worker: wid, Attempt: j.attempts, Err: outcome,
+	}
+	c.cfg.Tracer.Record(sp)
+	if wk, ok := c.workers[wid]; ok {
+		c.cm.slotsBusy.With(wk.label()).Set(float64(len(wk.inflight)))
+	}
+	j.leasedAt = time.Time{}
 }
 
 // notifyLocked wakes every lease long-poller; caller holds c.mu.
@@ -193,7 +247,7 @@ func (c *Coordinator) Submit(job Job, opts SubmitOpts) (Handle, error) {
 				return nil, ErrClosed
 			}
 		}
-		j := &remoteJob{h: newHandle(job), state: jobPending}
+		j := &remoteJob{h: newHandle(job), state: jobPending, enqueuedAt: time.Now()}
 		if opts.OnRound != nil {
 			j.onRound = append(j.onRound, opts.OnRound)
 		}
@@ -268,6 +322,8 @@ func (c *Coordinator) expireLeases(now time.Time) {
 			}
 			delete(w.inflight, id)
 			j.worker = ""
+			c.cm.expiries.Inc()
+			c.endLeaseLocked(j, wid, "lease expired")
 			if j.attempts >= c.cfg.MaxAttempts {
 				c.cfg.Logf("dispatch: job %.12s: lease expired on worker %s, attempt %d/%d — failing",
 					id, wid, j.attempts, c.cfg.MaxAttempts)
@@ -278,6 +334,8 @@ func (c *Coordinator) expireLeases(now time.Time) {
 			c.cfg.Logf("dispatch: job %.12s: lease expired on worker %s, attempt %d/%d — requeueing",
 				id, wid, j.attempts, c.cfg.MaxAttempts)
 			j.state = jobPending
+			j.enqueuedAt = now
+			c.cm.requeues.Inc()
 			c.pending = append([]*remoteJob{j}, c.pending...)
 			woke = true
 		}
@@ -416,12 +474,16 @@ func (c *Coordinator) handleDeregister(w http.ResponseWriter, req *http.Request)
 	requeued := 0
 	for jid, j := range wk.inflight {
 		delete(wk.inflight, jid)
+		c.endLeaseLocked(j, id, "handover")
 		j.state, j.worker = jobPending, ""
 		j.attempts-- // clean handover: the retry budget is for crashes
+		j.enqueuedAt = time.Now()
+		c.cm.requeues.Inc()
 		c.pending = append([]*remoteJob{j}, c.pending...)
 		requeued++
 	}
 	delete(c.workers, id)
+	c.cm.slotsBusy.With(wk.label()).Set(0)
 	if requeued > 0 {
 		c.notifyLocked()
 	}
@@ -460,11 +522,15 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, req *http.Request) {
 		if len(wk.inflight) < wk.slots && len(c.pending) > 0 {
 			j := c.pending[0]
 			c.pending = c.pending[1:]
+			now := time.Now()
 			j.state, j.worker = jobLeased, id
-			j.expiry = time.Now().Add(c.cfg.LeaseTTL)
+			j.expiry = now.Add(c.cfg.LeaseTTL)
 			j.attempts++
 			j.attemptSeen = 0 // fresh attempt re-runs from round zero
+			c.cm.leaseWait.Observe(now.Sub(j.enqueuedAt).Seconds())
+			j.leasedAt, j.lastBeat = now, now
 			wk.inflight[j.h.job.ID] = j
+			c.cm.slotsBusy.With(wk.label()).Set(float64(len(wk.inflight)))
 			starts := j.onStart
 			started := j.started
 			j.started, j.onStart = true, nil
@@ -475,6 +541,7 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, req *http.Request) {
 					f()
 				}
 			}
+			w.Header().Set(obs.TraceHeader, j.h.job.ID)
 			writeJSON(w, http.StatusOK, leaseResponse{Job: j.h.job})
 			return
 		}
@@ -534,7 +601,10 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, req *http.Request) 
 		httpErr(w, http.StatusGone, "lease on job %s lost", jid)
 		return
 	}
-	j.expiry = time.Now().Add(c.cfg.LeaseTTL)
+	now := time.Now()
+	j.expiry = now.Add(c.cfg.LeaseTTL)
+	c.cm.beatGap.Observe(now.Sub(j.lastBeat).Seconds())
+	j.lastBeat = now
 	subs := append([]func(fl.RoundStat){}, j.onRound...)
 	// Relay only rounds past the high-water mark: a retry of a requeued job
 	// re-reports the rounds its predecessor already delivered.
@@ -578,6 +648,8 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, req *http.Request) {
 		// artifact under this fingerprint means an equivalent upload landed
 		// first — acknowledge the duplicate so the worker frees its slot.
 		if _, found, err := c.cfg.Store.Get(jid); err == nil && found {
+			c.cm.dup.Inc()
+			c.cm.uploads.With("duplicate").Inc()
 			writeJSON(w, http.StatusOK, resultResponse{Status: "duplicate"})
 			return
 		}
@@ -590,9 +662,19 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, req *http.Request) {
 	// Successful uploads are accepted from anyone — the result is a
 	// deterministic function of the job, so whoever finishes first wins.
 	if rr.Error != "" && (j.state != jobLeased || j.worker != wid) {
+		c.cm.uploads.With("rejected").Inc()
 		c.mu.Unlock()
 		httpErr(w, http.StatusGone, "lease on job %s lost; error discarded", jid)
 		return
+	}
+	// The span outcome is decided before the job is detached so the lease
+	// span carries it.
+	outcome := ""
+	switch {
+	case rr.Error != "":
+		outcome = "worker error"
+	case rr.History == nil || len(rr.History.Stats) == 0:
+		outcome = "empty history"
 	}
 	// Detach the job wherever it currently lives: its uploader's inflight
 	// set, another worker's (requeued + re-leased), or the pending queue.
@@ -603,6 +685,7 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, req *http.Request) {
 		if wk, ok := c.workers[j.worker]; ok {
 			delete(wk.inflight, jid)
 		}
+		c.endLeaseLocked(j, j.worker, outcome)
 	}
 	if j.state == jobPending {
 		for i, p := range c.pending {
@@ -622,6 +705,7 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, req *http.Request) {
 		// An execution error is deterministic (same spec, same code path on
 		// every worker) — retrying elsewhere would fail identically, so the
 		// job fails now; the retry budget is reserved for lease expiry.
+		c.cm.uploads.With("failed").Inc()
 		j.h.complete(nil, fmt.Errorf("dispatch: job %.12s failed on worker %s: %s", jid, wid, rr.Error))
 		writeJSON(w, http.StatusOK, resultResponse{Status: "failed"})
 		return
@@ -631,15 +715,25 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, req *http.Request) {
 		// the cell "done" with nothing in the store. The job is already
 		// detached; the worker sees the error and the submitter sees the
 		// failure.
+		c.cm.uploads.With("rejected").Inc()
 		j.h.complete(nil, fmt.Errorf("dispatch: job %.12s: worker %s uploaded an empty history", jid, wid))
 		httpErr(w, http.StatusBadRequest, "empty history for job %s", jid)
 		return
 	}
+	c.cm.uploads.With("stored").Inc()
 	if err := c.cfg.Store.Put(jid, rr.History); err != nil {
 		// Mirror the local backend: the computation succeeded, so the
 		// submitter gets the history even though re-serving after restart
 		// is lost.
 		c.cfg.Logf("dispatch: persisting job %.12s: %v", jid, err)
+	}
+	// Persist the job's trace alongside the history: lease spans recorded by
+	// this coordinator (workers keep their own execution spans). Best-effort
+	// — traces are debugging artifacts, not part of the result contract.
+	if spans := c.cfg.Tracer.Collect(jid); len(spans) > 0 {
+		if err := c.cfg.Store.PutTrace(jid, spans); err != nil {
+			c.cfg.Logf("dispatch: persisting trace for job %.12s: %v", jid, err)
+		}
 	}
 	// Backfill progress the heartbeats never carried (rounds recorded after
 	// the final beat — or all of them, for a job faster than one beat):

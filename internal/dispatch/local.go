@@ -3,9 +3,9 @@ package dispatch
 import (
 	"context"
 	"fmt"
-	"log"
 	"sync"
 
+	"fedwcm/internal/obs"
 	"fedwcm/internal/store"
 )
 
@@ -15,7 +15,13 @@ type LocalConfig struct {
 	Workers int          // concurrent jobs; 0 = 2
 	Queue   int          // queued (not yet running) jobs; 0 = 64
 	Store   *store.Store // optional: successful histories are persisted here
-	Logf    func(format string, args ...any)
+	// Logf defaults to the unified slog route (obs.Logf("dispatch")).
+	Logf func(format string, args ...any)
+	// Metrics receives the pool's series; nil uses the process default
+	// registry. Tracer records per-job execution spans; nil uses the process
+	// default tracer.
+	Metrics *obs.Registry
+	Tracer  *obs.Tracer
 }
 
 // Local executes jobs on an in-process bounded worker pool — the
@@ -35,6 +41,8 @@ type Local struct {
 	mu        sync.Mutex // guards the closing flag vs. enqueue (see Submit)
 	closing   bool
 	closeOnce sync.Once
+
+	lm localMetrics
 }
 
 type localTask struct {
@@ -54,7 +62,13 @@ func NewLocal(cfg LocalConfig) (*Local, error) {
 		cfg.Queue = 64
 	}
 	if cfg.Logf == nil {
-		cfg.Logf = log.Printf
+		cfg.Logf = obs.Logf("dispatch")
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.Default()
+	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = obs.DefaultTracer()
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	l := &Local{
@@ -65,6 +79,7 @@ func NewLocal(cfg LocalConfig) (*Local, error) {
 		cancel: cancel,
 		closed: make(chan struct{}),
 	}
+	l.lm = newLocalMetrics(cfg.Metrics, func() float64 { return float64(len(l.jobs)) })
 	for i := 0; i < cfg.Workers; i++ {
 		l.wg.Add(1)
 		go l.worker()
@@ -108,12 +123,28 @@ func (l *Local) execute(t *localTask) {
 	if t.opts.OnStart != nil {
 		t.opts.OnStart()
 	}
+	l.lm.running.Inc()
+	sp := l.cfg.Tracer.Start(t.h.job.ID, "dispatch.execute")
 	hist, err := l.cfg.Runner(l.ctx, t.h.job, t.opts.OnRound)
+	sp.EndErr(err)
+	l.lm.running.Dec()
+	if err != nil {
+		l.lm.jobs.With("err").Inc()
+	} else {
+		l.lm.jobs.With("ok").Inc()
+	}
 	if err == nil && l.cfg.Store != nil {
 		if perr := l.cfg.Store.Put(t.h.job.ID, hist); perr != nil {
 			// The run itself succeeded; callers still get the history from
 			// the handle, only re-serving after restart is lost.
 			l.cfg.Logf("dispatch: persisting job %s: %v", t.h.job.ID, perr)
+		}
+		// Persist the job's trace (execution + per-round spans) alongside
+		// the history; best-effort, debugging artifact only.
+		if spans := l.cfg.Tracer.Collect(t.h.job.ID); len(spans) > 0 {
+			if terr := l.cfg.Store.PutTrace(t.h.job.ID, spans); terr != nil {
+				l.cfg.Logf("dispatch: persisting trace for job %s: %v", t.h.job.ID, terr)
+			}
 		}
 	}
 	t.h.complete(hist, err)

@@ -1,0 +1,83 @@
+package dispatch
+
+import (
+	"fedwcm/internal/obs"
+)
+
+// coordMetrics is the coordinator's handle set, resolved once at
+// construction. Queue depth / worker count / leased count are GaugeFuncs
+// over Stats() — the same snapshot the sweep status API reports — so the
+// two surfaces cannot disagree.
+type coordMetrics struct {
+	leaseWait *obs.Histogram  // enqueue → lease grant
+	leaseHold *obs.Histogram  // lease grant → upload or expiry
+	beatGap   *obs.Histogram  // time between heartbeats on a held lease
+	expiries  *obs.Counter    // leases expired by the reaper
+	requeues  *obs.Counter    // jobs requeued (expiry or clean handover)
+	dup       *obs.Counter    // idempotent duplicate uploads
+	uploads   *obs.CounterVec // result uploads by terminal status
+	slotsBusy *obs.GaugeVec   // in-flight leases per worker
+}
+
+func newCoordMetrics(reg *obs.Registry, stats func() CoordinatorStats) coordMetrics {
+	if reg == nil {
+		return coordMetrics{}
+	}
+	reg.GaugeFunc("fedwcm_dispatch_queue_depth", "Jobs waiting for a lease.", func() float64 {
+		return float64(stats().Pending)
+	})
+	reg.GaugeFunc("fedwcm_dispatch_workers", "Workers currently registered.", func() float64 {
+		return float64(stats().Workers)
+	})
+	reg.GaugeFunc("fedwcm_dispatch_leased", "Jobs currently leased to workers.", func() float64 {
+		return float64(stats().Leased)
+	})
+	return coordMetrics{
+		leaseWait: reg.Histogram("fedwcm_dispatch_lease_wait_seconds", "Time a job waited in the queue before its lease was granted.", nil),
+		leaseHold: reg.Histogram("fedwcm_dispatch_lease_hold_seconds", "Time a lease was held, from grant to upload or expiry.", nil),
+		beatGap:   reg.Histogram("fedwcm_dispatch_heartbeat_gap_seconds", "Observed gap between heartbeats on a held lease.", nil),
+		expiries:  reg.Counter("fedwcm_dispatch_lease_expiries_total", "Leases expired by the reaper (worker stopped heartbeating)."),
+		requeues:  reg.Counter("fedwcm_dispatch_requeues_total", "Jobs requeued after lease expiry or worker deregistration."),
+		dup:       reg.Counter("fedwcm_dispatch_duplicate_uploads_total", "Result uploads acknowledged idempotently without a store write."),
+		uploads:   reg.CounterVec("fedwcm_dispatch_uploads_total", "Result uploads ingested, by terminal status.", "status"),
+		slotsBusy: reg.GaugeVec("fedwcm_dispatch_worker_slots_busy", "In-flight leases per registered worker.", "worker"),
+	}
+}
+
+// workerMetrics is the pull-worker's handle set (exposed on the worker
+// process's own /metrics listener).
+type workerMetrics struct {
+	leases     *obs.Counter
+	heartbeats *obs.Counter
+	leaseLost  *obs.Counter
+	uploads    *obs.CounterVec // by coordinator ack status
+}
+
+func newWorkerMetrics(reg *obs.Registry) workerMetrics {
+	if reg == nil {
+		return workerMetrics{}
+	}
+	return workerMetrics{
+		leases:     reg.Counter("fedwcm_worker_leases_total", "Jobs leased from the coordinator."),
+		heartbeats: reg.Counter("fedwcm_worker_heartbeats_total", "Heartbeats delivered to the coordinator."),
+		leaseLost:  reg.Counter("fedwcm_worker_lease_lost_total", "Leases lost mid-run (job abandoned)."),
+		uploads:    reg.CounterVec("fedwcm_worker_uploads_total", "Result uploads, by coordinator acknowledgement.", "status"),
+	}
+}
+
+// localMetrics is the in-process pool's handle set.
+type localMetrics struct {
+	running *obs.Gauge
+	jobs    *obs.CounterVec // by outcome
+}
+
+func newLocalMetrics(reg *obs.Registry, queued func() float64) localMetrics {
+	if reg == nil {
+		return localMetrics{}
+	}
+	reg.GaugeFunc("fedwcm_dispatch_local_queue_depth", "Jobs queued on the local pool, not yet running.", queued)
+	return localMetrics{
+		running: reg.Gauge("fedwcm_dispatch_local_running", "Jobs executing on the local pool right now."),
+		jobs:    reg.CounterVec("fedwcm_dispatch_local_jobs_total", "Local-pool jobs finished, by outcome.", "status"),
+	}
+}

@@ -6,12 +6,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"log"
 	"net/http"
 	"sync"
 	"time"
 
 	"fedwcm/internal/fl"
+	"fedwcm/internal/obs"
 )
 
 // WorkerConfig wires a Worker.
@@ -26,7 +26,11 @@ type WorkerConfig struct {
 	// coordinator's lease TTL (TTL/3).
 	HeartbeatEvery time.Duration
 	HTTPClient     *http.Client
-	Logf           func(format string, args ...any)
+	// Logf defaults to the unified slog route (obs.Logf("worker")).
+	Logf func(format string, args ...any)
+	// Metrics receives the worker's series (exposed on the worker process's
+	// own /metrics listener); nil uses the process default registry.
+	Metrics *obs.Registry
 }
 
 // Worker is the pull side of the remote backend: it registers with a
@@ -47,6 +51,8 @@ type Worker struct {
 	ttl time.Duration
 
 	regMu sync.Mutex // single-flights re-registration across slot loops
+
+	wm workerMetrics
 }
 
 // NewWorker validates cfg and returns the worker; Run starts it.
@@ -72,9 +78,21 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 		cfg.HTTPClient = &http.Client{Timeout: cfg.PollWait + 30*time.Second}
 	}
 	if cfg.Logf == nil {
-		cfg.Logf = log.Printf
+		cfg.Logf = obs.Logf("worker")
 	}
-	return &Worker{cfg: cfg}, nil
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.Default()
+	}
+	return &Worker{cfg: cfg, wm: newWorkerMetrics(cfg.Metrics)}, nil
+}
+
+// Ready reports whether the worker holds a live registration — the /readyz
+// signal for a worker process: healthy the moment it boots, ready once the
+// coordinator knows it.
+func (w *Worker) Ready() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.id != ""
 }
 
 // Run registers and serves leases until ctx is cancelled, then deregisters
@@ -103,7 +121,7 @@ func (w *Worker) register(ctx context.Context) error {
 	backoff := 100 * time.Millisecond
 	for {
 		var resp registerResponse
-		code, err := w.postJSON(ctx, w.cfg.Coordinator+"/v1/workers",
+		code, err := w.postJSON(ctx, w.cfg.Coordinator+"/v1/workers", "",
 			registerRequest{Name: w.cfg.Name, Slots: w.cfg.Slots}, &resp)
 		if err == nil && code == http.StatusCreated {
 			w.mu.Lock()
@@ -170,7 +188,7 @@ func (w *Worker) lease(ctx context.Context) (Job, string, bool) {
 	id := w.id
 	w.mu.Unlock()
 	var resp leaseResponse
-	code, err := w.postJSON(ctx, w.cfg.Coordinator+"/v1/workers/"+id+"/lease",
+	code, err := w.postJSON(ctx, w.cfg.Coordinator+"/v1/workers/"+id+"/lease", "",
 		leaseRequest{WaitMS: w.cfg.PollWait.Milliseconds()}, &resp)
 	switch {
 	case ctx.Err() != nil:
@@ -183,6 +201,7 @@ func (w *Worker) lease(ctx context.Context) (Job, string, bool) {
 		}
 		return Job{}, id, false
 	case code == http.StatusOK:
+		w.wm.leases.Inc()
 		return resp.Job, id, true
 	case code == http.StatusNotFound:
 		w.reregister(ctx, id)
@@ -262,7 +281,10 @@ func (w *Worker) execute(ctx context.Context, job Job, id string) {
 				return
 			case <-t.C:
 				batch := drain()
-				code, err := w.postJSON(jobCtx, hbURL, heartbeatRequest{Rounds: batch}, nil)
+				code, err := w.postJSON(jobCtx, hbURL, job.ID, heartbeatRequest{Rounds: batch}, nil)
+				if err == nil && code == http.StatusOK {
+					w.wm.heartbeats.Inc()
+				}
 				if err != nil {
 					// Transient: put the drained rounds back so the next beat
 					// relays them instead of losing that progress forever.
@@ -272,6 +294,7 @@ func (w *Worker) execute(ctx context.Context, job Job, id string) {
 					continue
 				}
 				if code == http.StatusGone || code == http.StatusNotFound {
+					w.wm.leaseLost.Inc()
 					w.cfg.Logf("dispatch: lease on job %.12s lost (HTTP %d); abandoning", job.ID, code)
 					statsMu.Lock()
 					leaseLost = true
@@ -313,11 +336,18 @@ func (w *Worker) execute(ctx context.Context, job Job, id string) {
 	resURL := fmt.Sprintf("%s/v1/workers/%s/jobs/%s/result", w.cfg.Coordinator, id, job.ID)
 	var ack resultResponse
 	for attempt := 0; attempt < 3; attempt++ {
-		code, uerr := w.postJSON(upCtx, resURL, rr, &ack)
+		code, uerr := w.postJSON(upCtx, resURL, job.ID, rr, &ack)
 		if uerr == nil && code < 500 {
 			if code >= 400 {
+				w.wm.uploads.With("rejected").Inc()
 				w.cfg.Logf("dispatch: result for job %.12s rejected: HTTP %d", job.ID, code)
+				return
 			}
+			status := ack.Status
+			if status == "" {
+				status = "stored"
+			}
+			w.wm.uploads.With(status).Inc()
 			return
 		}
 		select {
@@ -331,8 +361,10 @@ func (w *Worker) execute(ctx context.Context, job Job, id string) {
 
 // postJSON posts body as JSON and decodes the response into out (when
 // non-nil and the status is 2xx). It returns the status code; err covers
-// transport-level failures only.
-func (w *Worker) postJSON(ctx context.Context, url string, body, out any) (int, error) {
+// transport-level failures only. trace, when non-empty, is echoed in the
+// X-Trace-Id header so job-scoped calls (heartbeat, result) join the
+// fleet-wide trace the coordinator stamped on the lease.
+func (w *Worker) postJSON(ctx context.Context, url, trace string, body, out any) (int, error) {
 	b, err := json.Marshal(body)
 	if err != nil {
 		return 0, err
@@ -342,6 +374,9 @@ func (w *Worker) postJSON(ctx context.Context, url string, body, out any) (int, 
 		return 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if trace != "" {
+		req.Header.Set(obs.TraceHeader, trace)
+	}
 	resp, err := w.cfg.HTTPClient.Do(req)
 	if err != nil {
 		return 0, err

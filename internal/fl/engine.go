@@ -3,6 +3,7 @@ package fl
 import (
 	"context"
 	"sort"
+	"time"
 
 	"fedwcm/internal/scenario"
 	"fedwcm/internal/xrand"
@@ -82,6 +83,16 @@ func RunWithProgressCtx(ctx context.Context, env *Env, m Method, onRound func(Ro
 	testTotals := env.Test.ClassCounts()
 	curStage := 0
 
+	// Observability: mx is never nil past this point (no-op bundles carry
+	// nil handles, so every call below is safe and free when disabled); the
+	// tracer stays optional — plain fl.Run has no trace to join.
+	mx := env.Metrics
+	if mx == nil {
+		mx = DefaultRunMetrics()
+	}
+	rt.metrics = mx
+	tracer := env.Tracer
+
 	dropRNG := xrand.New(xrand.DeriveSeed(cfg.Seed, 0xd20b))
 	dropped := make([]bool, k)
 	var fracs []float64
@@ -91,6 +102,8 @@ func RunWithProgressCtx(ctx context.Context, env *Env, m Method, onRound func(Ro
 		if err := ctx.Err(); err != nil {
 			return hist, err
 		}
+		roundStart := time.Now()
+		roundSpan := tracer.Start(env.TraceID, "fl.round").WithRound(r + 1)
 		if sim != nil {
 			// Drift: at a stage boundary, re-partition the (immutable) train
 			// set under the stage's interpolated β and trim tail classes
@@ -144,6 +157,16 @@ func RunWithProgressCtx(ctx context.Context, env *Env, m Method, onRound func(Ro
 				fracs = append(fracs, sim.WorkFraction(r, id))
 			}
 		}
+		for i := range dropped {
+			if dropped[i] {
+				mx.Dropped.Inc()
+			}
+		}
+		for i, f := range fracs {
+			if !dropped[i] && f < 1 {
+				mx.Stragglers.Inc()
+			}
+		}
 		results := rt.runRound(r, sampled, dropped, fracs)
 
 		// Compact away dropped clients so methods aggregate only over the
@@ -185,10 +208,21 @@ func RunWithProgressCtx(ctx context.Context, env *Env, m Method, onRound func(Ro
 				probe(r+1, globalNet)
 			}
 			hist.Stats = append(hist.Stats, stat)
+			mx.TestAcc.Set(acc)
+			mx.TrainLoss.Set(lastTrainLoss)
+			if stat.Shot != nil {
+				mx.ShotHead.Set(stat.Shot.Head)
+				mx.ShotMedium.Set(stat.Shot.Medium)
+				mx.ShotTail.Set(stat.Shot.Tail)
+			}
+			mx.ReportDiag(stat.Metrics)
 			if onRound != nil {
 				onRound(stat)
 			}
 		}
+		mx.Rounds.Inc()
+		mx.RoundSeconds.Observe(time.Since(roundStart).Seconds())
+		roundSpan.End()
 	}
 	return hist, nil
 }

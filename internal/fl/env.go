@@ -4,6 +4,7 @@ import (
 	"fedwcm/internal/data"
 	"fedwcm/internal/loss"
 	"fedwcm/internal/nn"
+	"fedwcm/internal/obs"
 	"fedwcm/internal/partition"
 )
 
@@ -56,6 +57,16 @@ type Env struct {
 	BaseBeta    float64
 	BaseIF      float64
 	Repartition func(seed uint64, beta float64) *partition.Partition
+
+	// Observability. Metrics nil means "use the process default" (see
+	// DefaultRunMetrics) — pass NewRunMetrics(nil) for a guaranteed no-op.
+	// Tracer nil (the default) disables span recording; dispatch layers set
+	// it together with TraceID (the run's spec fingerprint) so round spans
+	// join the fleet-wide trace for that fingerprint. None of these affect
+	// the computed history.
+	Metrics *RunMetrics
+	Tracer  *obs.Tracer
+	TraceID string
 }
 
 // NewEnv assembles an environment from a dataset, a partition, a model

@@ -1,0 +1,92 @@
+package fl
+
+import (
+	"sync"
+
+	"fedwcm/internal/obs"
+)
+
+// RunMetrics is the fl-layer instrumentation bundle: every handle is
+// resolved once at construction, so the round loop touches only atomic
+// counters/gauges/histograms — zero allocations and no registry lookups on
+// the hot path. Built over a nil registry it is a complete no-op (all
+// handles nil), which is how the golden-history tests prove
+// instrumentation cannot influence trajectories.
+type RunMetrics struct {
+	Rounds         *obs.Counter   // fedwcm_fl_rounds_total
+	RoundSeconds   *obs.Histogram // fedwcm_fl_round_seconds
+	ClientSeconds  *obs.Histogram // fedwcm_fl_client_step_seconds
+	ClientsTrained *obs.Counter   // fedwcm_fl_client_steps_total
+	Dropped        *obs.Counter   // fedwcm_fl_clients_dropped_total
+	Stragglers     *obs.Counter   // fedwcm_fl_stragglers_total (WorkFrac < 1)
+	TestAcc        *obs.Gauge     // fedwcm_fl_test_acc
+	TrainLoss      *obs.Gauge     // fedwcm_fl_train_loss
+	ShotHead       *obs.Gauge     // fedwcm_fl_shot_acc{bucket=head}
+	ShotMedium     *obs.Gauge
+	ShotTail       *obs.Gauge
+
+	// diag exposes MetricsReporter values (FedWCM's alpha/q/wmax — the
+	// collapse diagnostic) as fedwcm_fl_diag{metric=...}. Children are
+	// cached here because Vec.With takes the family lock and allocates its
+	// variadic slice: the eval path stays allocation-free after the first
+	// evaluation names a metric.
+	diagVec *obs.GaugeVec
+	diagMu  sync.RWMutex
+	diag    map[string]*obs.Gauge
+}
+
+// NewRunMetrics resolves the fl metric family on reg. A nil reg returns a
+// usable all-no-op bundle.
+func NewRunMetrics(reg *obs.Registry) *RunMetrics {
+	m := &RunMetrics{diag: make(map[string]*obs.Gauge)}
+	if reg == nil {
+		return m
+	}
+	m.Rounds = reg.Counter("fedwcm_fl_rounds_total", "Federated rounds completed.")
+	m.RoundSeconds = reg.Histogram("fedwcm_fl_round_seconds", "Wall-clock duration of one federated round.", nil)
+	m.ClientSeconds = reg.Histogram("fedwcm_fl_client_step_seconds", "Wall-clock duration of one client's local training.", nil)
+	m.ClientsTrained = reg.Counter("fedwcm_fl_client_steps_total", "Client local-training executions.")
+	m.Dropped = reg.Counter("fedwcm_fl_clients_dropped_total", "Sampled clients that dropped before training.")
+	m.Stragglers = reg.Counter("fedwcm_fl_stragglers_total", "Sampled clients trained with a partial work fraction.")
+	m.TestAcc = reg.Gauge("fedwcm_fl_test_acc", "Latest evaluated global test accuracy.")
+	m.TrainLoss = reg.Gauge("fedwcm_fl_train_loss", "Latest mean local training loss.")
+	shot := reg.GaugeVec("fedwcm_fl_shot_acc", "Latest test accuracy by shot bucket.", "bucket")
+	m.ShotHead = shot.With("head")
+	m.ShotMedium = shot.With("medium")
+	m.ShotTail = shot.With("tail")
+	m.diagVec = reg.GaugeVec("fedwcm_fl_diag", "Method-reported per-round diagnostics (momentum norms, FedWCM alpha/q/wmax).", "metric")
+	return m
+}
+
+var (
+	defaultRunMetrics     *RunMetrics
+	defaultRunMetricsOnce sync.Once
+)
+
+// DefaultRunMetrics returns the process-wide bundle over obs.Default().
+// The engine falls back to it when Env.Metrics is unset, so instrumentation
+// is on by default everywhere (including benchmarks — the hot path is
+// allocation-free by design, and BenchmarkRoundHotPath holds that floor).
+func DefaultRunMetrics() *RunMetrics {
+	defaultRunMetricsOnce.Do(func() { defaultRunMetrics = NewRunMetrics(obs.Default()) })
+	return defaultRunMetrics
+}
+
+// ReportDiag publishes a MetricsReporter snapshot to the diag gauges.
+func (m *RunMetrics) ReportDiag(vals map[string]float64) {
+	if m == nil || m.diagVec == nil || len(vals) == 0 {
+		return
+	}
+	for k, v := range vals {
+		m.diagMu.RLock()
+		g, ok := m.diag[k]
+		m.diagMu.RUnlock()
+		if !ok {
+			g = m.diagVec.With(k)
+			m.diagMu.Lock()
+			m.diag[k] = g
+			m.diagMu.Unlock()
+		}
+		g.Set(v)
+	}
+}

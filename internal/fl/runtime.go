@@ -2,6 +2,7 @@ package fl
 
 import (
 	"sync"
+	"time"
 
 	"fedwcm/internal/nn"
 	"fedwcm/internal/tensor"
@@ -92,6 +93,9 @@ type workerRuntime struct {
 	m    Method
 	jobs chan int
 	wg   sync.WaitGroup
+	// metrics is set by the engine before the first round (never nil after
+	// that; its handles are nil-safe, so an all-no-op bundle costs nothing).
+	metrics *RunMetrics
 
 	// Per-round state, written by the round loop while all workers are idle.
 	round   int
@@ -188,5 +192,10 @@ func (w *runWorker) runClient(pos int) {
 		Scratch:  w.scratch,
 		WorkFrac: frac,
 	}
+	start := time.Now()
 	rt.results[pos] = rt.m.LocalTrain(&w.ctx)
+	if mx := rt.metrics; mx != nil {
+		mx.ClientsTrained.Inc()
+		mx.ClientSeconds.Observe(time.Since(start).Seconds())
+	}
 }

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// WriteTo renders the registry in Prometheus text exposition format
+// (version 0.0.4): families sorted by name, each with # HELP and # TYPE
+// lines, histogram series expanded into cumulative _bucket/_sum/_count.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	if r == nil {
+		return 0, nil
+	}
+	bw := bufio.NewWriter(w)
+	var n int64
+	count := func(c int, err error) error {
+		n += int64(c)
+		return err
+	}
+	for _, f := range r.snapshotFamilies() {
+		f.mu.Lock()
+		keys := append([]string(nil), f.order...)
+		sers := make([]*series, len(keys))
+		for i, k := range keys {
+			sers[i] = f.series[k]
+		}
+		f.mu.Unlock()
+		if len(sers) == 0 {
+			continue
+		}
+		if err := count(fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s %s\n",
+			f.name, escapeHelp(f.help), f.name, f.typ)); err != nil {
+			return n, err
+		}
+		for _, s := range sers {
+			var err error
+			switch {
+			case s.h != nil:
+				err = count(writeHistogram(bw, f.name, s))
+			case s.fn != nil:
+				err = count(fmt.Fprintf(bw, "%s%s %s\n", f.name, s.labels, formatFloat(s.fn())))
+			case s.c != nil:
+				err = count(fmt.Fprintf(bw, "%s%s %d\n", f.name, s.labels, s.c.Value()))
+			case s.g != nil:
+				err = count(fmt.Fprintf(bw, "%s%s %s\n", f.name, s.labels, formatFloat(s.g.Value())))
+			}
+			if err != nil {
+				return n, err
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+func writeHistogram(w io.Writer, name string, s *series) (int, error) {
+	h := s.h
+	// Join the histogram's le label onto any pre-rendered vec labels.
+	open, close_ := "{", "}"
+	prefix := ""
+	if s.labels != "" {
+		prefix = strings.TrimSuffix(s.labels, "}") + ","
+		open = ""
+	}
+	var total int
+	var cum uint64
+	emit := func(c int, err error) error {
+		total += c
+		return err
+	}
+	for i, ub := range h.upper {
+		cum += h.buckets[i].Load()
+		if prefix != "" {
+			if err := emit(fmt.Fprintf(w, "%s_bucket%s%sle=%q%s %d\n", name, open, prefix, formatFloat(ub), close_, cum)); err != nil {
+				return total, err
+			}
+		} else {
+			if err := emit(fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(ub), cum)); err != nil {
+				return total, err
+			}
+		}
+	}
+	cum += h.buckets[len(h.upper)].Load()
+	if prefix != "" {
+		if err := emit(fmt.Fprintf(w, "%s_bucket%s%sle=\"+Inf\"%s %d\n", name, open, prefix, close_, cum)); err != nil {
+			return total, err
+		}
+	} else {
+		if err := emit(fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)); err != nil {
+			return total, err
+		}
+	}
+	if err := emit(fmt.Fprintf(w, "%s_sum%s %s\n", name, s.labels, formatFloat(h.Sum()))); err != nil {
+		return total, err
+	}
+	return total, emit(fmt.Fprintf(w, "%s_count%s %d\n", name, s.labels, h.Count()))
+}
+
+// Handler returns the /metrics endpoint for this registry.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteTo(w)
+	})
+}
+
+// formatFloat renders a float the way Prometheus clients expect: integral
+// values without an exponent, specials as +Inf/-Inf/NaN.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+)
+
+// SetupLogging installs the process-wide slog handler. format is "json" or
+// "text" (the -log-format flag on all three binaries); anything else errors.
+// component is attached to every record so fleet-wide log aggregation can
+// tell coordinator, worker and server lines apart.
+func SetupLogging(w io.Writer, format, component string) error {
+	if w == nil {
+		w = os.Stderr
+	}
+	opts := &slog.HandlerOptions{Level: slog.LevelInfo}
+	var h slog.Handler
+	switch format {
+	case "json":
+		h = slog.NewJSONHandler(w, opts)
+	case "text", "":
+		h = slog.NewTextHandler(w, opts)
+	default:
+		return fmt.Errorf("obs: unknown log format %q (want json or text)", format)
+	}
+	if component != "" {
+		h = h.WithAttrs([]slog.Attr{slog.String("component", component)})
+	}
+	slog.SetDefault(slog.New(h))
+	return nil
+}
+
+// Logf adapts slog to the `func(format string, args ...any)` Logf fields
+// used across serve and dispatch configs. It is the unified default for all
+// of them: every component that previously defaulted to log.Printf (or
+// log.New(...).Printf, or silence) now routes through slog.Default with a
+// subsystem attr, so one -log-format flag governs the whole process. (The
+// process-level "component" attr comes from SetupLogging; "subsystem" is
+// the layer within it — serve, dispatch, worker — so the two never collide.)
+// Structured call sites should use slog directly; Logf exists so the
+// printf-style config surface (which tests fill with t.Logf) keeps working.
+func Logf(subsystem string) func(string, ...any) {
+	return func(format string, args ...any) {
+		slog.Default().Info(fmt.Sprintf(format, args...), "subsystem", subsystem)
+	}
+}

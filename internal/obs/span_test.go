@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTracerRingOverwrites(t *testing.T) {
+	tr := NewTracer(3)
+	for i := 0; i < 5; i++ {
+		tr.Record(Span{Trace: "t", Name: string(rune('a' + i))})
+	}
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("ring holds %d spans, want 3", len(spans))
+	}
+	// Oldest-first snapshot of the last three records: c, d, e.
+	if spans[0].Name != "c" || spans[2].Name != "e" {
+		t.Fatalf("ring order: %+v", spans)
+	}
+	if tr.Total() != 5 {
+		t.Fatalf("total %d, want 5", tr.Total())
+	}
+}
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	l := tr.Start("t", "n") // must not panic
+	l.WithRound(1).WithWorker("w").End()
+	l.EndErr(nil)
+	tr.Record(Span{})
+	if tr.Spans() != nil || tr.Total() != 0 {
+		t.Fatal("nil tracer must hold nothing")
+	}
+}
+
+func TestLiveSpanRecordsFields(t *testing.T) {
+	tr := NewTracer(8)
+	l := tr.Start("trace-1", "fl.round").WithRound(3).WithWorker("w1").WithAttempt(2)
+	time.Sleep(time.Millisecond)
+	l.End()
+	spans := tr.Collect("trace-1")
+	if len(spans) != 1 {
+		t.Fatalf("collected %d spans, want 1", len(spans))
+	}
+	s := spans[0]
+	if s.Name != "fl.round" || s.Round != 3 || s.Worker != "w1" || s.Attempt != 2 {
+		t.Fatalf("span fields: %+v", s)
+	}
+	if s.DurMS <= 0 || s.Start == 0 {
+		t.Fatalf("span timing not recorded: %+v", s)
+	}
+}
+
+func TestTraceHandlerFiltersJSONL(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Record(Span{Trace: "a", Name: "one"})
+	tr.Record(Span{Trace: "b", Name: "two"})
+	tr.Record(Span{Trace: "a", Name: "three"})
+
+	rec := httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace?trace=a", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/jsonl") {
+		t.Fatalf("content type %q", ct)
+	}
+	var names []string
+	sc := bufio.NewScanner(rec.Body)
+	for sc.Scan() {
+		var s Span
+		if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		if s.Trace != "a" {
+			t.Fatalf("filter leaked trace %q", s.Trace)
+		}
+		names = append(names, s.Name)
+	}
+	if len(names) != 2 || names[0] != "one" || names[1] != "three" {
+		t.Fatalf("filtered spans: %v", names)
+	}
+}

@@ -1,0 +1,40 @@
+package serve
+
+import (
+	"fedwcm/internal/obs"
+)
+
+// serveMetrics is the server's handle set, resolved once in New. Sweep cell
+// terminations are counted on the same code path that updates the status API
+// (feed/watch → finishCell), so /metrics and /v1/sweeps/{id} cannot diverge.
+type serveMetrics struct {
+	http      *obs.HTTPMetrics
+	sseRuns   *obs.Gauge      // live /v1/runs/{id}/events subscribers
+	sseSweeps *obs.Gauge      // live /v1/sweeps/{id}/events subscribers
+	cells     *obs.CounterVec // sweep cells reaching a terminal state, by status
+}
+
+func newServeMetrics(reg *obs.Registry, s *Server) serveMetrics {
+	if reg == nil {
+		return serveMetrics{}
+	}
+	reg.GaugeFunc("fedwcm_serve_runs_active", "Run records held in memory (in-flight or failed).", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.runs))
+	})
+	reg.GaugeFunc("fedwcm_serve_sweeps_tracked", "Sweep records held in memory.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.sweeps))
+	})
+	return serveMetrics{
+		http:      obs.NewHTTPMetrics(reg),
+		sseRuns:   reg.Gauge("fedwcm_serve_sse_run_subscribers", "Open SSE streams on /v1/runs/{id}/events."),
+		sseSweeps: reg.Gauge("fedwcm_serve_sse_sweep_subscribers", "Open SSE streams on /v1/sweeps/{id}/events."),
+		cells:     reg.CounterVec("fedwcm_serve_sweep_cells_total", "Sweep cells reaching a terminal state, by status.", "status"),
+	}
+}
+
+// noteCell counts one terminal sweep cell; call exactly where finishCell is.
+func (sm serveMetrics) noteCell(status string) { sm.cells.With(status).Inc() }

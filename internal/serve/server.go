@@ -41,7 +41,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
 	"net/http"
 	"sync"
 
@@ -50,6 +49,7 @@ import (
 	"fedwcm/internal/experiments"
 	"fedwcm/internal/fl"
 	"fedwcm/internal/fl/methods"
+	"fedwcm/internal/obs"
 	"fedwcm/internal/store"
 	"fedwcm/internal/sweep"
 )
@@ -75,7 +75,13 @@ type Config struct {
 	// gets a fresh cache of DefaultEnvCacheCap; ignored when Runner or
 	// Executor is overridden (the cache counters then stay zero).
 	Envs *sweep.EnvCache
-	Logf func(format string, args ...any) // nil = log.Printf
+	// Logf defaults to the unified slog route (obs.Logf("serve")).
+	Logf func(format string, args ...any)
+	// Metrics receives the server's series (HTTP, SSE, sweep cells, plus the
+	// store's and env cache's); nil uses the process default registry. Tracer
+	// backs /debug/trace; nil uses the process default tracer.
+	Metrics *obs.Registry
+	Tracer  *obs.Tracer
 }
 
 // Server is the run service. Create with New, serve with net/http, stop
@@ -95,6 +101,8 @@ type Server struct {
 	closed    chan struct{}
 	wg        sync.WaitGroup // run watchers
 	feedWg    sync.WaitGroup // sweep feeders
+
+	sm serveMetrics
 }
 
 // New validates cfg, builds (or adopts) the dispatch backend and returns
@@ -113,7 +121,13 @@ func New(cfg Config) (*Server, error) {
 		cfg.Envs = sweep.NewEnvCache(0)
 	}
 	if cfg.Logf == nil {
-		cfg.Logf = log.Printf
+		cfg.Logf = obs.Logf("serve")
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.Default()
+	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = obs.DefaultTracer()
 	}
 	s := &Server{
 		cfg:    cfg,
@@ -122,6 +136,9 @@ func New(cfg Config) (*Server, error) {
 		sweeps: make(map[string]*sweepRun),
 		closed: make(chan struct{}),
 	}
+	s.sm = newServeMetrics(cfg.Metrics, s)
+	cfg.Store.Instrument(cfg.Metrics)
+	cfg.Envs.Instrument(cfg.Metrics)
 	if cfg.Executor != nil {
 		s.exec = cfg.Executor
 	} else {
@@ -144,25 +161,33 @@ func New(cfg Config) (*Server, error) {
 			Queue:   cfg.QueueDepth,
 			Store:   cfg.Store,
 			Logf:    cfg.Logf,
+			Metrics: cfg.Metrics,
+			Tracer:  cfg.Tracer,
 		})
 		if err != nil {
 			return nil, err
 		}
 		s.exec = local
 	}
-	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
-	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
-	s.mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
-	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
-	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepStatus)
-	s.mux.HandleFunc("GET /v1/sweeps/{id}/result", s.handleSweepResult)
-	s.mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleSweepEvents)
-	s.mux.HandleFunc("GET /v1/experiments", s.handleRegistry)
+	// Routes are wrapped with the http-layer metrics under their static
+	// patterns, so label cardinality is the route table, not the URL space.
+	handle := func(pattern, route string, h http.HandlerFunc) {
+		s.mux.Handle(pattern, s.sm.http.Wrap(route, h))
+	}
+	handle("POST /v1/runs", "/v1/runs", s.handleSubmit)
+	handle("GET /v1/runs/{id}", "/v1/runs/{id}", s.handleStatus)
+	handle("GET /v1/runs/{id}/events", "/v1/runs/{id}/events", s.handleEvents)
+	handle("POST /v1/sweeps", "/v1/sweeps", s.handleSweepSubmit)
+	handle("GET /v1/sweeps/{id}", "/v1/sweeps/{id}", s.handleSweepStatus)
+	handle("GET /v1/sweeps/{id}/result", "/v1/sweeps/{id}/result", s.handleSweepResult)
+	handle("GET /v1/sweeps/{id}/events", "/v1/sweeps/{id}/events", s.handleSweepEvents)
+	handle("GET /v1/experiments", "/v1/experiments", s.handleRegistry)
 	// A backend with worker-facing endpoints (the remote coordinator)
 	// serves them from this listener too.
 	if m, ok := s.exec.(interface{ Mount(*http.ServeMux) }); ok {
 		m.Mount(s.mux)
 	}
+	obs.Mount(s.mux, cfg.Metrics, cfg.Tracer, nil)
 	return s, nil
 }
 
@@ -437,6 +462,8 @@ func (s *Server) handleEvents(w http.ResponseWriter, req *http.Request) {
 	w.Header().Set("Cache-Control", "no-cache")
 	w.Header().Set("Connection", "keep-alive")
 	w.WriteHeader(http.StatusOK)
+	s.sm.sseRuns.Inc()
+	defer s.sm.sseRuns.Dec()
 
 	emit := func(event string, v any) {
 		b, err := json.Marshal(v)

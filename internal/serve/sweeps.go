@@ -144,12 +144,15 @@ func (s *Server) feed(sw *sweepRun) {
 		switch {
 		case errors.Is(err, errClosing):
 			sw.finishCell(i, StatusFailed, errClosing.Error())
+			s.sm.noteCell(StatusFailed)
 			continue
 		case err != nil:
 			sw.finishCell(i, StatusFailed, err.Error())
+			s.sm.noteCell(StatusFailed)
 			continue
 		case hist != nil:
 			sw.finishCell(i, StatusCached, "")
+			s.sm.noteCell(StatusCached)
 			continue
 		}
 		_ = status // queued or running; observers query the live record
@@ -161,8 +164,10 @@ func (s *Server) feed(sw *sweepRun) {
 			st, _, _, errMsg := r.snapshot()
 			if st == StatusFailed {
 				sw.finishCell(i, StatusFailed, errMsg)
+				s.sm.noteCell(StatusFailed)
 			} else {
 				sw.finishCell(i, StatusDone, "")
+				s.sm.noteCell(StatusDone)
 			}
 		}(i, r)
 	}
@@ -423,6 +428,8 @@ func (s *Server) handleSweepEvents(w http.ResponseWriter, req *http.Request) {
 	w.Header().Set("Cache-Control", "no-cache")
 	w.Header().Set("Connection", "keep-alive")
 	w.WriteHeader(http.StatusOK)
+	s.sm.sseSweeps.Inc()
+	defer s.sm.sseSweeps.Dec()
 
 	emit := func(event string, v any) {
 		b, err := json.Marshal(v)

@@ -15,13 +15,16 @@ package store
 import (
 	"container/list"
 	"fmt"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync"
+	"time"
 
 	"fedwcm/internal/fl"
+	"fedwcm/internal/obs"
 	"fedwcm/internal/trace"
 )
 
@@ -29,11 +32,15 @@ import (
 const DefaultLRUSize = 128
 
 // Stats counts cache traffic since Open (monotonic; read via Store.Stats).
+// It is the single source of truth for store counters: the obs registry
+// (see Instrument) exposes these same fields, so /metrics and JSON status
+// endpoints cannot diverge.
 type Stats struct {
-	MemHits  int64 // Get served from the in-memory LRU
-	DiskHits int64 // Get served from disk (and promoted into the LRU)
-	Misses   int64 // Get found nothing
-	Puts     int64 // successful Put calls
+	MemHits   int64 // Get served from the in-memory LRU
+	DiskHits  int64 // Get served from disk (and promoted into the LRU)
+	Misses    int64 // Get found nothing
+	Puts      int64 // successful Put calls
+	Evictions int64 // LRU entries dropped to stay within capacity
 }
 
 type entry struct {
@@ -52,6 +59,11 @@ type Store struct {
 	order *list.List // front = most recently used; element value is *entry
 	idx   map[string]*list.Element
 	stats Stats
+
+	// Observation handles, set by Instrument; nil (no-op) until then.
+	getSeconds *obs.Histogram
+	putSeconds *obs.Histogram
+	putBytes   *obs.Counter
 }
 
 // Open creates (if needed) the root directory and returns a store over it.
@@ -105,6 +117,9 @@ func (s *Store) Get(fp string) (*fl.History, bool, error) {
 	if !ValidFingerprint(fp) {
 		return nil, false, fmt.Errorf("store: invalid fingerprint %q", fp)
 	}
+	if s.getSeconds != nil {
+		defer func(start time.Time) { s.getSeconds.Observe(time.Since(start).Seconds()) }(time.Now())
+	}
 	s.mu.Lock()
 	if el, ok := s.idx[fp]; ok {
 		s.order.MoveToFront(el)
@@ -153,6 +168,9 @@ func (s *Store) Put(fp string, h *fl.History) error {
 		// pin the cell as a permanently "cached" degenerate artifact.
 		return fmt.Errorf("store: refusing to persist empty history for %s", fp)
 	}
+	if s.putSeconds != nil {
+		defer func(start time.Time) { s.putSeconds.Observe(time.Since(start).Seconds()) }(time.Now())
+	}
 	dir := filepath.Dir(s.Path(fp))
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("store: %w", err)
@@ -162,7 +180,8 @@ func (s *Store) Put(fp string, h *fl.History) error {
 		return fmt.Errorf("store: %w", err)
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	err = trace.WriteJSONL(tmp, map[string]*fl.History{fp: h})
+	cw := &countingWriter{w: tmp}
+	err = trace.WriteJSONL(cw, map[string]*fl.History{fp: h})
 	if cerr := tmp.Close(); err == nil {
 		err = cerr
 	}
@@ -172,11 +191,25 @@ func (s *Store) Put(fp string, h *fl.History) error {
 	if err := os.Rename(tmp.Name(), s.Path(fp)); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
+	s.putBytes.Add(uint64(cw.n))
 	s.mu.Lock()
 	s.stats.Puts++
 	s.insertLocked(fp, h)
 	s.mu.Unlock()
 	return nil
+}
+
+// countingWriter counts bytes on their way to the underlying writer, so
+// Put can report artifact sizes without a second stat call.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // insertLocked adds or refreshes an LRU entry, evicting from the back once
@@ -195,6 +228,7 @@ func (s *Store) insertLocked(fp string, h *fl.History) {
 		back := s.order.Back()
 		s.order.Remove(back)
 		delete(s.idx, back.Value.(*entry).fp)
+		s.stats.Evictions++
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"fedwcm/internal/dispatch"
 	"fedwcm/internal/fl"
+	"fedwcm/internal/obs"
 	"fedwcm/internal/store"
 )
 
@@ -41,9 +42,28 @@ type Engine struct {
 	// engine's Store is a different instance it additionally persists what
 	// comes back, so fedbench -remote still fills a local cache.
 	Executor dispatch.Executor
+	// Metrics receives cell-outcome counters (fedwcm_sweep_cells_total);
+	// nil uses the process default registry. The counters are incremented
+	// on the same code path that tallies Result.Cached/Computed/Failed.
+	Metrics *obs.Registry
 
 	mu       sync.Mutex
 	inflight map[string]*flight
+
+	emOnce sync.Once
+	em     engineMetrics
+}
+
+// obsMetrics resolves the engine's counter handles once.
+func (e *Engine) obsMetrics() engineMetrics {
+	e.emOnce.Do(func() {
+		reg := e.Metrics
+		if reg == nil {
+			reg = obs.Default()
+		}
+		e.em = newEngineMetrics(reg)
+	})
+	return e.em
 }
 
 // flight is one in-progress cell execution shared by every sweep that
@@ -119,8 +139,9 @@ func (e *Engine) RunSweep(sp Spec, onCell func(CellUpdate)) (*Result, error) {
 // runCell resolves one cell: store hit, joined in-flight execution, or a
 // fresh run (persisted on success) — executed inline or through the
 // dispatch backend.
-func (e *Engine) runCell(c Cell) CellResult {
-	out := CellResult{Cell: c}
+func (e *Engine) runCell(c Cell) (out CellResult) {
+	defer func() { e.obsMetrics().note(out.Status) }()
+	out = CellResult{Cell: c}
 	if e.Store != nil {
 		if hist, ok, err := e.Store.Get(c.ID); err != nil {
 			out.Status, out.Err = CellFailed, err.Error()

@@ -1,0 +1,60 @@
+package sweep
+
+import (
+	"fedwcm/internal/obs"
+)
+
+// Instrument registers the env cache's metric series on reg as Func metrics
+// over Stats() — the same snapshot the sweep status API and fedbench's
+// "envs built/reused" summary line read, so all three surfaces agree by
+// construction. A nil reg is a no-op.
+func (c *EnvCache) Instrument(reg *obs.Registry) {
+	if c == nil || reg == nil {
+		return
+	}
+	reg.CounterFunc("fedwcm_envcache_hits_total", "Environment-cache hits (construction shared).", func() float64 {
+		return float64(c.Stats().Hits)
+	})
+	reg.CounterFunc("fedwcm_envcache_misses_total", "Environment-cache misses (fresh dataset+partition builds).", func() float64 {
+		return float64(c.Stats().Misses)
+	})
+	reg.CounterFunc("fedwcm_envcache_evictions_total", "Environment-cache LRU evictions.", func() float64 {
+		return float64(c.Stats().Evictions)
+	})
+	reg.GaugeFunc("fedwcm_envcache_entries", "Environments currently cached.", func() float64 {
+		return float64(c.Stats().Entries)
+	})
+}
+
+// engineMetrics is the sweep engine's cell-outcome counter set, resolved
+// once per engine. The same noteCell call that feeds these counters is the
+// code path that tallies Result.Cached/Computed/Failed, so the registry and
+// sweep results cannot drift apart.
+type engineMetrics struct {
+	cached, computed, failed *obs.Counter
+}
+
+func newEngineMetrics(reg *obs.Registry) engineMetrics {
+	if reg == nil {
+		return engineMetrics{}
+	}
+	cells := reg.CounterVec("fedwcm_sweep_cells_total", "Sweep cells resolved, by terminal status.", "status")
+	return engineMetrics{
+		cached:   cells.With(CellCached),
+		computed: cells.With(CellComputed),
+		failed:   cells.With(CellFailed),
+	}
+}
+
+// note counts one terminal cell status (nil-safe handles; no-op when the
+// engine is uninstrumented).
+func (m engineMetrics) note(status string) {
+	switch status {
+	case CellCached:
+		m.cached.Inc()
+	case CellComputed:
+		m.computed.Inc()
+	case CellFailed:
+		m.failed.Inc()
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fedwcm/internal/fl"
 	"fedwcm/internal/fl/methods"
 	"fedwcm/internal/nn"
+	"fedwcm/internal/obs"
 	"fedwcm/internal/partition"
 	"fedwcm/internal/xrand"
 )
@@ -243,11 +244,21 @@ func (s RunSpec) RunCtx(ctx context.Context, cache *EnvCache, onRound func(fl.Ro
 // standard dispatch.Runner used by the local backend in internal/serve and
 // by remote workers (fedserve -worker), so a job computes identically on
 // either.
+//
+// Dispatched runs are traced: the job ID (the spec fingerprint) becomes the
+// run's trace ID and the process tracer records its round spans, so
+// /debug/trace on whichever process executed the job answers for that
+// fingerprint. Tracing attaches through the Env observability fields, which
+// never influence the computed history.
 func DispatchRunner(envs *EnvCache) dispatch.Runner {
 	return func(ctx context.Context, job dispatch.Job, onRound func(fl.RoundStat)) (*fl.History, error) {
 		var spec RunSpec
 		if err := json.Unmarshal(job.Spec, &spec); err != nil {
 			return nil, fmt.Errorf("sweep: decoding dispatched spec: %w", err)
+		}
+		spec.Mod = func(env *fl.Env) {
+			env.TraceID = job.ID
+			env.Tracer = obs.DefaultTracer()
 		}
 		return spec.RunCtx(ctx, envs, onRound)
 	}

@@ -4,20 +4,24 @@
 # Writes BENCH_hotpath.json (or $1) with ns/op, B/op and allocs/op per
 # benchmark, plus BENCH_dispatch.json (or $2) with the dispatch-layer
 # overhead (time-to-complete for a 16-cell trivial sweep: in-process local
-# backend vs. coordinator + 2 workers over localhost HTTP), so performance
+# backend vs. coordinator + 2 workers over localhost HTTP), plus
+# BENCH_obs.json (or $3) with the observability-layer overhead (a full
+# /metrics exposition of a realistically sized registry, and the per-event
+# instrumentation cost — which must stay at 0 allocs/op), so performance
 # work lands as tracked numbers instead of claims. CI smoke-runs this with
 # BENCHTIME=1x to keep it executable; real numbers come from the default
 # BENCHTIME (or a longer one on quiet hardware):
 #
-#   scripts/bench.sh                    # writes BENCH_hotpath.json + BENCH_dispatch.json
+#   scripts/bench.sh                    # writes BENCH_hotpath.json + BENCH_dispatch.json + BENCH_obs.json
 #   BENCHTIME=100x scripts/bench.sh     # steadier numbers
-#   BENCHTIME=1x scripts/bench.sh /tmp/bench.json /tmp/dispatch.json   # CI smoke
+#   BENCHTIME=1x scripts/bench.sh /tmp/bench.json /tmp/dispatch.json /tmp/obs.json   # CI smoke
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-20x}"
 OUT="${1:-BENCH_hotpath.json}"
 DISPATCH_OUT="${2:-BENCH_dispatch.json}"
+OBS_OUT="${3:-BENCH_obs.json}"
 # The system's hot paths: one aggregation round, one client's local round,
 # server-side aggregation, evaluation, the CNN forward/backward, and the
 # Dirichlet partitioner. Table/figure regeneration benches are excluded —
@@ -54,3 +58,15 @@ rawd=$(go test -run '^$' -bench '^BenchmarkDispatch(Local|Remote)16Cell$' -bench
 echo "$rawd"
 echo "$rawd" | tojson > "$DISPATCH_OUT"
 echo "wrote $DISPATCH_OUT"
+
+# Observability overhead: the cost of a full /metrics text exposition, the
+# per-event hot-path cost (counter/gauge/histogram/pre-resolved vec child —
+# 0 allocs/op is load-bearing: the fl engine observes every round through
+# these), and the warm vec label lookup.
+rawo=$(go test -run '^$' -bench '^BenchmarkMetrics(Exposition|HotPath|VecLookup)$' -benchmem -benchtime "$BENCHTIME" ./internal/obs/ | grep -E '^(Benchmark|PASS|ok)')
+echo "$rawo"
+echo "$rawo" | tojson > "$OBS_OUT"
+echo "wrote $OBS_OUT"
+
+obs_allocs=$(grep -o '"name": "MetricsHotPath"[^}]*' "$OBS_OUT" | grep -o '"allocs_per_op": [0-9]*' | grep -o '[0-9]*$')
+[ "$obs_allocs" = 0 ] || { echo "bench.sh: metrics hot path allocates ($obs_allocs allocs/op) — must be 0"; exit 1; }

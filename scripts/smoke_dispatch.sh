@@ -48,18 +48,63 @@ wait_result() { # addr sweep_id outfile
   echo "smoke_dispatch: sweep $2 on $1 never finished"; exit 1
 }
 
+W1_OBS="127.0.0.1:18093"
+W2_OBS="127.0.0.1:18094"
+
 echo "== coordinator + 2 workers"
 "$WORK/fedserve" -remote -addr "$COORD_ADDR" -store "$WORK/remote-store" -lease 5s &
 PIDS+=($!)
 wait_up "$COORD_ADDR"
-"$WORK/fedserve" -worker -join "http://$COORD_ADDR" -name w1 &
+"$WORK/fedserve" -worker -join "http://$COORD_ADDR" -name w1 -obs-addr "$W1_OBS" &
 PIDS+=($!)
-"$WORK/fedserve" -worker -join "http://$COORD_ADDR" -name w2 &
+"$WORK/fedserve" -worker -join "http://$COORD_ADDR" -name w2 -obs-addr "$W2_OBS" &
 PIDS+=($!)
 
 remote_id=$(curl -sf -X POST "http://$COORD_ADDR/v1/sweeps" -d "$SWEEP" | jq -r .id)
 echo "   sweep $remote_id submitted to the remote backend"
 wait_result "$COORD_ADDR" "$remote_id" "$WORK/remote.json"
+
+echo "== scraping /metrics (coordinator + both workers)"
+# metric FILE SERIES prints the value of an exact series (0 if absent).
+metric() { awk -v s="$2" '$1 == s { print $2; found = 1 } END { if (!found) print 0 }' "$1"; }
+
+require_nonzero() { # file series...
+  local file="$1"; shift
+  for s in "$@"; do
+    v=$(metric "$file" "$s")
+    awk -v v="$v" 'BEGIN { exit !(v > 0) }' \
+      || { echo "smoke_dispatch: $file: series $s is missing or zero (got '$v')"; exit 1; }
+  done
+}
+
+curl -sf "http://$COORD_ADDR/metrics" > "$WORK/coord.metrics"
+curl -sf "http://$W1_OBS/metrics"     > "$WORK/w1.metrics"
+curl -sf "http://$W2_OBS/metrics"     > "$WORK/w2.metrics"
+
+# Coordinator: leases were granted, results stored, artifacts written, and
+# the HTTP layer saw the sweep submission.
+require_nonzero "$WORK/coord.metrics" \
+  fedwcm_dispatch_lease_wait_seconds_count \
+  fedwcm_dispatch_lease_hold_seconds_count \
+  'fedwcm_dispatch_uploads_total{status="stored"}' \
+  fedwcm_store_puts_total \
+  fedwcm_go_goroutines
+# Workers: lease/upload counters live on whichever worker won each cell, so
+# assert the fleet-wide sums; each worker must at least be scrapeable and
+# report a live runtime.
+require_nonzero "$WORK/w1.metrics" fedwcm_go_goroutines
+require_nonzero "$WORK/w2.metrics" fedwcm_go_goroutines
+for series in fedwcm_worker_leases_total 'fedwcm_worker_uploads_total{status="stored"}'; do
+  total=$(awk -v a="$(metric "$WORK/w1.metrics" "$series")" -v b="$(metric "$WORK/w2.metrics" "$series")" 'BEGIN { print a + b }')
+  awk -v v="$total" 'BEGIN { exit !(v >= 2) }' \
+    || { echo "smoke_dispatch: fleet-wide $series = $total, want >= 2"; exit 1; }
+done
+# Worker health surface: registered workers must report ready.
+for obs in "$W1_OBS" "$W2_OBS"; do
+  curl -sf "http://$obs/healthz" >/dev/null || { echo "smoke_dispatch: $obs/healthz failed"; exit 1; }
+  curl -sf "http://$obs/readyz"  >/dev/null || { echo "smoke_dispatch: $obs/readyz not ready"; exit 1; }
+done
+echo "   coordinator and worker metrics all present and nonzero"
 
 echo "== local-backend reference"
 "$WORK/fedserve" -addr "$LOCAL_ADDR" -store "$WORK/local-store" -workers 2 &
