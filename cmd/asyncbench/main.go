@@ -1,0 +1,183 @@
+// Command asyncbench benchmarks the buffered-async engine against the
+// synchronous barrier and records the trajectory as BENCH_async.json.
+//
+// Two measurements:
+//
+//   - Wall-clock-to-target accuracy, per scenario: for static, stragglers
+//     and hostile environments, the same FedWCM run executes in both modes
+//     with the virtual clock on, and the report records the virtual time
+//     each needs to reach a fraction of the sync run's final accuracy. The
+//     synchronous barrier pays one full deadline per round no matter how
+//     slow the cohort is (stragglers contribute partial work); the async
+//     engine commits a version per K arrivals, so fast clients keep the
+//     server moving and async dominates on wall-clock under stragglers.
+//   - Event throughput of the virtual-time core: events per wall-second of
+//     a cheap (linear-model) async run, so the scheduler's own overhead is
+//     a tracked number rather than a claim.
+//
+// Usage: asyncbench [-out BENCH_async.json] [-rounds 60] [-seed 7]
+// [-target 0.9]. CI smoke-runs this with -rounds 6 via scripts/bench.sh.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"fedwcm/internal/fl"
+	"fedwcm/internal/obs"
+	"fedwcm/internal/scenario"
+	"fedwcm/internal/sweep"
+)
+
+type scenarioReport struct {
+	Scenario   string  `json:"scenario"`
+	SyncFinal  float64 `json:"sync_final"`
+	AsyncFinal float64 `json:"async_final"`
+	Target     float64 `json:"target"`
+	SyncTime   float64 `json:"sync_time_to_target"`
+	AsyncTime  float64 `json:"async_time_to_target"`
+	Speedup    float64 `json:"speedup,omitempty"` // sync_time / async_time
+}
+
+type report struct {
+	Go         string           `json:"go"`
+	Rounds     int              `json:"rounds"`
+	Seed       uint64           `json:"seed"`
+	TargetFrac float64          `json:"target_frac"`
+	Scenarios  []scenarioReport `json:"scenarios"`
+
+	Events       uint64  `json:"events"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// baseSpec is the comparison fixture: the paper's method on the synthetic
+// CIFAR-10 stand-in, small enough to run in seconds, evaluated every
+// version so time-to-target has full resolution.
+func baseSpec(rounds int, seed uint64) sweep.RunSpec {
+	return sweep.RunSpec{
+		Dataset:   "cifar10-syn",
+		Method:    "fedwcm",
+		Beta:      0.3,
+		IF:        0.2,
+		Partition: "equal",
+		Clients:   10,
+		Model:     "mlpbn",
+		Scale:     0.05,
+		Cfg: fl.Config{
+			Rounds: rounds, SampleClients: 6, LocalEpochs: 1, BatchSize: 16,
+			EtaL: 0.05, EtaG: 1, Seed: seed, EvalEvery: 1, Clock: true,
+		},
+	}
+}
+
+// timeTo returns the virtual time of the first evaluation reaching the
+// threshold, or -1 if the run never does.
+func timeTo(h *fl.History, threshold float64) float64 {
+	for _, st := range h.Stats {
+		if st.TestAcc >= threshold {
+			return st.Time
+		}
+	}
+	return -1
+}
+
+func run(spec sweep.RunSpec) (*fl.History, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return spec.Run()
+}
+
+func main() {
+	out := flag.String("out", "BENCH_async.json", "output path")
+	rounds := flag.Int("rounds", 60, "server versions per run")
+	seed := flag.Uint64("seed", 7, "run seed")
+	target := flag.Float64("target", 0.9, "target accuracy as a fraction of the sync final")
+	flag.Parse()
+
+	rep := report{Go: runtime.Version(), Rounds: *rounds, Seed: *seed, TargetFrac: *target}
+
+	for _, scen := range []string{"static", "stragglers", "hostile"} {
+		sc, err := scenario.Named(scen)
+		if err != nil {
+			fatal(err)
+		}
+		syncSpec := baseSpec(*rounds, *seed)
+		syncSpec.Cfg.Scenario = sc
+		syncHist, err := run(syncSpec)
+		if err != nil {
+			fatal(fmt.Errorf("%s sync: %w", scen, err))
+		}
+
+		asyncSpec := syncSpec
+		// Concurrency spans the full client population — FedBuff's point:
+		// with no barrier there is no reason to idle devices between waves,
+		// so the server keeps every willing client training while the sync
+		// engine works through one cohort per deadline.
+		asyncSpec.Cfg.Async = &fl.AsyncConfig{Staleness: fl.StalePoly, Concurrency: syncSpec.Clients}
+		asyncHist, err := run(asyncSpec)
+		if err != nil {
+			fatal(fmt.Errorf("%s async: %w", scen, err))
+		}
+
+		r := scenarioReport{
+			Scenario:   scen,
+			SyncFinal:  syncHist.FinalAcc(),
+			AsyncFinal: asyncHist.FinalAcc(),
+		}
+		r.Target = r.SyncFinal * *target
+		r.SyncTime = timeTo(syncHist, r.Target)
+		r.AsyncTime = timeTo(asyncHist, r.Target)
+		if r.SyncTime > 0 && r.AsyncTime > 0 {
+			r.Speedup = r.SyncTime / r.AsyncTime
+		}
+		rep.Scenarios = append(rep.Scenarios, r)
+		fmt.Printf("%-11s sync %.4f (t=%.1f)  async %.4f (t=%.1f)  speedup %.2fx\n",
+			scen, r.SyncFinal, r.SyncTime, r.AsyncFinal, r.AsyncTime, r.Speedup)
+	}
+
+	// Event throughput: a linear-model async run where the scheduler, not
+	// SGD, is the dominant cost. The registry is private to this run so the
+	// counter reads exactly its events.
+	metrics := fl.NewRunMetrics(obs.NewRegistry())
+	throughput := sweep.RunSpec{
+		Dataset: "cifar10-syn", Method: "fedavg", Beta: 0.3, IF: 0.2,
+		Partition: "equal", Clients: 32, Model: "linear", Scale: 0.05,
+		Cfg: fl.Config{
+			Rounds: 8 * *rounds, SampleClients: 16, LocalEpochs: 1, BatchSize: 64,
+			EtaL: 0.05, EtaG: 1, Seed: *seed, EvalEvery: 1 << 20, Clock: true,
+			Async: &fl.AsyncConfig{Staleness: fl.StalePoly, Jitter: 0.3},
+		},
+		Mod: func(env *fl.Env) { env.Metrics = metrics },
+	}
+	start := time.Now()
+	if _, err := throughput.Run(); err != nil {
+		fatal(fmt.Errorf("throughput run: %w", err))
+	}
+	rep.WallSeconds = time.Since(start).Seconds()
+	rep.Events = metrics.AsyncEvents.Value()
+	if rep.WallSeconds > 0 {
+		rep.EventsPerSec = float64(rep.Events) / rep.WallSeconds
+	}
+	fmt.Printf("virtual-time core: %d events in %.3fs (%.0f events/sec)\n",
+		rep.Events, rep.WallSeconds, rep.EventsPerSec)
+
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(b, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Println("wrote", *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "asyncbench:", err)
+	os.Exit(1)
+}

@@ -40,6 +40,17 @@ type Config struct {
 	// zero-valued scenario, which canonicalises to nil) runs statically and
 	// keeps the spec's fingerprint identical to pre-scenario builds.
 	Scenario *scenario.Scenario `json:"scenario,omitempty"`
+	// Async switches the engine to FedBuffer-style buffered asynchronous
+	// aggregation (see AsyncConfig). Nil or all-zero canonicalises away, so
+	// pre-async specs keep their fingerprints and store artifacts.
+	Async *AsyncConfig `json:"async,omitempty"`
+	// Clock, when set, stamps every recorded RoundStat with the virtual
+	// wall-clock (Time) and, for async runs, the per-flush buffer/staleness
+	// breakdown (Async). Off by default so clock-free histories stay
+	// byte-identical to pre-async builds; the sweep layer turns it on for
+	// any grid with an async axis so wall-clock-vs-accuracy curves exist for
+	// both modes.
+	Clock bool `json:"clock,omitempty"`
 }
 
 // Defaults fills unset fields with the paper's defaults.
@@ -69,5 +80,6 @@ func (c Config) Defaults() Config {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
 	c.Scenario = c.Scenario.Normalized()
+	c.Async = c.Async.normalized(c.SampleClients)
 	return c
 }

@@ -40,6 +40,11 @@ func RunWithProgress(env *Env, m Method, onRound func(RoundStat)) *History {
 // uncancelled ctx yields a history identical to RunWithProgress's.
 func RunWithProgressCtx(ctx context.Context, env *Env, m Method, onRound func(RoundStat)) (*History, error) {
 	cfg := env.Cfg
+	if !cfg.Async.IsZero() {
+		// Buffered asynchronous mode: the event-driven core in async.go
+		// replaces the barrier round loop below. Same determinism contract.
+		return runAsync(ctx, env, m, onRound)
+	}
 	globalNet := env.Build(cfg.Seed)
 	dim := globalNet.NumParams()
 	global := make([]float64, dim)
@@ -201,6 +206,12 @@ func RunWithProgressCtx(ctx context.Context, env *Env, m Method, onRound func(Ro
 			stat := RoundStat{Round: r + 1, TestAcc: acc, PerClass: perClass,
 				TrainLoss: lastTrainLoss,
 				Shot:      ShotAccuracy(perClass, testTotals, shotBuckets)}
+			if cfg.Clock {
+				// Virtual wall-clock: every synchronous round costs exactly
+				// one deadline unit (stragglers report partial work at the
+				// deadline rather than extending it).
+				stat.Time = float64(r + 1)
+			}
 			if mr, ok := m.(MetricsReporter); ok {
 				stat.Metrics = mr.RoundMetrics()
 			}

@@ -20,6 +20,12 @@ type FedCM struct {
 	LossFor func(c *fl.Client) loss.Loss
 	// Balanced switches local training to the class-balanced sampler.
 	Balanced bool
+	// StaleScale, when set, replaces the engine's staleness discount in
+	// buffered-async aggregation: update i is weighted ∝ StaleScale(s_i)
+	// (normalised to a convex combination) in both the server step and the
+	// momentum refresh — the staleness-corrected-momentum hook. Nil uses
+	// the discounts the engine derived from AsyncConfig.
+	StaleScale func(stale int) float64
 
 	name         string
 	env          *fl.Env
@@ -104,6 +110,40 @@ func (m *FedCM) LocalTrain(ctx *fl.ClientCtx) *fl.ClientResult {
 func (m *FedCM) Aggregate(round int, global []float64, results []*fl.ClientResult) {
 	m.wbuf = fl.UniformWeightsInto(m.wbuf, len(results))
 	w := m.wbuf
+	fl.WeightedDeltaInto(global, m.env.Cfg.EtaG, results, w)
+	fl.MomentumFrom(m.momentum, m.env.Cfg.EtaL, results, w)
+	m.haveMomentum = true
+}
+
+// AggregateAsync implements fl.AsyncAggregator: the uniform base weights
+// compose with the per-update staleness discounts and renormalise, so both
+// the server step and the momentum refresh stay convex combinations in
+// which stale updates count less (staleness-corrected momentum). With unit
+// discounts and no StaleScale override this is exactly Aggregate — the
+// degenerate-case goldens rely on that being bit-identical.
+func (m *FedCM) AggregateAsync(info *fl.AsyncInfo, global []float64, results []*fl.ClientResult) {
+	if info.Uniform && m.StaleScale == nil {
+		m.Aggregate(info.Version-1, global, results)
+		return
+	}
+	m.wbuf = fl.GrowWeights(m.wbuf, len(results))
+	w := m.wbuf
+	total := 0.0
+	for i := range results {
+		d := info.Discounts[i]
+		if m.StaleScale != nil {
+			d = m.StaleScale(info.Stale[i])
+		}
+		w[i] = d
+		total += d
+	}
+	if total <= 0 {
+		fl.UniformWeightsInto(w, len(results))
+	} else {
+		for i := range w {
+			w[i] /= total
+		}
+	}
 	fl.WeightedDeltaInto(global, m.env.Cfg.EtaG, results, w)
 	fl.MomentumFrom(m.momentum, m.env.Cfg.EtaL, results, w)
 	m.haveMomentum = true

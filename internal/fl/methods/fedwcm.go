@@ -64,6 +64,11 @@ func DefaultWCMOptions() WCMOptions {
 // imbalance level and the sampled cohort's scarcity ratio q_r.
 type FedWCM struct {
 	Opt WCMOptions
+	// StaleScale, when set, replaces the engine's staleness discount in
+	// buffered-async aggregation (see FedCM.StaleScale); it feeds both the
+	// per-update weight composition and the histogram-derived damping of
+	// the adaptive α.
+	StaleScale func(stale int) float64
 
 	name         string
 	env          *fl.Env
@@ -209,6 +214,21 @@ func (m *FedWCM) LocalTrain(ctx *fl.ClientCtx) *fl.ClientResult {
 // Aggregate implements fl.Method: Eq. 4 softmax weighting of client deltas,
 // the weighted momentum refresh, and Eq. 5's α update.
 func (m *FedWCM) Aggregate(round int, global []float64, results []*fl.ClientResult) {
+	m.aggregate(global, results, nil)
+}
+
+// AggregateAsync implements fl.AsyncAggregator: the scarcity-softmax base
+// weights compose multiplicatively with the staleness discounts, and the
+// buffer's staleness histogram damps Eq. 5's adaptive α — a stale cohort
+// says less about the current global distribution, so α leans back toward
+// the momentum term, the direction the momentum-convergence theory says
+// survives delay. A fully fresh buffer (every discount 1) reduces
+// bit-identically to the synchronous Aggregate.
+func (m *FedWCM) AggregateAsync(info *fl.AsyncInfo, global []float64, results []*fl.ClientResult) {
+	m.aggregate(global, results, info)
+}
+
+func (m *FedWCM) aggregate(global []float64, results []*fl.ClientResult, info *fl.AsyncInfo) {
 	n := len(results)
 	m.wbuf = fl.GrowWeights(m.wbuf, n)
 	w := m.wbuf
@@ -234,13 +254,42 @@ func (m *FedWCM) Aggregate(round int, global []float64, results []*fl.ClientResu
 			tensor.Scale(w, 1/total)
 		}
 	}
+	// dbar ∈ (0,1] is the buffer's mean staleness discount, folded from the
+	// staleness histogram: Σ_s Hist[s]·d(s) / n. It stays 1 on sync runs and
+	// fresh buffers (where the reweighting below is skipped entirely, so the
+	// degenerate async case stays bit-identical to the sync path).
+	dbar := 1.0
+	if info != nil && (!info.Uniform || m.StaleScale != nil) {
+		scale := info.Discount
+		if m.StaleScale != nil {
+			scale = m.StaleScale
+		}
+		for i := range results {
+			w[i] *= scale(info.Stale[i])
+		}
+		dsum := 0.0
+		for s, c := range info.Hist {
+			dsum += float64(c) * scale(s)
+		}
+		dbar = dsum / float64(n)
+		wsum := 0.0
+		for i := range w {
+			wsum += w[i]
+		}
+		if wsum > 0 {
+			tensor.Scale(w, 1/wsum)
+		} else {
+			fl.UniformWeightsInto(w, n)
+		}
+	}
 	m.lastWMax = tensor.Max(w)
 
 	fl.WeightedDeltaInto(global, m.env.Cfg.EtaG, results, w)
 	fl.MomentumFrom(m.momentum, m.env.Cfg.EtaL, results, w)
 	m.haveMomentum = true
 
-	// Eq. 5: α_{r+1} = base + (1−base)·(1 − e^{−D·C/2})·q_r, clamped.
+	// Eq. 5: α_{r+1} = base + (1−base)·(1 − e^{−D·C/2})·q_r, clamped; async
+	// buffers additionally damp by the mean staleness discount dbar.
 	q := 1.0
 	if m.meanScore > 0 {
 		sampledMean := 0.0
@@ -252,7 +301,7 @@ func (m *FedWCM) Aggregate(round int, global []float64, results []*fl.ClientResu
 	}
 	m.lastQ = q
 	if !m.Opt.DisableAdaptiveAlpha {
-		a := m.Opt.AlphaBase + (1-m.Opt.AlphaBase)*m.imbFactor*q
+		a := m.Opt.AlphaBase + (1-m.Opt.AlphaBase)*m.imbFactor*q*dbar
 		if a < m.Opt.AlphaBase {
 			a = m.Opt.AlphaBase
 		}

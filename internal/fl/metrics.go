@@ -134,6 +134,27 @@ type RoundStat struct {
 	// run start from the global train profile (drift does not move them, so
 	// the series stays comparable across rounds).
 	Shot *ShotAcc `json:"shot,omitempty"`
+	// Time is the virtual wall-clock at this evaluation, recorded only when
+	// Config.Clock is set (the synchronous engine counts 1 unit per round —
+	// its deadline — the async engine the event time of the flush). Zero and
+	// omitted otherwise, so clock-free histories keep pre-async bytes.
+	Time float64 `json:"time,omitempty"`
+	// Async is the buffered-aggregation breakdown of the flush that produced
+	// this version; only present on async runs with Config.Clock set.
+	Async *AsyncRoundStat `json:"async,omitempty"`
+}
+
+// AsyncRoundStat describes the aggregation event behind one async
+// evaluation: how full the buffer was, whether the flush was a sub-K
+// liveness flush, how many sampling waves have been drawn, and the
+// staleness profile of the aggregated updates.
+type AsyncRoundStat struct {
+	Buffer    int     `json:"buffer"`            // updates aggregated in this flush
+	Partial   bool    `json:"partial,omitempty"` // liveness flush below K
+	Waves     int     `json:"waves"`             // sampling waves drawn so far
+	MeanStale float64 `json:"mean_stale"`
+	MaxStale  int     `json:"max_stale"`
+	StaleHist []int   `json:"stale_hist,omitempty"` // StaleHist[s] = updates s versions stale
 }
 
 // History is the recorded trajectory of one federated run.

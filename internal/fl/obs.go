@@ -25,6 +25,15 @@ type RunMetrics struct {
 	ShotMedium     *obs.Gauge
 	ShotTail       *obs.Gauge
 
+	// Buffered-async engine instrumentation (all zero-valued on sync runs).
+	AsyncAggs       *obs.Counter   // fedwcm_fl_async_aggregations_total
+	AsyncPartial    *obs.Counter   // fedwcm_fl_async_partial_flushes_total
+	AsyncEvents     *obs.Counter   // fedwcm_fl_async_events_total
+	AsyncWaves      *obs.Counter   // fedwcm_fl_async_waves_total
+	AsyncBufferFill *obs.Gauge     // fedwcm_fl_async_buffer_fill
+	AsyncClock      *obs.Gauge     // fedwcm_fl_async_virtual_time
+	AsyncStaleness  *obs.Histogram // fedwcm_fl_async_staleness
+
 	// diag exposes MetricsReporter values (FedWCM's alpha/q/wmax — the
 	// collapse diagnostic) as fedwcm_fl_diag{metric=...}. Children are
 	// cached here because Vec.With takes the family lock and allocates its
@@ -54,6 +63,13 @@ func NewRunMetrics(reg *obs.Registry) *RunMetrics {
 	m.ShotHead = shot.With("head")
 	m.ShotMedium = shot.With("medium")
 	m.ShotTail = shot.With("tail")
+	m.AsyncAggs = reg.Counter("fedwcm_fl_async_aggregations_total", "Buffered-async aggregation events (server version bumps with a non-empty buffer).")
+	m.AsyncPartial = reg.Counter("fedwcm_fl_async_partial_flushes_total", "Async liveness flushes below the K threshold.")
+	m.AsyncEvents = reg.Counter("fedwcm_fl_async_events_total", "Client-completion events popped from the virtual-time queue.")
+	m.AsyncWaves = reg.Counter("fedwcm_fl_async_waves_total", "Cohort sampling waves drawn by the async engine.")
+	m.AsyncBufferFill = reg.Gauge("fedwcm_fl_async_buffer_fill", "Updates currently buffered toward the next async aggregation.")
+	m.AsyncClock = reg.Gauge("fedwcm_fl_async_virtual_time", "Virtual wall-clock of the async run (1 unit = one non-straggler local round).")
+	m.AsyncStaleness = reg.Histogram("fedwcm_fl_async_staleness", "Staleness (server versions behind) of aggregated async updates.", []float64{0, 1, 2, 4, 8, 16, 32})
 	m.diagVec = reg.GaugeVec("fedwcm_fl_diag", "Method-reported per-round diagnostics (momentum norms, FedWCM alpha/q/wmax).", "metric")
 	return m
 }

@@ -97,14 +97,27 @@ type workerRuntime struct {
 	// that; its handles are nil-safe, so an all-no-op bundle costs nothing).
 	metrics *RunMetrics
 
-	// Per-round state, written by the round loop while all workers are idle.
-	round   int
+	// Per-batch state, written by the engine loop while all workers are
+	// idle. global aliases the engine's vector (updated in place between
+	// batches); batch describes the jobs of the current runBatch call.
 	global  []float64
-	sampled []int
-	fracs   []float64 // per-position work fractions; empty = full work
+	batch   []clientJob
+	jobBuf  []clientJob // runRound's reusable job list
 	results []*ClientResult
 
 	workers []*runWorker
+}
+
+// clientJob is one unit of local training: which client, which result slot
+// it lands in, which (round-or-wave, client) RNG stream it draws, and what
+// fraction of the local step budget it runs (sync straggler semantics; the
+// async engine always dispatches full work and models slowness as virtual
+// duration instead).
+type clientJob struct {
+	pos    int
+	client int
+	round  int
+	frac   float64
 }
 
 type runWorker struct {
@@ -142,25 +155,40 @@ func (rt *workerRuntime) close() { close(rt.jobs) }
 // scenario assigns (parallel to sampled; dropped positions unused). The
 // returned slice is valid until the next runRound call.
 func (rt *workerRuntime) runRound(round int, sampled []int, dropped []bool, fracs []float64) []*ClientResult {
-	rt.round = round
-	rt.sampled = sampled
-	rt.fracs = fracs
-	if cap(rt.results) < len(sampled) {
-		rt.results = make([]*ClientResult, len(sampled))
+	rt.jobBuf = rt.jobBuf[:0]
+	for pos, id := range sampled {
+		if dropped[pos] {
+			continue
+		}
+		frac := 1.0
+		if len(fracs) > pos {
+			frac = fracs[pos]
+		}
+		rt.jobBuf = append(rt.jobBuf, clientJob{pos: pos, client: id, round: round, frac: frac})
 	}
-	rt.results = rt.results[:len(sampled)]
+	return rt.runBatch(len(sampled), rt.jobBuf)
+}
+
+// runBatch executes one deterministic batch of jobs over the pool: results
+// land in a slots-sized slice indexed by each job's pos (slots without a
+// job stay nil). Scratch result slots recycle at every batch boundary, so
+// callers that keep results across batches (the async engine's buffer) must
+// deep-copy them first. The returned slice is valid until the next call.
+func (rt *workerRuntime) runBatch(slots int, jobs []clientJob) []*ClientResult {
+	rt.batch = jobs
+	if cap(rt.results) < slots {
+		rt.results = make([]*ClientResult, slots)
+	}
+	rt.results = rt.results[:slots]
 	for i := range rt.results {
 		rt.results[i] = nil
 	}
 	for _, w := range rt.workers {
 		w.scratch.Reset()
 	}
-	for pos := range sampled {
-		if dropped[pos] {
-			continue
-		}
+	for i := range jobs {
 		rt.wg.Add(1)
-		rt.jobs <- pos
+		rt.jobs <- i
 	}
 	rt.wg.Wait()
 	return rt.results
@@ -173,27 +201,24 @@ func (w *runWorker) loop() {
 	}
 }
 
-func (w *runWorker) runClient(pos int) {
+func (w *runWorker) runClient(i int) {
 	rt := w.rt
-	client := rt.env.Clients[rt.sampled[pos]]
+	job := rt.batch[i]
+	client := rt.env.Clients[job.client]
 	w.net.SetVector(rt.global)
-	w.rng.Seed(xrand.DeriveSeed(rt.env.Cfg.Seed, uint64(rt.round), uint64(client.ID), 0xc11e))
-	frac := 1.0
-	if len(rt.fracs) > pos {
-		frac = rt.fracs[pos]
-	}
+	w.rng.Seed(xrand.DeriveSeed(rt.env.Cfg.Seed, uint64(job.round), uint64(client.ID), 0xc11e))
 	w.ctx = ClientCtx{
-		Round:    rt.round,
+		Round:    job.round,
 		Client:   client,
 		Env:      rt.env,
 		Net:      w.net,
 		Global:   rt.global,
 		RNG:      w.rng,
 		Scratch:  w.scratch,
-		WorkFrac: frac,
+		WorkFrac: job.frac,
 	}
 	start := time.Now()
-	rt.results[pos] = rt.m.LocalTrain(&w.ctx)
+	rt.results[job.pos] = rt.m.LocalTrain(&w.ctx)
 	if mx := rt.metrics; mx != nil {
 		mx.ClientsTrained.Inc()
 		mx.ClientSeconds.Observe(time.Since(start).Seconds())

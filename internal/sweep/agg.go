@@ -85,6 +85,41 @@ func (g *Group) RoundsToAcc(threshold float64) int {
 	return -1
 }
 
+// TimeCurve returns the virtual wall-clock of each evaluation and the
+// across-seed mean accuracy at it — the time-to-accuracy view async sweeps
+// compare execution modes on. Times come from the first seed's history
+// (seeds share the event schedule's shape, not necessarily its exact clock;
+// the first seed is the deterministic representative, mirroring Curve).
+// Returns nils when histories carry no clock (Cfg.Clock unset).
+func (g *Group) TimeCurve() (times []float64, acc []float64) {
+	if len(g.Hists) == 0 || len(g.Hists[0].Stats) == 0 {
+		return nil, nil
+	}
+	stats := g.Hists[0].Stats
+	if stats[len(stats)-1].Time == 0 {
+		return nil, nil // clock-free run: Time is omitted everywhere
+	}
+	times = make([]float64, len(stats))
+	for i, s := range stats {
+		times[i] = s.Time
+	}
+	_, acc = g.Curve()
+	return times, acc
+}
+
+// TimeToAcc returns the virtual wall-clock at which the across-seed mean
+// accuracy first reaches the threshold, or -1 if it never does (or the
+// histories carry no clock).
+func (g *Group) TimeToAcc(threshold float64) float64 {
+	times, acc := g.TimeCurve()
+	for i, a := range acc {
+		if a >= threshold {
+			return times[i]
+		}
+	}
+	return -1
+}
+
 // FinalPerClass returns the across-seed mean of the final evaluation's
 // per-class accuracies (nil if histories carry none).
 func (g *Group) FinalPerClass() []float64 {
@@ -257,6 +292,10 @@ func (r *Result) Find(probe Axes) *Group {
 		if probe.Scenario != "" && g.Axes.Scenario != scenario.CanonicalName(probe.Scenario) {
 			continue
 		}
+		// Likewise probe "sync" explicitly to match only synchronous groups.
+		if probe.Async != "" && g.Axes.Async != fl.CanonicalAsyncName(probe.Async) {
+			continue
+		}
 		return g
 	}
 	return nil
@@ -303,6 +342,12 @@ func (r *Result) AggTable(title string) *Table {
 				return "static"
 			}
 			return a.Scenario
+		}},
+		{"async", func(a Axes) string {
+			if a.Async == "" {
+				return "sync"
+			}
+			return a.Async
 		}},
 	}
 	var cols []column

@@ -1,0 +1,92 @@
+package sweep
+
+import (
+	"testing"
+
+	"fedwcm/internal/fl"
+	"fedwcm/internal/scenario"
+)
+
+// TestAsyncSyncEquivalence pins the async engine's degenerate case to the
+// existing synchronous goldens byte-for-byte: with K equal to the sampled
+// cohort, concurrency equal to the cohort and uniform staleness weights, the
+// buffered engine must replay the barrier round loop exactly — same sampling
+// and drop streams, same aggregation order, same serialized history. The
+// three methods cover all aggregation paths: FedAvg (the engine's generic
+// fallback), FedCM and FedWCM (their AggregateAsync uniform fast paths).
+func TestAsyncSyncEquivalence(t *testing.T) {
+	for _, method := range []string{"fedavg", "fedcm", "fedwcm"} {
+		t.Run(method, func(t *testing.T) {
+			spec := goldenSpec(method)
+			spec.Cfg.Async = &fl.AsyncConfig{
+				K:           spec.Cfg.SampleClients,
+				Concurrency: spec.Cfg.SampleClients,
+				Staleness:   fl.StaleUniform,
+			}
+			if err := spec.Validate(); err != nil {
+				t.Fatalf("equivalence spec must validate: %v", err)
+			}
+			runGolden(t, spec, goldenHistories[method])
+		})
+	}
+}
+
+// asyncGoldenSpec is the golden fixture in genuinely asynchronous mode:
+// buffer size below the cohort (the default K = SampleClients/2), poly
+// staleness discounts, duration jitter so the event queue interleaves waves,
+// and the virtual clock recorded into the history. Everything the sync
+// goldens exercise (long-tail data, dropouts, partial participation) still
+// applies underneath.
+func asyncGoldenSpec(method string) RunSpec {
+	spec := goldenSpec(method)
+	spec.Cfg.Clock = true
+	spec.Cfg.Async = &fl.AsyncConfig{Staleness: fl.StalePoly, Jitter: 0.25}
+	return spec
+}
+
+// asyncGoldenHistories pins one buffered-async run per aggregation path.
+// Recorded at Workers=1 on the async engine's introduction; runGolden proves
+// Workers=4 reproduces them bit-for-bit, which is the engine's determinism
+// contract (virtual time, not wall time, orders every event).
+var asyncGoldenHistories = map[string]string{
+	"fedavg": "392843183ee9a77e8b707b08e33e64420aab7e63ba63eefa39dbd4d70fe9b38e",
+	"fedcm":  "df0d1b1edda769bfedf8903c1f63c957cc0620719686d26dcd18ba0ab80bd1a6",
+	"fedwcm": "56ca47ce170cb0821f19a57f5d787b020f6d5934165f81c5aff993418a24a094",
+}
+
+func TestAsyncGoldenHistoriesBitIdentical(t *testing.T) {
+	for method, want := range asyncGoldenHistories {
+		t.Run(method, func(t *testing.T) {
+			spec := asyncGoldenSpec(method)
+			if err := spec.Validate(); err != nil {
+				t.Fatalf("async golden spec must validate: %v", err)
+			}
+			runGolden(t, spec, want)
+		})
+	}
+}
+
+// asyncStragglerGolden pins the async engine under the straggler scenario —
+// the regime it exists for: slow clients stretch to 1/WorkFraction virtual
+// time units, so waves overlap and staleness discounts actually bite. FedWCM
+// is the method whose α damping consumes the staleness histogram, so its
+// hash covers the most async-specific math.
+var asyncStragglerGolden = map[string]string{
+	"fedwcm": "9ce15318fd57f0585fef5a500c2cfcc230ac8e39744a78cfdd5aac25ba71b0eb",
+}
+
+func TestAsyncStragglerGoldenBitIdentical(t *testing.T) {
+	for method, want := range asyncStragglerGolden {
+		t.Run(method, func(t *testing.T) {
+			spec := asyncGoldenSpec(method)
+			spec.Cfg.DropProb = 0
+			spec.Cfg.Scenario = &scenario.Scenario{
+				Straggler: &scenario.Straggler{Prob: 0.5, MinFrac: 0.3, MaxFrac: 0.8},
+			}
+			if err := spec.Validate(); err != nil {
+				t.Fatalf("async straggler spec must validate: %v", err)
+			}
+			runGolden(t, spec, want)
+		})
+	}
+}

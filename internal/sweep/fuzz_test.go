@@ -31,6 +31,12 @@ func FuzzRunSpecFingerprint(f *testing.F) {
 	f.Add(`{"cfg":{"scenario":{"straggler":{"prob":0.5}}}}`)
 	f.Add(`{"cfg":{"scenario":{"straggler":{"prob":0.5,"min_frac":0.2,"max_frac":0.8},"drift":{"to_if":0.05,"stages":4}}}}`)
 	f.Add(`{"cfg":{"scenario":{"drift":{"to_beta":1,"to_if":0.05}}}}`)
+	f.Add(`{"cfg":{"async":{}}}`)
+	f.Add(`{"cfg":{"async":{"k":0,"concurrency":0}}}`)
+	f.Add(`{"cfg":{"async":{"staleness":"poly"}}}`)
+	f.Add(`{"cfg":{"async":{"k":2,"staleness":"poly","stale_exp":0.5,"jitter":0.25},"clock":true}}`)
+	f.Add(`{"cfg":{"async":{"staleness":"uniform","concurrency":8}}}`)
+	f.Add(`{"cfg":{"async":{"k":1},"scenario":{"straggler":{"prob":0.5}}}}`)
 	f.Fuzz(func(t *testing.T, doc string) {
 		var s RunSpec
 		if err := json.Unmarshal([]byte(doc), &s); err != nil {
@@ -108,5 +114,54 @@ func TestScenarioZeroVsOmittedFingerprint(t *testing.T) {
 	json.Unmarshal([]byte(`{"cfg":{"scenario":{"straggler":{"prob":0.5,"min_frac":0.2,"max_frac":0.8}}}}`), &spelled)
 	if fpOf(t, terse) != fpOf(t, spelled) {
 		t.Fatal("spelled-out scenario defaults must not change the fingerprint")
+	}
+}
+
+// TestAsyncZeroVsOmittedFingerprint is the same pin for the async block: an
+// empty or all-zero async config is the synchronous engine and must hash
+// like the field being absent (pre-async specs keep their addresses), while
+// any real async setting — or the virtual clock — splits the address.
+func TestAsyncZeroVsOmittedFingerprint(t *testing.T) {
+	docs := map[string]string{
+		"omitted":   `{}`,
+		"empty":     `{"cfg":{"async":{}}}`,
+		"zero-k":    `{"cfg":{"async":{"k":0}}}`,
+		"all-zero":  `{"cfg":{"async":{"k":0,"concurrency":0,"stale_exp":0,"jitter":0}}}`,
+		"clock-off": `{"cfg":{"clock":false}}`,
+	}
+	var base string
+	for name, doc := range docs {
+		var s RunSpec
+		if err := json.Unmarshal([]byte(doc), &s); err != nil {
+			t.Fatal(err)
+		}
+		fp := fpOf(t, s)
+		if base == "" {
+			base = fp
+		} else if fp != base {
+			t.Fatalf("%s async spelling changed the fingerprint", name)
+		}
+	}
+	var on RunSpec
+	if err := json.Unmarshal([]byte(`{"cfg":{"async":{"staleness":"poly"}}}`), &on); err != nil {
+		t.Fatal(err)
+	}
+	if fpOf(t, on) == base {
+		t.Fatal("a real async config must change the fingerprint")
+	}
+	var clock RunSpec
+	if err := json.Unmarshal([]byte(`{"cfg":{"clock":true}}`), &clock); err != nil {
+		t.Fatal(err)
+	}
+	if fpOf(t, clock) == base {
+		t.Fatal("the virtual clock changes the history, so it must change the fingerprint")
+	}
+	// Spelled-out async defaults hash like the terse spelling: K and
+	// concurrency derive from the cohort, poly's exponent defaults to 0.5.
+	var terse, spelled RunSpec
+	json.Unmarshal([]byte(`{"cfg":{"sample_clients":8,"async":{"staleness":"poly"}}}`), &terse)
+	json.Unmarshal([]byte(`{"cfg":{"sample_clients":8,"async":{"k":4,"concurrency":8,"staleness":"poly","stale_exp":0.5}}}`), &spelled)
+	if fpOf(t, terse) != fpOf(t, spelled) {
+		t.Fatal("spelled-out async defaults must not change the fingerprint")
 	}
 }

@@ -71,10 +71,11 @@ func (s RunSpec) Defaults() RunSpec {
 // an environment. Serving layers call it to reject bad specs at submission
 // time instead of failing the queued run.
 func (s RunSpec) Validate() error {
-	// Captured before Defaults(): scenario validation must see the raw
-	// spelling — normalization rewrites some degenerate forms (e.g.
+	// Captured before Defaults(): scenario and async validation must see the
+	// raw spelling — normalization rewrites some degenerate forms (e.g.
 	// down_prob=1 with no recovery) that should be rejected, not repaired.
 	rawScenario := s.Cfg.Scenario
+	rawAsync := s.Cfg.Async
 	s = s.Defaults()
 	spec, err := data.Lookup(s.Dataset)
 	if err != nil {
@@ -107,6 +108,18 @@ func (s RunSpec) Validate() error {
 	// Defaults() above already normalized the scenario (nil or canonical).
 	if c.Scenario != nil && c.Scenario.Availability != nil && c.DropProb > 0 {
 		return fmt.Errorf("sweep: scenario availability replaces drop_prob; set one, not both")
+	}
+	if err := rawAsync.Validate(); err != nil {
+		return err
+	}
+	// Post-normalization async bounds need the resolved cohort for context.
+	if c.Async != nil {
+		if c.Async.K > c.SampleClients {
+			return fmt.Errorf("sweep: async k=%d exceeds the sampled cohort (%d)", c.Async.K, c.SampleClients)
+		}
+		if c.Async.Concurrency > 100_000 {
+			return fmt.Errorf("sweep: async concurrency %d exceeds serving limits", c.Async.Concurrency)
+		}
 	}
 	// Upper bounds protect a serving deployment from a single submission
 	// occupying a worker indefinitely (there is no cancellation path). They

@@ -30,6 +30,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"fedwcm/internal/fl"
 	"fedwcm/internal/scenario"
 )
 
@@ -77,6 +78,15 @@ type Spec struct {
 	// unchanged.
 	Scenarios []string `json:"scenarios,omitempty"`
 
+	// Async lists named execution-mode presets (see fl.NamedAsync) as a grid
+	// axis: "sync" (or "") is the barrier round loop, "async" is buffered
+	// FedBuffer-style aggregation, "eager" aggregates on every update. When
+	// the axis is present every cell — sync baselines included — records the
+	// virtual wall-clock (Cfg.Clock), so groups expose time-to-accuracy
+	// curves on a shared time base. Empty means sync only and canonicalises
+	// away, keeping pre-async sweep ids unchanged.
+	Async []string `json:"async,omitempty"`
+
 	Partition string `json:"partition,omitempty"` // "equal" (default) or "fedgrab"
 	Model     string `json:"model,omitempty"`     // "auto" (default), "linear", "mlp", "resnet"
 
@@ -100,6 +110,7 @@ type Axes struct {
 	SampleClients int     `json:"sample_clients"`
 	LocalEpochs   int     `json:"local_epochs"`
 	Scenario      string  `json:"scenario,omitempty"` // preset name; "" = static
+	Async         string  `json:"async,omitempty"`    // mode preset; "" = sync
 	Seed          uint64  `json:"seed"`
 }
 
@@ -161,6 +172,21 @@ func (sp Spec) Defaults() Spec {
 			sp.Scenarios = names
 		}
 	}
+	// Same canonicalisation for execution modes ("sync" → ""): an axis that
+	// only spells out the synchronous default drops away entirely.
+	if len(sp.Async) > 0 {
+		names := make([]string, len(sp.Async))
+		allSync := true
+		for i, n := range sp.Async {
+			names[i] = fl.CanonicalAsyncName(n)
+			allSync = allSync && names[i] == ""
+		}
+		if allSync {
+			sp.Async = nil
+		} else {
+			sp.Async = names
+		}
+	}
 	if sp.Partition == "" {
 		sp.Partition = "equal"
 	}
@@ -213,7 +239,7 @@ func (sp Spec) ExpandValidated() ([]Cell, error) {
 	for _, k := range []int{
 		len(sp.Datasets), len(sp.Methods), len(sp.Betas), len(sp.IFs), len(sp.Seeds),
 		max(1, len(sp.SampleRates)), max(1, len(sp.Clients)), max(1, len(sp.LocalEpochs)),
-		max(1, len(sp.Scenarios)),
+		max(1, len(sp.Scenarios)), max(1, len(sp.Async)),
 	} {
 		n *= k
 		if n > MaxCells {
@@ -241,6 +267,11 @@ func (sp Spec) ExpandValidated() ([]Cell, error) {
 	}
 	for _, name := range sp.Scenarios {
 		if _, err := scenario.Named(name); err != nil {
+			return nil, err
+		}
+	}
+	for _, name := range sp.Async {
+		if _, err := fl.NamedAsync(name); err != nil {
 			return nil, err
 		}
 	}
@@ -291,6 +322,23 @@ func (sp Spec) Expand() ([]Cell, error) {
 		}
 		resolved[i] = sc
 	}
+	// Execution-mode axis, same shape: resolved once, shared read-only (the
+	// spec's Defaults normalises into a private copy per cell). An explicit
+	// axis turns the virtual clock on for every cell so sync baselines and
+	// async runs report accuracy against the same time base.
+	asyncs := sp.Async
+	if len(asyncs) == 0 {
+		asyncs = []string{""}
+	}
+	clockAll := len(sp.Async) > 0
+	asyncResolved := make([]*fl.AsyncConfig, len(asyncs))
+	for i, name := range asyncs {
+		ac, err := fl.NamedAsync(name)
+		if err != nil {
+			return nil, err
+		}
+		asyncResolved[i] = ac
+	}
 	var cells []Cell
 	seen := make(map[string]struct{})
 	for _, ds := range sp.Datasets {
@@ -302,59 +350,65 @@ func (sp Spec) Expand() ([]Cell, error) {
 							for _, ep := range epochs {
 								for si, scen := range scens {
 									sc := resolved[si]
-									for _, seed := range sp.Seeds {
-										spec := PresetSpec(ds, m, b, f, seed, sp.Effort)
-										spec.Partition = sp.Partition
-										spec.Model = sp.Model
-										if nc > 0 {
-											spec.Clients = nc
+									for ai, amode := range asyncs {
+										ac := asyncResolved[ai]
+										for _, seed := range sp.Seeds {
+											spec := PresetSpec(ds, m, b, f, seed, sp.Effort)
+											spec.Partition = sp.Partition
+											spec.Model = sp.Model
+											if nc > 0 {
+												spec.Clients = nc
+											}
+											if rate > 0 {
+												spec.Cfg.SampleClients = SampleFor(spec.Clients, rate)
+											}
+											if ep > 0 {
+												spec.Cfg.LocalEpochs = ep
+											}
+											if sp.Rounds > 0 {
+												spec.Cfg.Rounds = ScaleRounds(sp.Rounds, sp.Effort)
+											}
+											spec.Cfg.Scenario = sc
+											spec.Cfg.Async = ac
+											spec.Cfg.Clock = clockAll
+											// Canonicalize the resolved cell. The engine samples
+											// min(SampleClients, Clients) at runtime, so a preset
+											// sample above an overridden client count must clamp
+											// here — otherwise the identical computation would be
+											// cached under two fingerprints and labelled with a
+											// participation that never happens.
+											if spec.Cfg.SampleClients > spec.Clients {
+												spec.Cfg.SampleClients = spec.Clients
+											}
+											// Axes report what will actually run, which is the
+											// defaults-applied spec (e.g. a listed beta of 0 means
+											// the 0.1 default, and that is what Find must match).
+											spec = spec.Defaults()
+											fp, err := spec.Fingerprint()
+											if err != nil {
+												return nil, err
+											}
+											if _, dup := seen[fp]; dup {
+												continue
+											}
+											seen[fp] = struct{}{}
+											cells = append(cells, Cell{
+												Axes: Axes{
+													Dataset:       spec.Dataset,
+													Method:        spec.Method,
+													Beta:          spec.Beta,
+													IF:            spec.IF,
+													Clients:       spec.Clients,
+													SampleClients: spec.Cfg.SampleClients,
+													LocalEpochs:   spec.Cfg.LocalEpochs,
+													Scenario:      scenario.CanonicalName(scen),
+													Async:         fl.CanonicalAsyncName(amode),
+													Seed:          spec.Cfg.Seed,
+												},
+												ID:   fp,
+												Spec: spec,
+											})
 										}
-										if rate > 0 {
-											spec.Cfg.SampleClients = SampleFor(spec.Clients, rate)
-										}
-										if ep > 0 {
-											spec.Cfg.LocalEpochs = ep
-										}
-										if sp.Rounds > 0 {
-											spec.Cfg.Rounds = ScaleRounds(sp.Rounds, sp.Effort)
-										}
-										spec.Cfg.Scenario = sc
-										// Canonicalize the resolved cell. The engine samples
-										// min(SampleClients, Clients) at runtime, so a preset
-										// sample above an overridden client count must clamp
-										// here — otherwise the identical computation would be
-										// cached under two fingerprints and labelled with a
-										// participation that never happens.
-										if spec.Cfg.SampleClients > spec.Clients {
-											spec.Cfg.SampleClients = spec.Clients
-										}
-										// Axes report what will actually run, which is the
-										// defaults-applied spec (e.g. a listed beta of 0 means
-										// the 0.1 default, and that is what Find must match).
-										spec = spec.Defaults()
-										fp, err := spec.Fingerprint()
-										if err != nil {
-											return nil, err
-										}
-										if _, dup := seen[fp]; dup {
-											continue
-										}
-										seen[fp] = struct{}{}
-										cells = append(cells, Cell{
-											Axes: Axes{
-												Dataset:       spec.Dataset,
-												Method:        spec.Method,
-												Beta:          spec.Beta,
-												IF:            spec.IF,
-												Clients:       spec.Clients,
-												SampleClients: spec.Cfg.SampleClients,
-												LocalEpochs:   spec.Cfg.LocalEpochs,
-												Scenario:      scenario.CanonicalName(scen),
-												Seed:          spec.Cfg.Seed,
-											},
-											ID:   fp,
-											Spec: spec,
-										})
 									}
 								}
 							}
@@ -376,6 +430,9 @@ func describeAxes(a Axes) string {
 		a.Dataset, a.Method, a.Beta, a.IF, a.Clients, a.SampleClients, a.LocalEpochs, a.Seed)
 	if a.Scenario != "" {
 		s += " scenario=" + a.Scenario
+	}
+	if a.Async != "" {
+		s += " async=" + a.Async
 	}
 	return s
 }

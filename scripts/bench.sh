@@ -7,14 +7,16 @@
 # backend vs. coordinator + 2 workers over localhost HTTP), plus
 # BENCH_obs.json (or $3) with the observability-layer overhead (a full
 # /metrics exposition of a realistically sized registry, and the per-event
-# instrumentation cost — which must stay at 0 allocs/op), so performance
-# work lands as tracked numbers instead of claims. CI smoke-runs this with
-# BENCHTIME=1x to keep it executable; real numbers come from the default
-# BENCHTIME (or a longer one on quiet hardware):
+# instrumentation cost — which must stay at 0 allocs/op), plus
+# BENCH_async.json (or $4) with the async-vs-sync wall-clock-to-target
+# comparison and the virtual-time core's event throughput (cmd/asyncbench),
+# so performance work lands as tracked numbers instead of claims. CI
+# smoke-runs this with BENCHTIME=1x to keep it executable; real numbers
+# come from the default BENCHTIME (or a longer one on quiet hardware):
 #
-#   scripts/bench.sh                    # writes BENCH_hotpath.json + BENCH_dispatch.json + BENCH_obs.json
+#   scripts/bench.sh                    # writes BENCH_hotpath.json + BENCH_dispatch.json + BENCH_obs.json + BENCH_async.json
 #   BENCHTIME=100x scripts/bench.sh     # steadier numbers
-#   BENCHTIME=1x scripts/bench.sh /tmp/bench.json /tmp/dispatch.json /tmp/obs.json   # CI smoke
+#   BENCHTIME=1x scripts/bench.sh /tmp/bench.json /tmp/dispatch.json /tmp/obs.json /tmp/async.json   # CI smoke
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,6 +24,7 @@ BENCHTIME="${BENCHTIME:-20x}"
 OUT="${1:-BENCH_hotpath.json}"
 DISPATCH_OUT="${2:-BENCH_dispatch.json}"
 OBS_OUT="${3:-BENCH_obs.json}"
+ASYNC_OUT="${4:-BENCH_async.json}"
 # The system's hot paths: one aggregation round, one client's local round,
 # server-side aggregation, evaluation, the CNN forward/backward, and the
 # Dirichlet partitioner. Table/figure regeneration benches are excluded —
@@ -70,3 +73,10 @@ echo "wrote $OBS_OUT"
 
 obs_allocs=$(grep -o '"name": "MetricsHotPath"[^}]*' "$OBS_OUT" | grep -o '"allocs_per_op": [0-9]*' | grep -o '[0-9]*$')
 [ "$obs_allocs" = 0 ] || { echo "bench.sh: metrics hot path allocates ($obs_allocs allocs/op) — must be 0"; exit 1; }
+
+# Async-vs-sync comparison: virtual wall-clock to target accuracy per
+# scenario plus the event throughput of the virtual-time core. The smoke
+# setting (BENCHTIME=1x) shrinks the runs to prove executability; tracked
+# numbers come from the full default.
+if [ "$BENCHTIME" = "1x" ]; then ASYNC_ROUNDS=6; else ASYNC_ROUNDS=60; fi
+go run ./cmd/asyncbench -rounds "$ASYNC_ROUNDS" -out "$ASYNC_OUT"
