@@ -216,3 +216,51 @@ func BenchmarkDirichletPartition(b *testing.B) {
 		partition.EqualQuantity(xrand.New(uint64(i)), train, 100, 0.1)
 	}
 }
+
+// BenchmarkMatMulShapes sweeps the three matmul variants over the layer
+// shapes the models actually run — MLP forward/backward products and the
+// ResNetLite im2col products — so kernel regressions show up per shape
+// rather than averaged into a whole round.
+func BenchmarkMatMulShapes(b *testing.B) {
+	type shape struct {
+		name    string
+		n, k, m int
+	}
+	shapes := []shape{
+		{"mlp_48x64", 32, 48, 64},         // hidden layer 1
+		{"mlp_64x32", 32, 64, 32},         // hidden layer 2
+		{"mlp_32x10", 32, 32, 10},         // classifier (edge tiles: 10 cols)
+		{"conv_16x27x144", 16, 27, 144},   // ResNetLite stem, per sample
+		{"conv_16x144x144", 16, 144, 144}, // ResNetLite body conv
+		{"conv_32x288x36", 32, 288, 36},   // ResNetLite stride-2 conv
+	}
+	r := xrand.New(7)
+	for _, s := range shapes {
+		a := tensor.NewDense(s.n, s.k)
+		bm := tensor.NewDense(s.k, s.m)
+		bt := tensor.NewDense(s.m, s.k)
+		at := tensor.NewDense(s.n, s.m)
+		for _, d := range []*tensor.Dense{a, bm, bt, at} {
+			for i := range d.Data {
+				d.Data[i] = r.NormFloat64()
+			}
+		}
+		dst := tensor.NewDense(s.n, s.m)
+		dstAT := tensor.NewDense(s.k, s.m)
+		b.Run("MatMul/"+s.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tensor.MatMulInto(dst, a, bm)
+			}
+		})
+		b.Run("MatMulBT/"+s.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tensor.MatMulBTInto(dst, a, bt)
+			}
+		})
+		b.Run("MatMulAT/"+s.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tensor.MatMulATInto(dstAT, a, at)
+			}
+		})
+	}
+}

@@ -1,0 +1,134 @@
+// Command wirebench measures the binary wire codec (internal/wire) against
+// the JSON bodies it replaced and records the trajectory as BENCH_wire.json.
+//
+// Three measurements on the reference workload (wire.SampleHistory — an
+// engine-shaped history with per-class accuracies, shot-group splits,
+// metrics and async round blocks):
+//
+//   - Result upload: the worker's terminal history upload, wire vs. the
+//     JSON resultRequest body. This is the payload the 5× transport-
+//     reduction target is pinned to (also asserted by
+//     TestWireSmallerThanJSON); the roundtrip is lossless, so the stored
+//     artifact is unchanged.
+//   - Heartbeat relay: a 10-round progress batch with float16 per-class
+//     quantization (monitoring precision), wire vs. the JSON
+//     heartbeatRequest body.
+//   - Codec latency: ns per encode and per decode of the result payload,
+//     so the CPU paid for the byte reduction is a tracked number.
+//
+// Usage: wirebench [-out BENCH_wire.json] [-rounds 100] [-classes 10].
+// CI smoke-runs this via scripts/bench.sh and asserts result_ratio ≥ 5.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"fedwcm/internal/fl"
+	"fedwcm/internal/wire"
+)
+
+type comparison struct {
+	JSONBytes int     `json:"json_bytes"`
+	WireBytes int     `json:"wire_bytes"`
+	Ratio     float64 `json:"ratio"` // json_bytes / wire_bytes
+}
+
+type report struct {
+	Go      string `json:"go"`
+	Rounds  int    `json:"rounds"`
+	Classes int    `json:"classes"`
+
+	Result    comparison `json:"result"`    // lossless terminal upload
+	Heartbeat comparison `json:"heartbeat"` // quantized 10-round progress batch
+
+	EncodeNsPerOp float64 `json:"encode_ns_per_op"`
+	DecodeNsPerOp float64 `json:"decode_ns_per_op"`
+}
+
+func mustJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wirebench: %v\n", err)
+		os.Exit(1)
+	}
+	return b
+}
+
+func main() {
+	out := flag.String("out", "BENCH_wire.json", "report path")
+	rounds := flag.Int("rounds", 100, "history length of the reference workload")
+	classes := flag.Int("classes", 10, "per-class accuracy entries per round")
+	flag.Parse()
+
+	h := wire.SampleHistory(*rounds, *classes)
+
+	// Result upload: wire EncodeResult vs. the JSON resultRequest body the
+	// worker used to post.
+	resJSON := mustJSON(struct {
+		History *fl.History `json:"history,omitempty"`
+		Error   string      `json:"error,omitempty"`
+	}{History: h})
+	resWire := wire.EncodeResult(h, "")
+
+	// Heartbeat relay: a heartbeat-sized batch (10 rounds) with the
+	// monitoring-path float16 per-class quantization.
+	batch := h.Stats[:min(10, len(h.Stats))]
+	hbJSON := mustJSON(struct {
+		Rounds []fl.RoundStat `json:"rounds,omitempty"`
+	}{Rounds: batch})
+	hbWire := wire.EncodeStats(batch, wire.StatsOptions{QuantizePerClass: true})
+
+	// Codec latency on the result payload, amortized over enough iterations
+	// to dominate timer noise.
+	const iters = 200
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		resWire = wire.EncodeResult(h, "")
+	}
+	encNs := float64(time.Since(start).Nanoseconds()) / iters
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		if _, _, err := wire.DecodeResult(resWire); err != nil {
+			fmt.Fprintf(os.Stderr, "wirebench: decode: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	decNs := float64(time.Since(start).Nanoseconds()) / iters
+
+	rep := report{
+		Go:      runtime.Version(),
+		Rounds:  *rounds,
+		Classes: *classes,
+		Result: comparison{
+			JSONBytes: len(resJSON),
+			WireBytes: len(resWire),
+			Ratio:     float64(len(resJSON)) / float64(len(resWire)),
+		},
+		Heartbeat: comparison{
+			JSONBytes: len(hbJSON),
+			WireBytes: len(hbWire),
+			Ratio:     float64(len(hbJSON)) / float64(len(hbWire)),
+		},
+		EncodeNsPerOp: encNs,
+		DecodeNsPerOp: decNs,
+	}
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wirebench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(b, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "wirebench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wirebench: result %d → %d bytes (%.1fx), heartbeat %d → %d bytes (%.1fx), encode %.0fns decode %.0fns\n",
+		rep.Result.JSONBytes, rep.Result.WireBytes, rep.Result.Ratio,
+		rep.Heartbeat.JSONBytes, rep.Heartbeat.WireBytes, rep.Heartbeat.Ratio,
+		rep.EncodeNsPerOp, rep.DecodeNsPerOp)
+	fmt.Printf("wrote %s\n", *out)
+}

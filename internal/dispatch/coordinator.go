@@ -3,13 +3,16 @@ package dispatch
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
 	"fedwcm/internal/fl"
 	"fedwcm/internal/obs"
 	"fedwcm/internal/store"
+	"fedwcm/internal/wire"
 )
 
 // CoordinatorConfig wires a Coordinator.
@@ -403,6 +406,13 @@ type resultResponse struct {
 	Status string `json:"status"` // "stored", "duplicate" or "failed"
 }
 
+// isWire reports whether the request body carries the binary wire codec
+// (internal/wire). Anything else falls back to JSON, so old workers keep
+// talking to a new coordinator.
+func isWire(req *http.Request) bool {
+	return strings.HasPrefix(req.Header.Get("Content-Type"), wire.ContentType)
+}
+
 // errorBody mirrors internal/serve's error shape so worker-endpoint errors
 // read like the rest of the API.
 func httpErr(w http.ResponseWriter, code int, format string, args ...any) {
@@ -582,7 +592,21 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, req *http.Request) 
 	wid, jid := req.PathValue("id"), req.PathValue("job")
 	var hb heartbeatRequest
 	if req.ContentLength != 0 {
-		if err := json.NewDecoder(req.Body).Decode(&hb); err != nil {
+		if isWire(req) {
+			body, err := io.ReadAll(req.Body)
+			if err != nil {
+				httpErr(w, http.StatusBadRequest, "reading heartbeat: %v", err)
+				return
+			}
+			start := time.Now()
+			rounds, err := wire.DecodeStats(body)
+			if err != nil {
+				httpErr(w, http.StatusBadRequest, "decoding heartbeat: %v", err)
+				return
+			}
+			c.cm.wire.observeDecode("stats", len(body), time.Since(start).Seconds())
+			hb.Rounds = rounds
+		} else if err := json.NewDecoder(req.Body).Decode(&hb); err != nil {
 			httpErr(w, http.StatusBadRequest, "decoding heartbeat: %v", err)
 			return
 		}
@@ -633,7 +657,21 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, req *http.Request) 
 func (c *Coordinator) handleResult(w http.ResponseWriter, req *http.Request) {
 	wid, jid := req.PathValue("id"), req.PathValue("job")
 	var rr resultRequest
-	if err := json.NewDecoder(req.Body).Decode(&rr); err != nil {
+	if isWire(req) {
+		body, err := io.ReadAll(req.Body)
+		if err != nil {
+			httpErr(w, http.StatusBadRequest, "reading result: %v", err)
+			return
+		}
+		start := time.Now()
+		hist, errMsg, derr := wire.DecodeResult(body)
+		if derr != nil {
+			httpErr(w, http.StatusBadRequest, "decoding result: %v", derr)
+			return
+		}
+		c.cm.wire.observeDecode("result", len(body), time.Since(start).Seconds())
+		rr = resultRequest{History: hist, Error: errMsg}
+	} else if err := json.NewDecoder(req.Body).Decode(&rr); err != nil {
 		httpErr(w, http.StatusBadRequest, "decoding result: %v", err)
 		return
 	}

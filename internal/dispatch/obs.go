@@ -17,6 +17,47 @@ type coordMetrics struct {
 	dup       *obs.Counter    // idempotent duplicate uploads
 	uploads   *obs.CounterVec // result uploads by terminal status
 	slotsBusy *obs.GaugeVec   // in-flight leases per worker
+	wire      wireMetrics     // binary-transport ingest accounting
+}
+
+// wireMetrics instruments the binary wire codec (internal/wire) wherever a
+// component encodes or decodes it. The same family names are registered by
+// the coordinator (rx), the worker (tx) and the serve layer (tx), so a
+// shared registry shows one fedwcm_wire_bytes_total across the process.
+type wireMetrics struct {
+	bytes  *obs.CounterVec // payload bytes by message kind and direction
+	encode *obs.Histogram  // encode latency, seconds
+	decode *obs.Histogram  // decode latency, seconds
+}
+
+func newWireMetrics(reg *obs.Registry) wireMetrics {
+	if reg == nil {
+		return wireMetrics{}
+	}
+	return wireMetrics{
+		bytes:  reg.CounterVec("fedwcm_wire_bytes_total", "Wire-codec payload bytes moved, by message kind and direction (tx/rx).", "kind", "dir"),
+		encode: reg.Histogram("fedwcm_wire_encode_seconds", "Latency of wire-codec encodes.", nil),
+		decode: reg.Histogram("fedwcm_wire_decode_seconds", "Latency of wire-codec decodes.", nil),
+	}
+}
+
+// observeEncode counts one encoded payload (nil-safe on an unmetered
+// component).
+func (wm wireMetrics) observeEncode(kind string, n int, seconds float64) {
+	if wm.bytes == nil {
+		return
+	}
+	wm.bytes.With(kind, "tx").Add(uint64(n))
+	wm.encode.Observe(seconds)
+}
+
+// observeDecode counts one decoded payload.
+func (wm wireMetrics) observeDecode(kind string, n int, seconds float64) {
+	if wm.bytes == nil {
+		return
+	}
+	wm.bytes.With(kind, "rx").Add(uint64(n))
+	wm.decode.Observe(seconds)
 }
 
 func newCoordMetrics(reg *obs.Registry, stats func() CoordinatorStats) coordMetrics {
@@ -41,6 +82,7 @@ func newCoordMetrics(reg *obs.Registry, stats func() CoordinatorStats) coordMetr
 		dup:       reg.Counter("fedwcm_dispatch_duplicate_uploads_total", "Result uploads acknowledged idempotently without a store write."),
 		uploads:   reg.CounterVec("fedwcm_dispatch_uploads_total", "Result uploads ingested, by terminal status.", "status"),
 		slotsBusy: reg.GaugeVec("fedwcm_dispatch_worker_slots_busy", "In-flight leases per registered worker.", "worker"),
+		wire:      newWireMetrics(reg),
 	}
 }
 
@@ -51,6 +93,7 @@ type workerMetrics struct {
 	heartbeats *obs.Counter
 	leaseLost  *obs.Counter
 	uploads    *obs.CounterVec // by coordinator ack status
+	wire       wireMetrics     // binary-transport upload accounting
 }
 
 func newWorkerMetrics(reg *obs.Registry) workerMetrics {
@@ -62,6 +105,7 @@ func newWorkerMetrics(reg *obs.Registry) workerMetrics {
 		heartbeats: reg.Counter("fedwcm_worker_heartbeats_total", "Heartbeats delivered to the coordinator."),
 		leaseLost:  reg.Counter("fedwcm_worker_lease_lost_total", "Leases lost mid-run (job abandoned)."),
 		uploads:    reg.CounterVec("fedwcm_worker_uploads_total", "Result uploads, by coordinator acknowledgement.", "status"),
+		wire:       newWireMetrics(reg),
 	}
 }
 

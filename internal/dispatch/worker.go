@@ -12,6 +12,7 @@ import (
 
 	"fedwcm/internal/fl"
 	"fedwcm/internal/obs"
+	"fedwcm/internal/wire"
 )
 
 // WorkerConfig wires a Worker.
@@ -281,7 +282,13 @@ func (w *Worker) execute(ctx context.Context, job Job, id string) {
 				return
 			case <-t.C:
 				batch := drain()
-				code, err := w.postJSON(jobCtx, hbURL, job.ID, heartbeatRequest{Rounds: batch}, nil)
+				// Heartbeats ride the binary codec with float16 per-class
+				// accuracy: the relay feeds dashboards and progress polls only,
+				// never the store, so monitoring precision is enough.
+				start := time.Now()
+				body := wire.EncodeStats(batch, wire.StatsOptions{QuantizePerClass: true})
+				w.wm.wire.observeEncode("stats", len(body), time.Since(start).Seconds())
+				code, err := w.postWire(jobCtx, hbURL, job.ID, body, nil)
 				if err == nil && code == http.StatusOK {
 					w.wm.heartbeats.Inc()
 				}
@@ -321,10 +328,17 @@ func (w *Worker) execute(ctx context.Context, job Job, id string) {
 		// it; an aborted partial run must not be uploaded as a failure.
 		return
 	}
-	rr := resultRequest{History: hist}
+	// The result upload uses the codec's lossless profile: the decoded
+	// history is bit-identical, so the artifact the coordinator stores (and
+	// its content address) matches a local-backend run exactly.
+	errMsg := ""
 	if err != nil {
-		rr = resultRequest{Error: err.Error()}
+		hist = nil
+		errMsg = err.Error()
 	}
+	encStart := time.Now()
+	resBody := wire.EncodeResult(hist, errMsg)
+	w.wm.wire.observeEncode("result", len(resBody), time.Since(encStart).Seconds())
 	// A run that finished uploads even while the worker shuts down — the
 	// work is done, shipping it beats making a survivor redo it.
 	upCtx := ctx
@@ -336,7 +350,7 @@ func (w *Worker) execute(ctx context.Context, job Job, id string) {
 	resURL := fmt.Sprintf("%s/v1/workers/%s/jobs/%s/result", w.cfg.Coordinator, id, job.ID)
 	var ack resultResponse
 	for attempt := 0; attempt < 3; attempt++ {
-		code, uerr := w.postJSON(upCtx, resURL, job.ID, rr, &ack)
+		code, uerr := w.postWire(upCtx, resURL, job.ID, resBody, &ack)
 		if uerr == nil && code < 500 {
 			if code >= 400 {
 				w.wm.uploads.With("rejected").Inc()
@@ -369,11 +383,21 @@ func (w *Worker) postJSON(ctx context.Context, url, trace string, body, out any)
 	if err != nil {
 		return 0, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(b))
+	return w.post(ctx, url, trace, "application/json", b, out)
+}
+
+// postWire posts a pre-encoded wire-codec payload (responses stay JSON —
+// acks are a handful of bytes).
+func (w *Worker) postWire(ctx context.Context, url, trace string, body []byte, out any) (int, error) {
+	return w.post(ctx, url, trace, wire.ContentType, body, out)
+}
+
+func (w *Worker) post(ctx context.Context, url, trace, contentType string, body []byte, out any) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
 		return 0, err
 	}
-	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Content-Type", contentType)
 	if trace != "" {
 		req.Header.Set(obs.TraceHeader, trace)
 	}

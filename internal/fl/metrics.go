@@ -3,11 +3,30 @@ package fl
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"fedwcm/internal/data"
 	"fedwcm/internal/nn"
 	"fedwcm/internal/tensor"
 )
+
+// evalScratch holds the reusable buffers of one Evaluate call; pooled so
+// periodic evaluation inside training loops stays allocation-free apart
+// from the per-class result slice (which the caller retains in RoundStat).
+type evalScratch struct {
+	correct, totals []int
+	idx, yb, pred   []int
+	xb              *tensor.Dense
+}
+
+var evalPool = sync.Pool{New: func() any { return &evalScratch{} }}
+
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
 
 // Evaluate runs the network over ds in chunks and returns overall accuracy
 // plus per-class accuracy.
@@ -15,25 +34,33 @@ func Evaluate(net *nn.Network, ds *data.Dataset, chunk int) (float64, []float64)
 	if chunk <= 0 {
 		chunk = 256
 	}
-	correct := make([]int, ds.Classes)
-	totals := make([]int, ds.Classes)
-	var xb *tensor.Dense
-	var yb []int
-	idx := make([]int, 0, chunk)
+	sc := evalPool.Get().(*evalScratch)
+	defer evalPool.Put(sc)
+	sc.correct = growInts(sc.correct, ds.Classes)
+	sc.totals = growInts(sc.totals, ds.Classes)
+	correct, totals := sc.correct, sc.totals
+	for i := range correct {
+		correct[i] = 0
+		totals[i] = 0
+	}
+	if cap(sc.idx) < chunk {
+		sc.idx = make([]int, 0, chunk)
+	}
 	n := ds.Len()
 	for lo := 0; lo < n; lo += chunk {
 		hi := lo + chunk
 		if hi > n {
 			hi = n
 		}
-		idx = idx[:0]
+		idx := sc.idx[:0]
 		for i := lo; i < hi; i++ {
 			idx = append(idx, i)
 		}
-		xb, yb = ds.Gather(idx, xb, yb)
-		pred := net.Predict(xb)
-		for i, p := range pred {
-			y := yb[i]
+		sc.idx = idx
+		sc.xb, sc.yb = ds.Gather(idx, sc.xb, sc.yb)
+		sc.pred = net.PredictInto(sc.pred, sc.xb)
+		for i, p := range sc.pred {
+			y := sc.yb[i]
 			totals[y]++
 			if p == y {
 				correct[y]++

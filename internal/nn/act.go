@@ -6,9 +6,14 @@ import (
 	"fedwcm/internal/tensor"
 )
 
-// ReLU applies max(0, x) elementwise.
+// ReLU applies max(0, x) elementwise. Instead of materialising a []bool
+// mask it keeps a reference to the forward input and recomputes the sign
+// test in the backward kernel: x is the previous layer's forward workspace,
+// which stays untouched until that layer's own Backward runs — strictly
+// after this one in the reverse pass (checkpointed segments re-run Forward
+// first, refreshing the reference).
 type ReLU struct {
-	mask     []bool
+	x        *tensor.Dense
 	fwd, bwd workspace
 }
 
@@ -18,32 +23,15 @@ func NewReLU() *ReLU { return &ReLU{} }
 // Forward computes max(0, x).
 func (l *ReLU) Forward(x *tensor.Dense, train bool) *tensor.Dense {
 	out := l.fwd.get(x.R, x.C)
-	if cap(l.mask) < len(out.Data) {
-		l.mask = make([]bool, len(out.Data))
-	}
-	l.mask = l.mask[:len(out.Data)]
-	for i, v := range x.Data {
-		if v <= 0 {
-			out.Data[i] = 0
-			l.mask[i] = false
-		} else {
-			out.Data[i] = v
-			l.mask[i] = true
-		}
-	}
+	l.x = x
+	tensor.ReLUFwdInto(out.Data, x.Data)
 	return out
 }
 
 // Backward zeroes gradients where the activation was clamped.
 func (l *ReLU) Backward(dout *tensor.Dense) *tensor.Dense {
 	dx := l.bwd.get(dout.R, dout.C)
-	for i, v := range dout.Data {
-		if l.mask[i] {
-			dx.Data[i] = v
-		} else {
-			dx.Data[i] = 0
-		}
-	}
+	tensor.ReLUBwdInto(dx.Data, dout.Data, l.x.Data)
 	return dx
 }
 

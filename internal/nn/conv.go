@@ -17,11 +17,28 @@ type Conv2D struct {
 	OutH, OutW   int
 	Wt, B        *Param
 
-	x    *tensor.Dense   // cached input
-	cols []*tensor.Dense // cached im2col matrices, one per sample
+	x *tensor.Dense // cached input
+
+	// colsPool recycles per-chunk im2col scratch. The layer used to cache
+	// one cols matrix per sample (≈ k·p floats each) so Backward could
+	// reuse them; that working set dwarfed L2 for real geometries, so the
+	// fused path instead keeps one scratch per goroutine chunk and
+	// recomputes im2col in Backward — the recompute is cheap next to the
+	// matmuls it feeds and the results are identical by construction.
+	colsPool sync.Pool
 
 	wview    *tensor.Dense // Wt.Data viewed as OutC×(InC·KH·KW)
 	fwd, bwd workspace
+}
+
+// getCols returns a pooled k×p im2col scratch (contents undefined).
+func (l *Conv2D) getCols(k, p int) *tensor.Dense {
+	if v := l.colsPool.Get(); v != nil {
+		if c := v.(*tensor.Dense); c.R == k && c.C == p {
+			return c
+		}
+	}
+	return tensor.NewDense(k, p)
 }
 
 // NewConv2D creates a convolution layer with He initialisation.
@@ -122,20 +139,14 @@ func (l *Conv2D) Forward(x *tensor.Dense, train bool) *tensor.Dense {
 	n := x.R
 	k := l.InC * l.KH * l.KW
 	p := l.OutH * l.OutW
-	if cap(l.cols) < n {
-		l.cols = make([]*tensor.Dense, n)
-	}
-	l.cols = l.cols[:n]
 	out := l.fwd.get(n, l.OutDim())
 	wt := l.wview
 	tensor.ParallelFor(n, 1, func(lo, hi int) {
+		cols := l.getCols(k, p)
 		for s := lo; s < hi; s++ {
-			if l.cols[s] == nil || l.cols[s].R != k || l.cols[s].C != p {
-				l.cols[s] = tensor.NewDense(k, p)
-			}
-			l.im2col(x.Row(s), l.cols[s])
+			l.im2col(x.Row(s), cols)
 			oseg := tensor.FromSlice(l.OutC, p, out.Row(s))
-			tensor.MatMulInto(oseg, wt, l.cols[s])
+			tensor.MatMulInto(oseg, wt, cols)
 			for oc := 0; oc < l.OutC; oc++ {
 				b := l.B.Data[oc]
 				row := oseg.Row(oc)
@@ -144,6 +155,7 @@ func (l *Conv2D) Forward(x *tensor.Dense, train bool) *tensor.Dense {
 				}
 			}
 		}
+		l.colsPool.Put(cols)
 	})
 	return out
 }
@@ -163,16 +175,20 @@ func (l *Conv2D) Backward(dout *tensor.Dense) *tensor.Dense {
 	var mu sync.Mutex
 	tensor.ParallelFor(n, 1, func(lo, hi int) {
 		// Per-chunk scratch, reused across the chunk's samples: the partials
-		// must stay goroutine-private, but need not be per-sample.
+		// must stay goroutine-private, but need not be per-sample. The
+		// im2col matrix is recomputed from the cached input rather than
+		// held per sample since Forward (see colsPool).
 		dwPart := make([]float64, len(l.Wt.Data))
 		dbPart := make([]float64, len(l.B.Data))
 		dwMat := tensor.FromSlice(l.OutC, k, dwPart)
 		dw := tensor.NewDense(l.OutC, k)
 		dcols := tensor.NewDense(k, p)
+		cols := l.getCols(k, p)
 		for s := lo; s < hi; s++ {
 			dseg := tensor.FromSlice(l.OutC, p, dout.Row(s))
+			l.im2col(l.x.Row(s), cols)
 			// dW += dOut·colsᵀ
-			tensor.MatMulBTInto(dw, dseg, l.cols[s])
+			tensor.MatMulBTInto(dw, dseg, cols)
 			tensor.AddVec(dwMat.Data, dw.Data)
 			for oc := 0; oc < l.OutC; oc++ {
 				dbPart[oc] += tensor.Sum(dseg.Row(oc))
@@ -181,6 +197,7 @@ func (l *Conv2D) Backward(dout *tensor.Dense) *tensor.Dense {
 			tensor.MatMulATInto(dcols, wt, dseg)
 			l.col2im(dcols, dx.Row(s))
 		}
+		l.colsPool.Put(cols)
 		mu.Lock()
 		tensor.AddVec(l.Wt.Grad, dwPart)
 		tensor.AddVec(l.B.Grad, dbPart)

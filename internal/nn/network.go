@@ -113,10 +113,19 @@ func (n *Network) StatMask() []bool {
 
 // Predict returns the argmax class for each row of x (inference mode).
 func (n *Network) Predict(x *tensor.Dense) []int {
+	return n.PredictInto(nil, x)
+}
+
+// PredictInto is Predict writing into dst (grown as needed), so repeated
+// evaluation loops stop allocating a fresh prediction slice per chunk.
+func (n *Network) PredictInto(dst []int, x *tensor.Dense) []int {
 	logits := n.Forward(x, false)
-	out := make([]int, logits.R)
-	for i := 0; i < logits.R; i++ {
-		out[i] = tensor.ArgMax(logits.Row(i))
+	if cap(dst) < logits.R {
+		dst = make([]int, logits.R)
 	}
-	return out
+	dst = dst[:logits.R]
+	for i := 0; i < logits.R; i++ {
+		dst[i] = tensor.ArgMax(logits.Row(i))
+	}
+	return dst
 }

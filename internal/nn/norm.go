@@ -23,7 +23,21 @@ type BatchNorm struct {
 	nIn    int       // batch size of the cached forward
 	train  bool
 
+	// per-channel scratch for the Spatial==1 row-major fast path
+	mean, varv    []float64
+	sumD, sumDXmu []float64
+	kg            []float64
+
 	fwd, bwd workspace
+}
+
+// ensureVec grows s to length n, reusing capacity.
+func ensureVec(s *[]float64, n int) []float64 {
+	if cap(*s) < n {
+		*s = make([]float64, n)
+	}
+	*s = (*s)[:n]
+	return *s
 }
 
 // NewBatchNorm creates a BatchNorm over the given channel count and spatial
@@ -65,6 +79,49 @@ func (l *BatchNorm) Forward(x *tensor.Dense, train bool) *tensor.Dense {
 	l.invstd = l.invstd[:l.Channels]
 	l.nIn = n
 	l.train = train
+
+	if sp == 1 {
+		// Row-major fast path for the dense (per-feature) variant: each
+		// pass streams whole rows through the fused tensor kernels instead
+		// of striding per channel. Per-channel arithmetic — accumulation
+		// order over the batch, the mean/variance expressions, the running
+		// stat update, and the normalisation expression — is identical to
+		// the per-channel loop below, so outputs match bit for bit.
+		C := l.Channels
+		var mean []float64
+		if train {
+			mean = ensureVec(&l.mean, C)
+			tensor.Zero(mean)
+			for s := 0; s < n; s++ {
+				tensor.AddVec(mean, x.Row(s))
+			}
+			for c := range mean {
+				mean[c] /= m
+			}
+			sq := ensureVec(&l.varv, C)
+			tensor.Zero(sq)
+			for s := 0; s < n; s++ {
+				tensor.BNVarAccum(sq, x.Row(s), mean)
+			}
+			for c := 0; c < C; c++ {
+				variance := sq[c] / m
+				l.RunMean.Data[c] = (1-l.Momentum)*l.RunMean.Data[c] + l.Momentum*mean[c]
+				l.RunVar.Data[c] = (1-l.Momentum)*l.RunVar.Data[c] + l.Momentum*variance
+				l.invstd[c] = 1 / math.Sqrt(variance+l.Eps)
+			}
+		} else {
+			mean = l.RunMean.Data
+			for c := 0; c < C; c++ {
+				l.invstd[c] = 1 / math.Sqrt(l.RunVar.Data[c]+l.Eps)
+			}
+		}
+		for s := 0; s < n; s++ {
+			off := s * C
+			tensor.BNNormInto(out.Data[off:off+C], l.xmu[off:off+C], x.Row(s),
+				mean, l.Gamma.Data, l.Beta.Data, l.invstd)
+		}
+		return out
+	}
 
 	for c := 0; c < l.Channels; c++ {
 		var mean, variance float64
@@ -113,6 +170,48 @@ func (l *BatchNorm) Backward(dout *tensor.Dense) *tensor.Dense {
 	sp := l.Spatial
 	m := float64(n * sp)
 	dx := l.bwd.get(n, dout.C)
+
+	if sp == 1 {
+		// Row-major mirror of the per-channel loop below; see Forward.
+		C := dout.C
+		sumD := ensureVec(&l.sumD, C)
+		sumDXmu := ensureVec(&l.sumDXmu, C)
+		tensor.Zero(sumD)
+		tensor.Zero(sumDXmu)
+		for s := 0; s < n; s++ {
+			off := s * C
+			tensor.BNBwdAccum(sumD, sumDXmu, dout.Row(s), l.xmu[off:off+C])
+		}
+		for c := 0; c < C; c++ {
+			l.Beta.Grad[c] += sumD[c]
+			l.Gamma.Grad[c] += sumDXmu[c] * l.invstd[c]
+		}
+		if !l.train {
+			for s := 0; s < n; s++ {
+				off := s * C
+				for c := 0; c < C; c++ {
+					dx.Data[off+c] = dout.Data[off+c] * l.Gamma.Data[c] * l.invstd[c]
+				}
+			}
+			return dx
+		}
+		// Fold the per-channel constants in place: sumD becomes k2 and
+		// sumDXmu becomes k3, with the same expression order as below.
+		kg := ensureVec(&l.kg, C)
+		for c := 0; c < C; c++ {
+			inv := l.invstd[c]
+			g := l.Gamma.Data[c]
+			kg[c] = g * inv
+			sumD[c] = g * inv / m * sumD[c]
+			sumDXmu[c] = g * inv * inv * inv / m * sumDXmu[c]
+		}
+		for s := 0; s < n; s++ {
+			off := s * C
+			tensor.BNBwdDx(dx.Data[off:off+C], dout.Row(s), l.xmu[off:off+C], kg, sumD, sumDXmu)
+		}
+		return dx
+	}
+
 	for c := 0; c < l.Channels; c++ {
 		inv := l.invstd[c]
 		g := l.Gamma.Data[c]

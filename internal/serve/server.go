@@ -42,7 +42,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 	"sync"
+	"time"
 
 	"fedwcm/internal/data"
 	"fedwcm/internal/dispatch"
@@ -52,6 +54,7 @@ import (
 	"fedwcm/internal/obs"
 	"fedwcm/internal/store"
 	"fedwcm/internal/sweep"
+	"fedwcm/internal/wire"
 )
 
 // Runner executes one spec, reporting per-round progress and honouring ctx
@@ -258,6 +261,30 @@ func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// writeRun writes a run status response in whichever encoding the client
+// asked for: clients that list wire.ContentType in Accept (the dispatch
+// client does) get the compact binary codec, everyone else gets the JSON
+// shape unchanged. Errors keep flowing through httpError as JSON either
+// way — only success bodies are worth compressing.
+func (s *Server) writeRun(w http.ResponseWriter, req *http.Request, code int, rr runResponse) {
+	if !strings.Contains(req.Header.Get("Accept"), wire.ContentType) {
+		writeJSON(w, code, rr)
+		return
+	}
+	start := time.Now()
+	body := wire.EncodeRunStatus(&wire.RunStatus{
+		ID:       rr.ID,
+		Status:   rr.Status,
+		Error:    rr.Error,
+		Progress: rr.Progress,
+		History:  rr.History,
+	})
+	s.sm.observeWireEncode("runstatus", len(body), time.Since(start).Seconds())
+	w.Header().Set("Content-Type", wire.ContentType)
+	w.WriteHeader(code)
+	w.Write(body)
+}
+
 // Sentinel failures from ensureCell, mapped to HTTP statuses by the
 // handlers that can hit them.
 var (
@@ -380,9 +407,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 	case err != nil:
 		httpError(w, http.StatusInternalServerError, "%v", err)
 	case hist != nil:
-		writeJSON(w, http.StatusOK, runResponse{ID: fp, Status: StatusCached, History: hist})
+		s.writeRun(w, req, http.StatusOK, runResponse{ID: fp, Status: StatusCached, History: hist})
 	default:
-		writeJSON(w, http.StatusAccepted, runResponse{ID: fp, Status: status})
+		s.writeRun(w, req, http.StatusAccepted, runResponse{ID: fp, Status: status})
 	}
 }
 
@@ -429,14 +456,14 @@ func (s *Server) handleStatus(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	if r == nil {
-		writeJSON(w, http.StatusOK, runResponse{ID: id, Status: StatusCached, History: stored})
+		s.writeRun(w, req, http.StatusOK, runResponse{ID: id, Status: StatusCached, History: stored})
 		return
 	}
 	status, progress, hist, errMsg := r.snapshot()
 	if hist != nil {
 		progress = nil // history carries the same stats; don't send both
 	}
-	writeJSON(w, http.StatusOK, runResponse{ID: id, Status: status, Progress: progress, History: hist, Error: errMsg})
+	s.writeRun(w, req, http.StatusOK, runResponse{ID: id, Status: status, Progress: progress, History: hist, Error: errMsg})
 }
 
 // handleEvents streams per-round progress as Server-Sent Events: one

@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+
+	"fedwcm/internal/wire"
+)
+
+// TestWireNegotiatedStatus pins the transport negotiation end to end: a
+// client that lists the wire codec in Accept gets a binary run-status body
+// that decodes to exactly the same run state — history included,
+// bit-for-bit at the JSON level — as the default JSON response, while
+// plain clients are untouched.
+func TestWireNegotiatedStatus(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	spec := tinySpec()
+	code, first := postSpec(t, ts, spec)
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	fin := waitTerminal(t, ts, first.ID)
+	if fin.Status == StatusFailed {
+		t.Fatalf("run failed: %s", fin.Error)
+	}
+
+	// JSON stays the default: no Accept header → application/json.
+	resp, err := http.Get(ts.URL + "/v1/runs/" + first.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("default Content-Type = %q", ct)
+	}
+	var viaJSON runResponse
+	if err := json.Unmarshal(jsonBody, &viaJSON); err != nil {
+		t.Fatal(err)
+	}
+
+	// Accept: wire → the binary codec, identified by the response header.
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/runs/"+first.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", wire.ContentType)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wireBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("wire status: HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != wire.ContentType {
+		t.Fatalf("negotiated Content-Type = %q, want %q", ct, wire.ContentType)
+	}
+	rs, err := wire.DecodeRunStatus(wireBody)
+	if err != nil {
+		t.Fatalf("decoding wire body: %v", err)
+	}
+	if rs.ID != viaJSON.ID || rs.Status != viaJSON.Status || rs.Error != viaJSON.Error {
+		t.Fatalf("wire status %+v disagrees with JSON %+v", rs, viaJSON)
+	}
+	if rs.History == nil {
+		t.Fatal("wire status carries no history")
+	}
+	// The lossless contract at the serving boundary: both encodings carry
+	// the identical history, byte-for-byte in canonical JSON.
+	wantHist, err := json.Marshal(viaJSON.History)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotHist, err := json.Marshal(rs.History)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantHist, gotHist) {
+		t.Fatalf("wire history diverges from JSON history:\n%s\nvs\n%s", gotHist, wantHist)
+	}
+	if len(wireBody) >= len(jsonBody) {
+		t.Fatalf("wire body (%d bytes) not smaller than JSON (%d bytes)", len(wireBody), len(jsonBody))
+	}
+}

@@ -1,0 +1,71 @@
+//go:build amd64
+
+package tensor
+
+//go:noescape
+func gemmKernel4x8AVX(dst, a, b *float64, ldc, lda, astep, ldb, k int64)
+
+//go:noescape
+func axpyBlocksAVX(dst, x *float64, alpha float64, blocks int64)
+
+//go:noescape
+func addVecBlocksAVX(dst, x *float64, blocks int64)
+
+//go:noescape
+func reluFwdBlocksAVX(dst, x *float64, blocks int64)
+
+//go:noescape
+func reluBwdBlocksAVX(dst, dout, x *float64, blocks int64)
+
+//go:noescape
+func subVecBlocksAVX(dst, x *float64, blocks int64)
+
+//go:noescape
+func scaleBlocksAVX(dst *float64, alpha float64, blocks int64)
+
+//go:noescape
+func bnNormBlocksAVX(out, xmu, x, mean, gam, bet, inv *float64, blocks int64)
+
+//go:noescape
+func bnVarAccumBlocksAVX(sq, x, mean *float64, blocks int64)
+
+//go:noescape
+func bnBwdAccumBlocksAVX(sumD, sumDXmu, dout, xmu *float64, blocks int64)
+
+//go:noescape
+func bnBwdDxBlocksAVX(dx, dout, xmu, k1, k2, k3 *float64, blocks int64)
+
+func cpuidAsm(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+func xgetbvAsm() (eax, edx uint32)
+
+// hasAVX reports whether the OS and CPU support 256-bit AVX float64 math
+// (CPUID.1:ECX AVX + OSXSAVE, and XCR0 enabling XMM+YMM state).
+var hasAVX = detectAVX()
+
+func detectAVX() bool {
+	maxID, _, _, _ := cpuidAsm(0, 0)
+	if maxID < 1 {
+		return false
+	}
+	_, _, ecx, _ := cpuidAsm(1, 0)
+	const osxsave, avx = 1 << 27, 1 << 28
+	if ecx&osxsave == 0 || ecx&avx == 0 {
+		return false
+	}
+	eax, _ := xgetbvAsm()
+	return eax&0x6 == 0x6 // XMM and YMM state enabled by the OS
+}
+
+// gemmKernel computes one full gemmMR×gemmNR tile (see gemm.go for the
+// accumulation-order contract).
+func gemmKernel(dst []float64, ldc int, a []float64, lda, astep int, b []float64, ldb int, k int) {
+	if hasAVX {
+		// Bounds touched by the kernel: last C element is 3·ldc+8, last A
+		// element 3·lda+(k-1)·astep+1, last B element (k-1)·ldb+8 — all
+		// guaranteed by the caller's blocking over full tiles.
+		gemmKernel4x8AVX(&dst[0], &a[0], &b[0], int64(ldc), int64(lda), int64(astep), int64(ldb), int64(k))
+		return
+	}
+	gemmKernelGo(dst, ldc, a, lda, astep, b, ldb, k)
+}

@@ -7,17 +7,20 @@ package tensor
 //	grad input:   dX = dY·Wᵀ         → MatMulBT
 //	grad weight:  dW = Xᵀ·dY         → MatMulAT
 //
-// Each parallelises over output rows when the work is large enough to pay
-// for goroutine startup; the inner loops are written k-outer so the compiler
-// keeps a scalar of A in a register and streams B rows. The small-matrix
-// case — which dominates the federated inner loop — takes a direct serial
-// path through the shared range kernels, so no closure or goroutine is
-// allocated per call.
+// All three route through the register-tiled GEMM in gemm.go: the transpose
+// variants pack the transposed operand into a pooled panel so the kernel
+// always streams row-major data, and every output element accumulates its k
+// products in ascending order — the same order as the retained reference
+// kernels (matmulRange / matmulBTRange / matmulATRange below), so results
+// are bit-identical and golden histories stay pinned. Each variant
+// parallelises over output rows when the work is large enough to pay for
+// goroutine startup.
 
 // matmulMinFlops is the approximate flop count under which a matmul stays
-// serial. Client models in the sweep harness are small; parallelism pays off
-// mainly for the conv/im2col path.
-const matmulMinFlops = 64 * 1024
+// serial. The tiled kernels retire flops ~4× faster than the old naive
+// loops, so the cut point sits 4× higher to keep the per-goroutine chunk
+// wall-time (and thus the spawn-overhead ratio) where it was tuned.
+const matmulMinFlops = 256 * 1024
 
 // MatMul returns A·B. Panics on inner-dimension mismatch.
 func MatMul(a, b *Dense) *Dense {
@@ -30,6 +33,8 @@ func MatMul(a, b *Dense) *Dense {
 }
 
 // matmulRange computes rows [lo, hi) of dst = A·B; dst rows must be zeroed.
+// Retained as the reference implementation the tiled path is tested
+// against (and the equivalence oracle for the goldens).
 func matmulRange(dst, a, b *Dense, lo, hi int) {
 	k, m := a.C, b.C
 	for i := lo; i < hi; i++ {
@@ -54,12 +59,15 @@ func MatMulInto(dst, a, b *Dense) {
 	}
 	Zero(dst.Data)
 	n, k, m := a.R, a.C, b.C
+	tiled := func(lo, hi int) {
+		gemmBlock(dst.Data[lo*m:], m, a.Data[lo*k:], k, 1, b.Data, m, hi-lo, k, m)
+	}
 	minRows := rowsForFlops(n, k, m)
 	if serialFor(n, minRows) {
-		matmulRange(dst, a, b, 0, n)
+		tiled(0, n)
 		return
 	}
-	ParallelFor(n, minRows, func(lo, hi int) { matmulRange(dst, a, b, lo, hi) })
+	ParallelFor(n, minRows, tiled)
 }
 
 // MatMulBT returns A·Bᵀ, where B is given untransposed (m×k against A n×k).
@@ -69,7 +77,8 @@ func MatMulBT(a, b *Dense) *Dense {
 	return out
 }
 
-// matmulBTRange computes rows [lo, hi) of dst = A·Bᵀ.
+// matmulBTRange computes rows [lo, hi) of dst = A·Bᵀ. Retained as the
+// reference implementation for the tiled path.
 func matmulBTRange(dst, a, b *Dense, lo, hi int) {
 	k, m := a.C, b.R
 	for i := lo; i < hi; i++ {
@@ -82,17 +91,31 @@ func matmulBTRange(dst, a, b *Dense, lo, hi int) {
 }
 
 // MatMulBTInto computes dst = A·Bᵀ, overwriting dst (which must be a.R×b.R).
+// B is packed transposed into a pooled panel so the tiled kernel streams it
+// row-major; per-element accumulation still ascends k, matching the Dot
+// order of the reference kernel bit for bit.
 func MatMulBTInto(dst, a, b *Dense) {
 	if a.C != b.C || dst.R != a.R || dst.C != b.R {
 		panic("tensor: MatMulBTInto dimension mismatch")
 	}
+	Zero(dst.Data)
 	n, k, m := a.R, a.C, b.R
-	minRows := rowsForFlops(n, k, m)
-	if serialFor(n, minRows) {
-		matmulBTRange(dst, a, b, 0, n)
+	if k == 0 || m == 0 {
 		return
 	}
-	ParallelFor(n, minRows, func(lo, hi int) { matmulBTRange(dst, a, b, lo, hi) })
+	panel := getPanel(k * m)
+	packTranspose(*panel, b.Data, m, k) // b (m×k) → panel (k×m)
+	bp := *panel
+	tiled := func(lo, hi int) {
+		gemmBlock(dst.Data[lo*m:], m, a.Data[lo*k:], k, 1, bp, m, hi-lo, k, m)
+	}
+	minRows := rowsForFlops(n, k, m)
+	if serialFor(n, minRows) {
+		tiled(0, n)
+	} else {
+		ParallelFor(n, minRows, tiled)
+	}
+	putPanel(panel)
 }
 
 // MatMulAT returns Aᵀ·B, where A is given untransposed (n×r against B n×c).
@@ -105,7 +128,7 @@ func MatMulAT(a, b *Dense) *Dense {
 }
 
 // matmulATRange computes rows [lo, hi) of dst = Aᵀ·B; dst rows must be
-// zeroed.
+// zeroed. Retained as the reference implementation for the tiled path.
 func matmulATRange(dst, a, b *Dense, lo, hi int) {
 	n, r, c := a.R, a.C, b.C
 	for i := lo; i < hi; i++ {
@@ -124,32 +147,50 @@ func matmulATRange(dst, a, b *Dense, lo, hi int) {
 }
 
 // MatMulATInto computes dst = Aᵀ·B, overwriting dst (which must be a.C×b.C).
-// The accumulation order matches MatMulAT exactly (zeroed, then p-ascending),
-// so buffer-reusing callers stay bit-identical to the allocating path.
+// No packing needed: the kernel's generalized A addressing streams Aᵀ
+// directly (row stride 1, column stride a.C). Accumulation order matches
+// matmulATRange exactly (zeroed, then p-ascending per element), so
+// buffer-reusing callers stay bit-identical to the allocating path.
 func MatMulATInto(dst, a, b *Dense) {
 	if a.R != b.R || dst.R != a.C || dst.C != b.C {
 		panic("tensor: MatMulATInto dimension mismatch")
 	}
 	Zero(dst.Data)
 	n, r, c := a.R, a.C, b.C
-	minRows := rowsForFlops(r, n, c)
-	if serialFor(r, minRows) {
-		matmulATRange(dst, a, b, 0, r)
+	if n == 0 || r == 0 || c == 0 {
 		return
 	}
-	ParallelFor(r, minRows, func(lo, hi int) { matmulATRange(dst, a, b, lo, hi) })
+	tiled := func(lo, hi int) {
+		gemmBlock(dst.Data[lo*c:], c, a.Data[lo:], 1, r, b.Data, c, hi-lo, n, c)
+	}
+	minRows := rowsForFlops(r, n, c)
+	if serialFor(r, minRows) {
+		tiled(0, r)
+	} else {
+		ParallelFor(r, minRows, tiled)
+	}
 }
 
 // MatVec returns A·x for a length-C vector x.
 func MatVec(a *Dense, x []float64) []float64 {
-	if a.C != len(x) {
-		panic("tensor: MatVec dimension mismatch")
-	}
 	out := make([]float64, a.R)
-	for i := 0; i < a.R; i++ {
-		out[i] = Dot(a.Row(i), x)
-	}
+	MatVecInto(out, a, x)
 	return out
+}
+
+// MatVecInto computes dst = A·x, overwriting dst (which must have length
+// A.R). It reuses the serial Dot kernel — the same per-row ascending-k
+// reduction as the matmul reference kernels — and allocates nothing.
+func MatVecInto(dst []float64, a *Dense, x []float64) {
+	if a.C != len(x) {
+		panic("tensor: MatVecInto dimension mismatch")
+	}
+	if len(dst) != a.R {
+		panic("tensor: MatVecInto output length mismatch")
+	}
+	for i := 0; i < a.R; i++ {
+		dst[i] = Dot(a.Row(i), x)
+	}
 }
 
 // rowsForFlops returns the minimum number of rows each goroutine chunk

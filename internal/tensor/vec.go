@@ -32,14 +32,26 @@ func Axpy(dst []float64, a float64, x []float64) {
 	if len(dst) != len(x) {
 		panic("tensor: Axpy length mismatch")
 	}
-	for i, v := range x {
-		dst[i] += a * v
+	i := 0
+	if hasAVX && len(x) >= simdMinLen {
+		blocks := len(x) >> 2
+		axpyBlocksAVX(&dst[0], &x[0], a, int64(blocks))
+		i = blocks << 2
+	}
+	for ; i < len(x); i++ {
+		dst[i] += a * x[i]
 	}
 }
 
 // Scale multiplies every element of v by a.
 func Scale(v []float64, a float64) {
-	for i := range v {
+	i := 0
+	if hasAVX && len(v) >= simdMinLen {
+		blocks := len(v) >> 2
+		scaleBlocksAVX(&v[0], a, int64(blocks))
+		i = blocks << 2
+	}
+	for ; i < len(v); i++ {
 		v[i] *= a
 	}
 }
@@ -49,8 +61,14 @@ func AddVec(dst, x []float64) {
 	if len(dst) != len(x) {
 		panic("tensor: AddVec length mismatch")
 	}
-	for i, v := range x {
-		dst[i] += v
+	i := 0
+	if hasAVX && len(x) >= simdMinLen {
+		blocks := len(x) >> 2
+		addVecBlocksAVX(&dst[0], &x[0], int64(blocks))
+		i = blocks << 2
+	}
+	for ; i < len(x); i++ {
+		dst[i] += x[i]
 	}
 }
 
@@ -59,8 +77,14 @@ func SubVec(dst, x []float64) {
 	if len(dst) != len(x) {
 		panic("tensor: SubVec length mismatch")
 	}
-	for i, v := range x {
-		dst[i] -= v
+	i := 0
+	if hasAVX && len(x) >= simdMinLen {
+		blocks := len(x) >> 2
+		subVecBlocksAVX(&dst[0], &x[0], int64(blocks))
+		i = blocks << 2
+	}
+	for ; i < len(x); i++ {
+		dst[i] -= x[i]
 	}
 }
 

@@ -1,0 +1,189 @@
+package wire
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestF16Exhaustive checks the half-precision conversion against every one
+// of the 65536 bit patterns: F16Value must be exact (every half fits in a
+// float64) and F16Bits must return the identical pattern back for all
+// non-NaN values (NaN collapses to the canonical quiet NaN).
+func TestF16Exhaustive(t *testing.T) {
+	for i := 0; i <= 0xFFFF; i++ {
+		h := uint16(i)
+		v := F16Value(h)
+		back := F16Bits(v)
+		if math.IsNaN(v) {
+			if back&0x7C00 != 0x7C00 || back&0x3FF == 0 {
+				t.Fatalf("h=%#04x: NaN must map to a NaN pattern, got %#04x", h, back)
+			}
+			continue
+		}
+		// Normalize -0: 0x8000 and 0x0000 are distinct patterns but both
+		// must roundtrip to themselves.
+		if back != h {
+			t.Fatalf("h=%#04x (%v) roundtripped to %#04x", h, v, back)
+		}
+	}
+}
+
+// TestF16RoundNearestEven spot-checks the rounding mode on hand-picked
+// midpoints.
+func TestF16RoundNearestEven(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want uint16
+	}{
+		{0, 0x0000},
+		{math.Copysign(0, -1), 0x8000},
+		{1, 0x3C00},
+		{-2, 0xC000},
+		{65504, 0x7BFF},             // largest finite half
+		{65520, 0x7C00},             // halfway to overflow rounds to Inf (even)
+		{65536, 0x7C00},             // overflow → Inf
+		{1 + 0x1p-11, 0x3C00},       // midpoint between 1 and 1+2⁻¹⁰ → even (1)
+		{1 + 3*0x1p-11, 0x3C02},     // midpoint above odd → rounds up to even
+		{0x1p-14, 0x0400},           // smallest normal
+		{0x1p-24, 0x0001},           // smallest subnormal
+		{0x1p-25, 0x0000},           // halfway below → ties to even (zero)
+		{0x1p-25 + 0x1p-30, 0x0001}, // just above the tie → up
+		{math.Inf(1), 0x7C00},
+		{math.Inf(-1), 0xFC00},
+	}
+	for _, c := range cases {
+		if got := F16Bits(c.in); got != c.want {
+			t.Errorf("F16Bits(%v) = %#04x, want %#04x", c.in, got, c.want)
+		}
+	}
+}
+
+// TestF16ErrorBound: random finite inputs stay within the documented
+// relative (normal range) or absolute (subnormal range) error after a
+// roundtrip.
+func TestF16ErrorBound(t *testing.T) {
+	r := rand.New(rand.NewSource(29))
+	for i := 0; i < 100000; i++ {
+		var v float64
+		switch i % 3 {
+		case 0:
+			v = (r.Float64()*2 - 1) * 65504 // full finite half range
+		case 1:
+			v = (r.Float64()*2 - 1) // the accuracy/weight-delta regime
+		default:
+			v = (r.Float64()*2 - 1) * 0x1p-14 // subnormal regime
+		}
+		got := F16Value(F16Bits(v))
+		bound := math.Abs(v) * 0x1p-11
+		if bound < 0x1p-25 {
+			bound = 0x1p-25
+		}
+		if math.Abs(got-v) > bound {
+			t.Fatalf("|f16(%v) - %v| = %v > %v", got, v, math.Abs(got-v), bound)
+		}
+	}
+}
+
+func TestVecF16Roundtrip(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for _, n := range []int{0, 1, 7, 64, 321} {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = r.NormFloat64()
+		}
+		p := AppendVecF16([]byte{0xAA}, v) // prefix survives
+		got, rest, err := DecodeVecF16(p[1:])
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("n=%d: %d trailing bytes", n, len(rest))
+		}
+		if len(got) != n {
+			t.Fatalf("n=%d: decoded %d", n, len(got))
+		}
+		for i := range v {
+			if want := F16Value(F16Bits(v[i])); !bitsEq(got[i], want) {
+				t.Fatalf("n=%d i=%d: %v, want %v", n, i, got[i], want)
+			}
+		}
+	}
+	if _, _, err := DecodeVecF16([]byte{200}); err == nil {
+		t.Fatal("truncated f16 vector accepted")
+	}
+}
+
+// TestVecQ8ErrorBound: per-element reconstruction error is ≤ scale/2 where
+// scale is that block's absmax/127; all-zero blocks roundtrip exactly.
+func TestVecQ8ErrorBound(t *testing.T) {
+	r := rand.New(rand.NewSource(37))
+	for _, n := range []int{0, 1, 63, 64, 65, 640, 1000} {
+		v := make([]float64, n)
+		for i := range v {
+			switch {
+			case i/q8Block == 1: // second block all zeros
+				v[i] = 0
+			case r.Intn(20) == 0: // occasional outlier
+				v[i] = r.NormFloat64() * 100
+			default:
+				v[i] = r.NormFloat64() * 0.01
+			}
+		}
+		p := AppendVecQ8(nil, v)
+		got, rest, err := DecodeVecQ8(p)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(rest) != 0 || len(got) != n {
+			t.Fatalf("n=%d: len=%d rest=%d", n, len(got), len(rest))
+		}
+		for lo := 0; lo < n; lo += q8Block {
+			hi := lo + q8Block
+			if hi > n {
+				hi = n
+			}
+			absmax := 0.0
+			for _, x := range v[lo:hi] {
+				if a := math.Abs(x); a > absmax {
+					absmax = a
+				}
+			}
+			// The stored scale is the float32 rounding of absmax/127; allow
+			// that rounding on top of the half-step bound.
+			scale := float64(float32(absmax / 127))
+			bound := scale/2 + absmax*0x1p-23
+			for i := lo; i < hi; i++ {
+				if absmax == 0 {
+					if got[i] != 0 {
+						t.Fatalf("zero block reconstructed %v", got[i])
+					}
+					continue
+				}
+				if math.Abs(got[i]-v[i]) > bound {
+					t.Fatalf("n=%d i=%d: |%v - %v| > %v (scale %v)", n, i, got[i], v[i], bound, scale)
+				}
+			}
+		}
+	}
+	if _, _, err := DecodeVecQ8([]byte{70, 0, 0}); err == nil {
+		t.Fatal("truncated q8 vector accepted")
+	}
+}
+
+// BenchmarkQ8Encode tracks the vector quantization cost at model-update
+// scale.
+func BenchmarkQ8Encode(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	v := make([]float64, 1<<16)
+	for i := range v {
+		v[i] = r.NormFloat64() * 0.01
+	}
+	buf := AppendVecQ8(nil, v)
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = AppendVecQ8(buf[:0], v)
+	}
+}

@@ -10,13 +10,15 @@
 # instrumentation cost — which must stay at 0 allocs/op), plus
 # BENCH_async.json (or $4) with the async-vs-sync wall-clock-to-target
 # comparison and the virtual-time core's event throughput (cmd/asyncbench),
-# so performance work lands as tracked numbers instead of claims. CI
-# smoke-runs this with BENCHTIME=1x to keep it executable; real numbers
-# come from the default BENCHTIME (or a longer one on quiet hardware):
+# plus BENCH_wire.json (or $5) with the binary transport codec's byte
+# reduction vs. the JSON bodies it replaced (cmd/wirebench), so performance
+# work lands as tracked numbers instead of claims. CI smoke-runs this with
+# BENCHTIME=1x to keep it executable; real numbers come from the default
+# BENCHTIME (or a longer one on quiet hardware):
 #
-#   scripts/bench.sh                    # writes BENCH_hotpath.json + BENCH_dispatch.json + BENCH_obs.json + BENCH_async.json
+#   scripts/bench.sh                    # writes BENCH_hotpath.json + BENCH_dispatch.json + BENCH_obs.json + BENCH_async.json + BENCH_wire.json
 #   BENCHTIME=100x scripts/bench.sh     # steadier numbers
-#   BENCHTIME=1x scripts/bench.sh /tmp/bench.json /tmp/dispatch.json /tmp/obs.json /tmp/async.json   # CI smoke
+#   BENCHTIME=1x scripts/bench.sh /tmp/bench.json /tmp/dispatch.json /tmp/obs.json /tmp/async.json /tmp/wire.json   # CI smoke
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -25,11 +27,12 @@ OUT="${1:-BENCH_hotpath.json}"
 DISPATCH_OUT="${2:-BENCH_dispatch.json}"
 OBS_OUT="${3:-BENCH_obs.json}"
 ASYNC_OUT="${4:-BENCH_async.json}"
+WIRE_OUT="${5:-BENCH_wire.json}"
 # The system's hot paths: one aggregation round, one client's local round,
 # server-side aggregation, evaluation, the CNN forward/backward, and the
 # Dirichlet partitioner. Table/figure regeneration benches are excluded —
 # they measure experiment breadth, not the execution runtime.
-PATTERN='^(BenchmarkRoundHotPath|BenchmarkClientLocalRound|BenchmarkFedWCMAggregate|BenchmarkEvaluate|BenchmarkResNetLiteForward|BenchmarkResNetLiteTrainStep|BenchmarkDirichletPartition)$'
+PATTERN='^(BenchmarkRoundHotPath|BenchmarkClientLocalRound|BenchmarkFedWCMAggregate|BenchmarkEvaluate|BenchmarkResNetLiteForward|BenchmarkResNetLiteTrainStep|BenchmarkDirichletPartition|BenchmarkMatMulShapes)$'
 
 tojson() {
   awk -v benchtime="$BENCHTIME" -v goversion="$(go env GOVERSION)" '
@@ -53,6 +56,14 @@ echo "$raw"
 echo "$raw" | tojson > "$OUT"
 echo "wrote $OUT"
 
+# Regression gate: one aggregation round must stay under 45ms — the tiled
+# kernels run it at ~15ms, the pre-tiling scalar path took ~52ms, so this
+# bound trips on a kernel regression while leaving headroom for slow CI
+# runners.
+hot_ns=$(grep -o '"name": "RoundHotPath"[^}]*' "$OUT" | grep -o '"ns_per_op": [0-9.]*' | grep -o '[0-9.]*$')
+awk -v ns="$hot_ns" 'BEGIN { exit !(ns < 45000000) }' \
+  || { echo "bench.sh: RoundHotPath at ${hot_ns} ns/op exceeds the 45ms regression bound"; exit 1; }
+
 # Dispatch-layer overhead: a 16-cell sweep whose runner does no training,
 # completed by the in-process local backend vs. a coordinator + 2 workers
 # over localhost HTTP. The gap between the two lines is the per-sweep cost
@@ -61,6 +72,14 @@ rawd=$(go test -run '^$' -bench '^BenchmarkDispatch(Local|Remote)16Cell$' -bench
 echo "$rawd"
 echo "$rawd" | tojson > "$DISPATCH_OUT"
 echo "wrote $DISPATCH_OUT"
+
+# Regression gate: heap bytes per remote 16-cell sweep. B/op counts
+# allocations, which are machine-independent, so a fixed bound works on CI:
+# the wire-transport baseline sits at ~1.38 MB; 1.7 MB trips on a
+# marshalling or buffering regression.
+remote_b=$(grep -o '"name": "DispatchRemote16Cell"[^}]*' "$DISPATCH_OUT" | grep -o '"b_per_op": [0-9.]*' | grep -o '[0-9.]*$')
+awk -v b="$remote_b" 'BEGIN { exit !(b < 1700000) }' \
+  || { echo "bench.sh: DispatchRemote16Cell at ${remote_b} B/op exceeds the 1.7MB regression bound"; exit 1; }
 
 # Observability overhead: the cost of a full /metrics text exposition, the
 # per-event hot-path cost (counter/gauge/histogram/pre-resolved vec child —
@@ -80,3 +99,12 @@ obs_allocs=$(grep -o '"name": "MetricsHotPath"[^}]*' "$OBS_OUT" | grep -o '"allo
 # numbers come from the full default.
 if [ "$BENCHTIME" = "1x" ]; then ASYNC_ROUNDS=6; else ASYNC_ROUNDS=60; fi
 go run ./cmd/asyncbench -rounds "$ASYNC_ROUNDS" -out "$ASYNC_OUT"
+
+# Wire transport: bytes moved per result upload and heartbeat batch, binary
+# codec vs. the JSON bodies it replaced. Deterministic (a fixed reference
+# workload, no timing in the gated number), so the 5× reduction target is
+# asserted even on the CI smoke run.
+go run ./cmd/wirebench -out "$WIRE_OUT"
+wire_ratio=$(grep -o '"ratio": [0-9.]*' "$WIRE_OUT" | head -1 | grep -o '[0-9.]*$')
+awk -v r="$wire_ratio" 'BEGIN { exit !(r >= 5) }' \
+  || { echo "bench.sh: wire result-upload reduction ${wire_ratio}x is below the 5x target"; exit 1; }
