@@ -57,6 +57,7 @@ func main() {
 
 		remote   = flag.Bool("remote", false, "serve with the remote-worker backend: jobs wait for workers that -join")
 		leaseTTL = flag.Duration("lease", 15*time.Second, "remote backend: lease TTL before a silent worker's job requeues")
+		walPath  = flag.String("wal", "", "remote backend: write-ahead log path; queued and leased jobs survive a coordinator restart (empty = in-memory only)")
 
 		workerMode = flag.Bool("worker", false, "run as a worker: join a coordinator, lease and execute jobs")
 		join       = flag.String("join", "", "worker mode: coordinator base URL, e.g. http://host:8080")
@@ -94,6 +95,7 @@ func main() {
 			Store:    st,
 			LeaseTTL: *leaseTTL,
 			Queue:    *queue,
+			WALPath:  *walPath,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fedserve:", err)
@@ -101,6 +103,10 @@ func main() {
 		}
 		cfg.Executor = coord
 		backend = fmt.Sprintf("remote workers, lease TTL %v", *leaseTTL)
+		if *walPath != "" {
+			recovered := coord.Stats().Recovered
+			backend += fmt.Sprintf(", WAL %s (%d jobs recovered)", *walPath, recovered)
+		}
 	}
 	srv, err := serve.New(cfg)
 	if err != nil {

@@ -2,6 +2,7 @@ package dispatch
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -9,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"fedwcm/internal/dispatch/wal"
 	"fedwcm/internal/fl"
 	"fedwcm/internal/obs"
 	"fedwcm/internal/store"
@@ -29,6 +31,15 @@ type CoordinatorConfig struct {
 	// MaxWorkerSlots caps the per-worker in-flight limit a worker may
 	// declare at registration. 0 = 8.
 	MaxWorkerSlots int
+	// WALPath, when non-empty, backs the queue with a write-ahead log
+	// (internal/dispatch/wal): submit/lease/requeue/complete transitions are
+	// journaled with per-append fsyncs, and NewCoordinator replays the log so
+	// a restarted coordinator re-enters pending jobs and requeues previously
+	// leased ones without consuming an attempt. Empty = in-memory only.
+	WALPath string
+	// WALCompactEvery checkpoints the WAL (rewriting it down to the live job
+	// set) after this many completed jobs. 0 = 1024.
+	WALCompactEvery int
 	// Logf defaults to the unified slog route (obs.Logf("dispatch")); tests
 	// pass t.Logf.
 	Logf func(format string, args ...any)
@@ -65,6 +76,18 @@ type Coordinator struct {
 	closed    chan struct{}
 	closeOnce sync.Once
 	reaperWG  sync.WaitGroup
+
+	// Durability state. wal is nil on an in-memory coordinator. walMu gates
+	// log access: appends hold it shared (the log group-commits internally),
+	// checkpoints hold it exclusively so a compaction can never discard a
+	// concurrently acknowledged record. Appends never run under c.mu — an
+	// fsync inside the coordinator lock would serialize every handler behind
+	// the disk.
+	walMu      sync.RWMutex
+	wal        *wal.Log
+	recovered  int // jobs replayed from the WAL at startup (guarded by c.mu)
+	reattached int // leases adopted by re-attaching workers (guarded by c.mu)
+	completes  int // terminal jobs since the last checkpoint (guarded by c.mu)
 
 	cm coordMetrics
 }
@@ -113,8 +136,19 @@ type remoteJob struct {
 	// the job's lifetime; attemptSeen counts rounds received in the current
 	// attempt and resets on each lease grant, so only genuinely new rounds
 	// are relayed.
+	//
+	// relayMu — not c.mu — guards relayed/attemptSeen and is held across the
+	// subscriber callbacks themselves, so a heartbeat relay and the result
+	// backfill can never interleave or reorder a job's round stream. Lock
+	// order is c.mu → relayMu; delivery only ever holds relayMu.
+	relayMu     sync.Mutex
 	relayed     int
 	attemptSeen int
+	// suppressRelay (guarded by c.mu) marks an adopted lease: the worker is
+	// mid-stream, so its heartbeat rounds cannot be ordered against what an
+	// earlier incarnation already delivered. Heartbeats only extend the
+	// lease; the result upload backfills the full ordered history.
+	suppressRelay bool
 }
 
 // NewCoordinator validates cfg, starts the lease reaper and returns the
@@ -135,6 +169,9 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	if cfg.MaxWorkerSlots <= 0 {
 		cfg.MaxWorkerSlots = 8
 	}
+	if cfg.WALCompactEvery <= 0 {
+		cfg.WALCompactEvery = 1024
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = obs.Logf("dispatch")
 	}
@@ -153,9 +190,129 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		closed:  make(chan struct{}),
 	}
 	c.cm = newCoordMetrics(cfg.Metrics, c.Stats)
+	if cfg.WALPath != "" {
+		if err := c.recoverWAL(); err != nil {
+			return nil, err
+		}
+	}
 	c.reaperWG.Add(1)
 	go c.reaper()
 	return c, nil
+}
+
+// recoverWAL opens (creating if absent) the write-ahead log and re-enters
+// every non-terminal job it journals. Jobs whose artifact already landed in
+// the store — the crash window between store.Put and the complete record —
+// are dropped as done. A job that was leased when the log ended requeues at
+// the front WITHOUT consuming an attempt: the crash was the coordinator's,
+// not the worker's, and the worker may still finish it (heartbeat adoption
+// in handleHeartbeat resumes such a lease without a recompute). Recovery
+// ends with a checkpoint, so replayed completes don't accrete across
+// restarts.
+func (c *Coordinator) recoverWAL() error {
+	lg, recov, err := wal.Open(c.cfg.WALPath)
+	if err != nil {
+		return fmt.Errorf("dispatch: opening WAL %s: %w", c.cfg.WALPath, err)
+	}
+	c.wal = lg
+	if recov.Torn {
+		c.cfg.Logf("dispatch: wal %s: truncated %d-byte torn tail (crash mid-append)", c.cfg.WALPath, recov.Truncated)
+	}
+	var leased, pending []*remoteJob
+	now := time.Now()
+	for _, js := range recov.Jobs {
+		if _, ok, gerr := c.cfg.Store.Get(js.ID); gerr == nil && ok {
+			continue // already computed: the store, not the WAL, is the artifact of record
+		}
+		j := &remoteJob{
+			h:          newHandle(Job{ID: js.ID, Spec: js.Spec}),
+			state:      jobPending,
+			attempts:   js.Attempts,
+			enqueuedAt: now,
+		}
+		if js.Leased && j.attempts > 0 {
+			j.attempts--
+		}
+		c.jobs[js.ID] = j
+		if js.Leased {
+			leased = append(leased, j)
+		} else {
+			pending = append(pending, j)
+		}
+	}
+	// Previously leased jobs go first: they have waited longest, and their
+	// workers may re-attach to them.
+	c.pending = append(leased, pending...)
+	c.recovered = len(c.pending)
+	if c.recovered > 0 || recov.Completes > 0 {
+		c.cfg.Logf("dispatch: wal %s: recovered %d jobs (%d previously leased; %d already terminal)",
+			c.cfg.WALPath, c.recovered, len(leased), recov.Records-len(recov.Jobs))
+	}
+	c.checkpoint()
+	return nil
+}
+
+// appendWAL journals records on a durable coordinator (no-op otherwise).
+// Never call it while holding c.mu: appends fsync. A failed append is
+// reported to the caller so acknowledgement-bearing paths (Submit) can
+// fail closed instead of promising durability the log didn't deliver.
+func (c *Coordinator) appendWAL(recs ...wal.Record) error {
+	if c.wal == nil || len(recs) == 0 {
+		return nil
+	}
+	c.walMu.RLock()
+	err := c.wal.Append(recs...)
+	c.walMu.RUnlock()
+	if err != nil {
+		c.cm.walErrors.Inc()
+		c.cfg.Logf("dispatch: wal append: %v", err)
+		return err
+	}
+	c.cm.walRecords.Add(uint64(len(recs)))
+	return nil
+}
+
+// checkpoint rewrites the WAL down to the live job set. The exclusive walMu
+// hold means no append can land between the snapshot and the swap and be
+// lost with the old file.
+func (c *Coordinator) checkpoint() {
+	if c.wal == nil {
+		return
+	}
+	c.walMu.Lock()
+	defer c.walMu.Unlock()
+	c.mu.Lock()
+	live := make([]wal.Record, 0, len(c.jobs)+4)
+	for id, j := range c.jobs {
+		live = append(live, wal.Record{Type: wal.TypeSubmit, Job: id, Spec: j.h.job.Spec, Attempts: j.attempts})
+		if j.state == jobLeased {
+			live = append(live, wal.Record{Type: wal.TypeLease, Job: id, Worker: j.worker, Attempts: j.attempts})
+		}
+	}
+	c.completes = 0
+	c.mu.Unlock()
+	if err := c.wal.Compact(live); err != nil {
+		c.cfg.Logf("dispatch: wal checkpoint: %v", err)
+		return
+	}
+	c.cm.walCheckpoints.Inc()
+}
+
+// noteCompleteAndMaybeCheckpoint journals a terminal transition and, every
+// WALCompactEvery completions, checkpoints so the log tracks the live set
+// instead of the full submission history.
+func (c *Coordinator) noteCompleteAndMaybeCheckpoint(jid, status string) {
+	if c.wal == nil {
+		return
+	}
+	c.appendWAL(wal.Record{Type: wal.TypeComplete, Job: jid, Status: status})
+	c.mu.Lock()
+	c.completes++
+	due := c.completes >= c.cfg.WALCompactEvery
+	c.mu.Unlock()
+	if due {
+		c.checkpoint()
+	}
 }
 
 // endLeaseLocked observes the end of j's current lease (upload, expiry or
@@ -258,6 +415,34 @@ func (c *Coordinator) Submit(job Job, opts SubmitOpts) (Handle, error) {
 			j.onStart = append(j.onStart, opts.OnStart)
 		}
 		c.jobs[job.ID] = j
+		if c.wal == nil {
+			c.pending = append(c.pending, j)
+			c.notifyLocked()
+			c.mu.Unlock()
+			return j.h, nil
+		}
+		// Durable submit: the job is visible for coalescing (in c.jobs) but
+		// not leasable until its record is on disk — a lease granted before
+		// the fsync could complete a job a crashed coordinator would forget
+		// it ever accepted. The fsync itself runs outside c.mu; concurrent
+		// submitters share it via the log's group commit.
+		c.mu.Unlock()
+		if err := c.appendWAL(wal.Record{Type: wal.TypeSubmit, Job: job.ID, Spec: job.Spec}); err != nil {
+			c.mu.Lock()
+			if c.jobs[job.ID] == j {
+				delete(c.jobs, job.ID)
+			}
+			c.mu.Unlock()
+			j.h.complete(nil, err)
+			return nil, err
+		}
+		c.mu.Lock()
+		select {
+		case <-c.closed: // Close raced the fsync and already failed the handle
+			c.mu.Unlock()
+			return nil, ErrClosed
+		default:
+		}
 		c.pending = append(c.pending, j)
 		c.notifyLocked()
 		c.mu.Unlock()
@@ -267,7 +452,10 @@ func (c *Coordinator) Submit(job Job, opts SubmitOpts) (Handle, error) {
 
 // Close fails every non-terminal job with ErrClosed and stops the reaper.
 // Workers discover the shutdown on their next poll (connection refused or
-// 404) and re-register when a coordinator returns.
+// 404) and re-register when a coordinator returns. On a durable
+// coordinator the WAL is closed WITHOUT journaling completes for the
+// drained jobs: shutdown is not completion, and the next NewCoordinator on
+// the same path re-enters them.
 func (c *Coordinator) Close() {
 	c.closeOnce.Do(func() {
 		close(c.closed)
@@ -283,6 +471,11 @@ func (c *Coordinator) Close() {
 		c.notifyLocked()
 		c.spaceLocked()
 		c.mu.Unlock()
+		if c.wal != nil {
+			c.walMu.Lock()
+			c.wal.Close()
+			c.walMu.Unlock()
+		}
 	})
 	c.reaperWG.Wait()
 }
@@ -315,8 +508,8 @@ func (c *Coordinator) reaper() {
 }
 
 func (c *Coordinator) expireLeases(now time.Time) {
+	var walRecs []wal.Record
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	woke := false
 	for wid, w := range c.workers {
 		for id, j := range w.inflight {
@@ -332,6 +525,7 @@ func (c *Coordinator) expireLeases(now time.Time) {
 					id, wid, j.attempts, c.cfg.MaxAttempts)
 				j.h.complete(nil, fmt.Errorf("dispatch: job %.12s failed: lease expired after %d attempts", id, j.attempts))
 				delete(c.jobs, id)
+				walRecs = append(walRecs, wal.Record{Type: wal.TypeComplete, Job: id, Status: "failed"})
 				continue
 			}
 			c.cfg.Logf("dispatch: job %.12s: lease expired on worker %s, attempt %d/%d — requeueing",
@@ -340,6 +534,7 @@ func (c *Coordinator) expireLeases(now time.Time) {
 			j.enqueuedAt = now
 			c.cm.requeues.Inc()
 			c.pending = append([]*remoteJob{j}, c.pending...)
+			walRecs = append(walRecs, wal.Record{Type: wal.TypeRequeue, Job: id, Attempts: j.attempts})
 			woke = true
 		}
 		if len(w.inflight) == 0 && now.Sub(w.lastSeen) > 10*c.cfg.LeaseTTL {
@@ -349,6 +544,12 @@ func (c *Coordinator) expireLeases(now time.Time) {
 	if woke {
 		c.notifyLocked()
 	}
+	c.mu.Unlock()
+	// Journal outside c.mu. Crash windows here are safe in both directions:
+	// a requeue the log missed replays as "leased" and requeues on recovery
+	// anyway; an exhausted-fail the log missed replays as one more requeue
+	// and fails again on its next expiry.
+	c.appendWAL(walRecs...)
 }
 
 // Stats is a point-in-time snapshot of the coordinator, reported by sweep
@@ -357,13 +558,23 @@ type CoordinatorStats struct {
 	Workers int `json:"workers"`
 	Pending int `json:"pending"`
 	Leased  int `json:"leased"`
+	// Durable reports whether a WAL backs the queue. Recovered counts jobs
+	// replayed from the WAL at startup; Reattached counts leases adopted by
+	// workers that kept computing across a coordinator restart (or a lease
+	// expiry) and re-attached without a recompute.
+	Durable    bool `json:"durable,omitempty"`
+	Recovered  int  `json:"recovered,omitempty"`
+	Reattached int  `json:"reattached,omitempty"`
 }
 
 // Stats snapshots the queue.
 func (c *Coordinator) Stats() CoordinatorStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	st := CoordinatorStats{Workers: len(c.workers), Pending: len(c.pending)}
+	st := CoordinatorStats{
+		Workers: len(c.workers), Pending: len(c.pending),
+		Durable: c.wal != nil, Recovered: c.recovered, Reattached: c.reattached,
+	}
 	for _, w := range c.workers {
 		st.Leased += len(w.inflight)
 	}
@@ -444,7 +655,10 @@ func (c *Coordinator) Mount(mux *http.ServeMux) {
 
 func (c *Coordinator) handleRegister(w http.ResponseWriter, req *http.Request) {
 	var r registerRequest
-	if err := json.NewDecoder(req.Body).Decode(&r); err != nil {
+	// An empty body is a valid registration (defaults apply: anonymous
+	// worker, one slot) — the decoder's io.EOF on zero bytes is not an
+	// error, matching handleLease/handleHeartbeat. Malformed JSON still 400s.
+	if err := json.NewDecoder(req.Body).Decode(&r); err != nil && !errors.Is(err, io.EOF) {
 		httpErr(w, http.StatusBadRequest, "decoding registration: %v", err)
 		return
 	}
@@ -482,6 +696,7 @@ func (c *Coordinator) handleDeregister(w http.ResponseWriter, req *http.Request)
 		return
 	}
 	requeued := 0
+	var walRecs []wal.Record
 	for jid, j := range wk.inflight {
 		delete(wk.inflight, jid)
 		c.endLeaseLocked(j, id, "handover")
@@ -490,6 +705,7 @@ func (c *Coordinator) handleDeregister(w http.ResponseWriter, req *http.Request)
 		j.enqueuedAt = time.Now()
 		c.cm.requeues.Inc()
 		c.pending = append([]*remoteJob{j}, c.pending...)
+		walRecs = append(walRecs, wal.Record{Type: wal.TypeRequeue, Job: jid, Attempts: j.attempts})
 		requeued++
 	}
 	delete(c.workers, id)
@@ -498,6 +714,7 @@ func (c *Coordinator) handleDeregister(w http.ResponseWriter, req *http.Request)
 		c.notifyLocked()
 	}
 	c.mu.Unlock()
+	c.appendWAL(walRecs...) // journals the refunded attempt counts
 	c.cfg.Logf("dispatch: worker %s deregistered (%d jobs requeued)", id, requeued)
 	writeJSON(w, http.StatusOK, map[string]int{"requeued": requeued})
 }
@@ -536,7 +753,10 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, req *http.Request) {
 			j.state, j.worker = jobLeased, id
 			j.expiry = now.Add(c.cfg.LeaseTTL)
 			j.attempts++
+			j.suppressRelay = false // a fresh attempt re-reports from round zero, so relaying can resume
+			j.relayMu.Lock()
 			j.attemptSeen = 0 // fresh attempt re-runs from round zero
+			j.relayMu.Unlock()
 			c.cm.leaseWait.Observe(now.Sub(j.enqueuedAt).Seconds())
 			j.leasedAt, j.lastBeat = now, now
 			wk.inflight[j.h.job.ID] = j
@@ -544,8 +764,14 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, req *http.Request) {
 			starts := j.onStart
 			started := j.started
 			j.started, j.onStart = true, nil
+			attempts := j.attempts
 			c.spaceLocked()
 			c.mu.Unlock()
+			// Journal the grant before the worker learns of it. If the append
+			// is lost to a crash, recovery simply replays the job as pending —
+			// the worker's in-flight computation re-attaches via heartbeat
+			// adoption, so the window costs nothing.
+			c.appendWAL(wal.Record{Type: wal.TypeLease, Job: j.h.job.ID, Worker: id, Attempts: attempts})
 			if !started {
 				for _, f := range starts {
 					f()
@@ -588,6 +814,16 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, req *http.Request) {
 // handleHeartbeat extends the lease and relays progress. 410 tells the
 // worker its lease is gone (expired and requeued, or the job finished
 // elsewhere): abandon the work.
+//
+// A heartbeat for a job this worker does NOT hold, but which is sitting in
+// the pending queue, is a re-attach: the worker kept computing across a
+// coordinator restart (the job came back via WAL replay) or across its own
+// lease expiry, re-registered on 404, and is now heartbeating under its new
+// id. Adopting the lease — instead of answering 410 and forcing a recompute
+// — lets in-flight work survive a coordinator crash. Adoption counts as a
+// lease grant (attempts++, journaled); its heartbeat rounds are not relayed
+// because a mid-stream worker cannot be ordered against what an earlier
+// incarnation delivered — the result upload backfills the full history.
 func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, req *http.Request) {
 	wid, jid := req.PathValue("id"), req.PathValue("job")
 	var hb heartbeatRequest
@@ -620,31 +856,71 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, req *http.Request) 
 	}
 	wk.lastSeen = time.Now()
 	j, held := wk.inflight[jid]
+	adopted := false
 	if !held {
-		c.mu.Unlock()
-		httpErr(w, http.StatusGone, "lease on job %s lost", jid)
-		return
+		j2, live := c.jobs[jid]
+		if !live || j2.state != jobPending || len(wk.inflight) >= wk.slots {
+			c.mu.Unlock()
+			httpErr(w, http.StatusGone, "lease on job %s lost", jid)
+			return
+		}
+		for i, p := range c.pending {
+			if p == j2 {
+				c.pending = append(c.pending[:i], c.pending[i+1:]...)
+				c.spaceLocked()
+				break
+			}
+		}
+		now := time.Now()
+		j2.state, j2.worker = jobLeased, wid
+		j2.attempts++
+		j2.suppressRelay = true
+		c.cm.leaseWait.Observe(now.Sub(j2.enqueuedAt).Seconds())
+		j2.leasedAt = now
+		wk.inflight[jid] = j2
+		c.cm.slotsBusy.With(wk.label()).Set(float64(len(wk.inflight)))
+		c.cm.reattached.Inc()
+		c.reattached++
+		j, adopted = j2, true
 	}
 	now := time.Now()
 	j.expiry = now.Add(c.cfg.LeaseTTL)
-	c.cm.beatGap.Observe(now.Sub(j.lastBeat).Seconds())
+	if !adopted {
+		c.cm.beatGap.Observe(now.Sub(j.lastBeat).Seconds())
+	}
 	j.lastBeat = now
 	subs := append([]func(fl.RoundStat){}, j.onRound...)
-	// Relay only rounds past the high-water mark: a retry of a requeued job
-	// re-reports the rounds its predecessor already delivered.
-	var relay []fl.RoundStat
-	for _, st := range hb.Rounds {
-		j.attemptSeen++
-		if j.attemptSeen > j.relayed {
-			j.relayed = j.attemptSeen
-			relay = append(relay, st)
+	starts := j.onStart
+	started := j.started
+	j.started, j.onStart = true, nil
+	suppress := j.suppressRelay
+	attempts := j.attempts
+	c.mu.Unlock()
+	if adopted {
+		c.cfg.Logf("dispatch: job %.12s: worker %s re-attached mid-flight (attempt %d resumes)", jid, wid, attempts)
+		c.appendWAL(wal.Record{Type: wal.TypeLease, Job: jid, Worker: wid, Attempts: attempts})
+		if !started {
+			for _, f := range starts {
+				f()
+			}
 		}
 	}
-	c.mu.Unlock()
-	for _, st := range relay {
-		for _, f := range subs {
-			f(st)
+	if !suppress && len(hb.Rounds) > 0 {
+		// Relay only rounds past the high-water mark: a retry of a requeued
+		// job re-reports the rounds its predecessor already delivered.
+		// relayMu is held across the subscriber calls themselves so a
+		// concurrent result backfill cannot interleave with this delivery.
+		j.relayMu.Lock()
+		for _, st := range hb.Rounds {
+			j.attemptSeen++
+			if j.attemptSeen > j.relayed {
+				j.relayed = j.attemptSeen
+				for _, f := range subs {
+					f(st)
+				}
+			}
 		}
+		j.relayMu.Unlock()
 	}
 	writeJSON(w, http.StatusOK, struct{}{})
 }
@@ -717,7 +993,6 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, req *http.Request) {
 	// Detach the job wherever it currently lives: its uploader's inflight
 	// set, another worker's (requeued + re-leased), or the pending queue.
 	subs := append([]func(fl.RoundStat){}, j.onRound...)
-	relayed := j.relayed
 	delete(c.jobs, jid)
 	if j.worker != "" {
 		if wk, ok := c.workers[j.worker]; ok {
@@ -744,6 +1019,7 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, req *http.Request) {
 		// every worker) — retrying elsewhere would fail identically, so the
 		// job fails now; the retry budget is reserved for lease expiry.
 		c.cm.uploads.With("failed").Inc()
+		c.noteCompleteAndMaybeCheckpoint(jid, "failed")
 		j.h.complete(nil, fmt.Errorf("dispatch: job %.12s failed on worker %s: %s", jid, wid, rr.Error))
 		writeJSON(w, http.StatusOK, resultResponse{Status: "failed"})
 		return
@@ -754,6 +1030,7 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, req *http.Request) {
 		// detached; the worker sees the error and the submitter sees the
 		// failure.
 		c.cm.uploads.With("rejected").Inc()
+		c.noteCompleteAndMaybeCheckpoint(jid, "failed")
 		j.h.complete(nil, fmt.Errorf("dispatch: job %.12s: worker %s uploaded an empty history", jid, wid))
 		httpErr(w, http.StatusBadRequest, "empty history for job %s", jid)
 		return
@@ -765,6 +1042,11 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, req *http.Request) {
 		// is lost.
 		c.cfg.Logf("dispatch: persisting job %.12s: %v", jid, err)
 	}
+	// The complete record is journaled only after the artifact is durably in
+	// the store: a crash between the two replays the job, finds the artifact
+	// on recovery, and drops it — never the reverse, where the log says done
+	// but the store has nothing.
+	c.noteCompleteAndMaybeCheckpoint(jid, "stored")
 	// Persist the job's trace alongside the history: lease spans recorded by
 	// this coordinator (workers keep their own execution spans). Best-effort
 	// — traces are debugging artifacts, not part of the result contract.
@@ -777,14 +1059,19 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, req *http.Request) {
 	// the final beat — or all of them, for a job faster than one beat):
 	// the history holds the full ordered round list, so relaying past the
 	// high-water mark delivers every round exactly once, matching the
-	// local backend's progress contract.
-	if relayed < len(rr.History.Stats) {
-		for _, st := range rr.History.Stats[relayed:] {
+	// local backend's progress contract. relayMu is held across the
+	// deliveries so a straggling heartbeat relay for the same job cannot
+	// interleave its rounds with (or duplicate) the backfill.
+	j.relayMu.Lock()
+	if j.relayed < len(rr.History.Stats) {
+		for _, st := range rr.History.Stats[j.relayed:] {
 			for _, f := range subs {
 				f(st)
 			}
 		}
+		j.relayed = len(rr.History.Stats)
 	}
+	j.relayMu.Unlock()
 	j.h.complete(rr.History, nil)
 	writeJSON(w, http.StatusOK, resultResponse{Status: "stored"})
 }

@@ -18,6 +18,11 @@ type coordMetrics struct {
 	uploads   *obs.CounterVec // result uploads by terminal status
 	slotsBusy *obs.GaugeVec   // in-flight leases per worker
 	wire      wireMetrics     // binary-transport ingest accounting
+	// Durability series (all zero on an in-memory coordinator).
+	reattached     *obs.Counter // leases adopted by re-attaching workers
+	walRecords     *obs.Counter // records journaled to the WAL
+	walErrors      *obs.Counter // failed WAL appends (the log is poisoned)
+	walCheckpoints *obs.Counter // WAL compactions (startup + every WALCompactEvery completes)
 }
 
 // wireMetrics instruments the binary wire codec (internal/wire) wherever a
@@ -73,6 +78,9 @@ func newCoordMetrics(reg *obs.Registry, stats func() CoordinatorStats) coordMetr
 	reg.GaugeFunc("fedwcm_dispatch_leased", "Jobs currently leased to workers.", func() float64 {
 		return float64(stats().Leased)
 	})
+	reg.GaugeFunc("fedwcm_dispatch_recovered_jobs", "Jobs replayed from the WAL at the last coordinator startup.", func() float64 {
+		return float64(stats().Recovered)
+	})
 	return coordMetrics{
 		leaseWait: reg.Histogram("fedwcm_dispatch_lease_wait_seconds", "Time a job waited in the queue before its lease was granted.", nil),
 		leaseHold: reg.Histogram("fedwcm_dispatch_lease_hold_seconds", "Time a lease was held, from grant to upload or expiry.", nil),
@@ -83,6 +91,14 @@ func newCoordMetrics(reg *obs.Registry, stats func() CoordinatorStats) coordMetr
 		uploads:   reg.CounterVec("fedwcm_dispatch_uploads_total", "Result uploads ingested, by terminal status.", "status"),
 		slotsBusy: reg.GaugeVec("fedwcm_dispatch_worker_slots_busy", "In-flight leases per registered worker.", "worker"),
 		wire:      newWireMetrics(reg),
+		reattached: reg.Counter("fedwcm_dispatch_reattached_total",
+			"Leases adopted by workers that re-attached to an in-flight job (coordinator restart or lease expiry) without a recompute."),
+		walRecords: reg.Counter("fedwcm_dispatch_wal_records_total",
+			"Job-state transitions journaled to the write-ahead log."),
+		walErrors: reg.Counter("fedwcm_dispatch_wal_append_errors_total",
+			"WAL appends that failed; the log is poisoned and durable submits fail closed."),
+		walCheckpoints: reg.Counter("fedwcm_dispatch_wal_checkpoints_total",
+			"WAL compactions: the log rewritten down to the live job set."),
 	}
 }
 

@@ -1,0 +1,472 @@
+// Package wal is the coordinator's write-ahead log: an append-only journal
+// of job-state transitions (submit, lease, requeue, complete) that lets a
+// restarted coordinator rebuild its queue instead of dumping every
+// submitted cell.
+//
+// On-disk format: a 6-byte magic header ("FWAL1\n") followed by
+// length-prefixed frames —
+//
+//	u32le payload length | u32le CRC-32 (IEEE) of payload | payload
+//
+// where the payload is one record: a type byte followed by
+// uvarint-length-prefixed job / worker / status / spec fields and a uvarint
+// attempt counter. Every Append is fsync'd before it returns (concurrent
+// appenders share one fsync via group commit), so an acknowledged
+// submission survives power loss.
+//
+// Recovery semantics are deliberately asymmetric: a torn tail — a partial
+// frame, or a checksum mismatch on the final frame — is the expected
+// signature of a crash mid-append and is truncated away, while a checksum
+// mismatch anywhere before the tail means the file was damaged after it
+// was written (bit rot, truncation in the middle) and Open fails closed
+// with ErrCorrupt rather than silently dropping acknowledged work.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"fedwcm/internal/store"
+)
+
+// Type enumerates the journaled transitions.
+type Type uint8
+
+const (
+	// TypeSubmit journals a job entering the queue (carries the spec).
+	TypeSubmit Type = iota + 1
+	// TypeLease journals a lease grant (carries the worker and the
+	// post-grant attempt count).
+	TypeLease
+	// TypeRequeue journals a job returning to the queue (carries the
+	// post-adjustment attempt count: unchanged after expiry, refunded after
+	// a clean handover).
+	TypeRequeue
+	// TypeComplete journals a terminal outcome; replay drops the job.
+	TypeComplete
+)
+
+// Record is one journaled transition.
+type Record struct {
+	Type     Type
+	Job      string // fingerprint
+	Worker   string // lease holder (TypeLease only)
+	Attempts int    // leases granted so far (TypeLease / TypeRequeue / compacted TypeSubmit)
+	Status   string // terminal status (TypeComplete): "stored" or "failed"
+	Spec     []byte // canonical spec JSON (TypeSubmit only)
+}
+
+// JobState is one live (non-terminal) job reconstructed by replay.
+type JobState struct {
+	ID       string
+	Spec     []byte
+	Attempts int    // leases granted before the crash
+	Leased   bool   // a lease was active when the log ended
+	Worker   string // last lease holder (informational)
+}
+
+// Recovery reports what Open found in an existing log.
+type Recovery struct {
+	Jobs      []JobState // live jobs, in submission order
+	Records   int        // valid records replayed
+	Completes int        // terminal records seen (compaction pressure)
+	Torn      bool       // the log ended in a partial or half-written frame
+	Truncated int64      // bytes dropped from the torn tail
+}
+
+// ErrCorrupt means the log is damaged before its tail: a record that was
+// once durable no longer checksums. Open fails rather than replaying a
+// partial history as if it were complete.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// errClosed poisons appends after Close.
+var errClosed = errors.New("wal: closed")
+
+const (
+	fileMagic = "FWAL1\n"
+	headerLen = 8 // u32 length + u32 CRC-32, little-endian
+	// maxRecord bounds one frame's payload. Specs are a few KB of canonical
+	// JSON; anything claiming more is a corrupt length field, not a record.
+	maxRecord = 8 << 20
+)
+
+// Log is an open write-ahead log. Append is safe for concurrent use;
+// concurrent callers share fsyncs via group commit (one leader flushes the
+// combined buffer while the rest wait on its generation).
+type Log struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	f       *os.File
+	path    string
+	buf     []byte // frames appended but not yet flushed
+	seq     uint64 // append generations buffered so far
+	synced  uint64 // generations durably on disk
+	syncing bool   // a leader is mid-flush
+	err     error  // sticky: a failed write or fsync poisons the log
+}
+
+// Open opens (creating if absent) the log at path, replays it, and returns
+// the log positioned for appends plus what recovery found. A torn tail is
+// truncated away and noted in Recovery; damage before the tail returns
+// ErrCorrupt and no log.
+func Open(path string) (*Log, *Recovery, error) {
+	if path == "" {
+		return nil, nil, fmt.Errorf("wal: empty path")
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	rec, end, rerr := replay(f)
+	if rerr != nil {
+		f.Close()
+		return nil, nil, rerr
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	if end < info.Size() {
+		// Torn tail: drop it now so a later crash cannot concatenate new
+		// frames onto half a frame and turn a benign tear into ErrCorrupt.
+		if err := f.Truncate(end); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: truncating torn tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: %w", err)
+		}
+	}
+	// replay left the descriptor at the old EOF; reposition onto the valid
+	// prefix so the next write (magic or frame) lands on the boundary.
+	if _, err := f.Seek(end, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	if end == 0 {
+		// Fresh (or fully torn) file: stamp the magic and make the file's
+		// existence durable before any record is acknowledged.
+		if _, err := f.Write([]byte(fileMagic)); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: %w", err)
+		}
+		if err := store.SyncDir(filepath.Dir(path)); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: %w", err)
+		}
+	}
+	l := &Log{f: f, path: path}
+	l.cond = sync.NewCond(&l.mu)
+	return l, rec, nil
+}
+
+// Append journals the records and returns once they are durable. Multiple
+// records in one call land atomically with respect to recovery ordering
+// (they share one flush). An error is sticky: once a write or fsync fails
+// the log refuses further appends, so callers fail closed instead of
+// acknowledging work that was never persisted.
+func (l *Log) Append(recs ...Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	var frames []byte
+	for i := range recs {
+		frames = appendFrame(frames, &recs[i])
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	l.buf = append(l.buf, frames...)
+	l.seq++
+	target := l.seq
+	for l.synced < target && l.err == nil {
+		if !l.syncing {
+			// Become the leader: flush everything buffered so far (our frames
+			// included) with a single write+fsync on behalf of every waiter.
+			l.syncing = true
+			batch := l.buf
+			flushed := l.seq
+			l.buf = nil
+			f := l.f
+			l.mu.Unlock()
+			var ferr error
+			if _, werr := f.Write(batch); werr != nil {
+				ferr = werr
+			} else if serr := f.Sync(); serr != nil {
+				ferr = serr
+			}
+			l.mu.Lock()
+			l.syncing = false
+			if ferr != nil {
+				l.err = fmt.Errorf("wal: append: %w", ferr)
+			} else if l.synced < flushed {
+				l.synced = flushed
+			}
+			l.cond.Broadcast()
+		} else {
+			l.cond.Wait()
+		}
+	}
+	if l.synced >= target {
+		return nil
+	}
+	return l.err
+}
+
+// Compact atomically replaces the log's contents with live: a fresh file
+// is written beside the log, fsync'd, and renamed over it. The caller must
+// guarantee no concurrent Append (the coordinator holds its WAL gate
+// exclusively during checkpoints); live is typically one TypeSubmit — plus
+// one TypeLease for held leases — per non-terminal job.
+func (l *Log) Compact(live []Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.syncing {
+		l.cond.Wait()
+	}
+	if l.err != nil {
+		return l.err
+	}
+	dir := filepath.Dir(l.path)
+	tmp, err := os.CreateTemp(dir, ".wal-compact-*")
+	if err != nil {
+		return fmt.Errorf("wal: compact: %w", err)
+	}
+	frames := []byte(fileMagic)
+	for i := range live {
+		frames = appendFrame(frames, &live[i])
+	}
+	// Any frames buffered by appenders that were pre-empted before flushing
+	// describe transitions older than the caller's snapshot; carrying them
+	// into the new file keeps their Append calls truthful (replay tolerates
+	// stale lease/complete records for unknown jobs).
+	frames = append(frames, l.buf...)
+	l.buf = nil
+	l.synced = l.seq
+	_, werr := tmp.Write(frames)
+	if werr == nil {
+		werr = store.SyncFile(tmp)
+	}
+	if werr != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("wal: compact: %w", werr)
+	}
+	if err := os.Rename(tmp.Name(), l.path); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("wal: compact: %w", err)
+	}
+	if err := store.SyncDir(dir); err != nil {
+		tmp.Close()
+		return fmt.Errorf("wal: compact: %w", err)
+	}
+	// tmp's descriptor now names the live log file (the rename moved the
+	// inode, not the handle); adopt it and retire the old one.
+	l.f.Close()
+	l.f = tmp
+	l.cond.Broadcast() // anyone whose buffered frames we carried is now durable
+	return nil
+}
+
+// Close flushes nothing extra (Append already synced everything it
+// acknowledged) and releases the file. Further appends fail.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	for l.syncing {
+		l.cond.Wait()
+	}
+	f := l.f
+	l.f = nil
+	if l.err == nil {
+		l.err = errClosed
+	}
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	if f != nil {
+		return f.Close()
+	}
+	return nil
+}
+
+// --- encoding ---
+
+func appendFrame(dst []byte, r *Record) []byte {
+	payload := encodePayload(r)
+	var hdr [headerLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+func encodePayload(r *Record) []byte {
+	out := []byte{byte(r.Type)}
+	out = appendString(out, r.Job)
+	out = appendString(out, r.Worker)
+	out = binary.AppendUvarint(out, uint64(max(r.Attempts, 0)))
+	out = appendString(out, r.Status)
+	out = appendString(out, string(r.Spec))
+	return out
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func decodePayload(p []byte) (Record, error) {
+	var r Record
+	if len(p) < 1 {
+		return r, fmt.Errorf("%w: empty payload", ErrCorrupt)
+	}
+	r.Type = Type(p[0])
+	if r.Type < TypeSubmit || r.Type > TypeComplete {
+		return r, fmt.Errorf("%w: unknown record type %d", ErrCorrupt, p[0])
+	}
+	p = p[1:]
+	var err error
+	if r.Job, p, err = readString(p); err != nil {
+		return r, err
+	}
+	if r.Worker, p, err = readString(p); err != nil {
+		return r, err
+	}
+	att, n := binary.Uvarint(p)
+	if n <= 0 || att > 1<<31 {
+		return r, fmt.Errorf("%w: bad attempt varint", ErrCorrupt)
+	}
+	r.Attempts = int(att)
+	p = p[n:]
+	if r.Status, p, err = readString(p); err != nil {
+		return r, err
+	}
+	var spec string
+	if spec, p, err = readString(p); err != nil {
+		return r, err
+	}
+	if spec != "" {
+		r.Spec = []byte(spec)
+	}
+	if len(p) != 0 {
+		return r, fmt.Errorf("%w: %d trailing payload bytes", ErrCorrupt, len(p))
+	}
+	return r, nil
+}
+
+func readString(p []byte) (string, []byte, error) {
+	n, w := binary.Uvarint(p)
+	if w <= 0 || n > uint64(len(p)-w) {
+		return "", nil, fmt.Errorf("%w: bad string field", ErrCorrupt)
+	}
+	return string(p[w : w+int(n)]), p[w+int(n):], nil
+}
+
+// --- replay ---
+
+// replay scans f from the start and folds every valid record into live job
+// state. It returns the recovery summary and the byte offset of the valid
+// prefix (everything past it is a torn tail the caller truncates).
+func replay(f *os.File) (*Recovery, int64, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, fmt.Errorf("wal: %w", err)
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, 0, fmt.Errorf("wal: %w", err)
+	}
+	rec := &Recovery{}
+	if len(data) < len(fileMagic) {
+		// Nothing, or a tear inside the magic itself (crash between create
+		// and the header fsync): recover to an empty log.
+		rec.Torn = len(data) > 0
+		rec.Truncated = int64(len(data))
+		return rec, 0, nil
+	}
+	if string(data[:len(fileMagic)]) != fileMagic {
+		return nil, 0, fmt.Errorf("%w: bad file header", ErrCorrupt)
+	}
+	jobs := make(map[string]*JobState)
+	var order []string
+	off := len(fileMagic)
+	for off < len(data) {
+		if len(data)-off < headerLen {
+			rec.Torn, rec.Truncated = true, int64(len(data)-off)
+			break
+		}
+		plen := binary.LittleEndian.Uint32(data[off : off+4])
+		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if plen > maxRecord {
+			return nil, 0, fmt.Errorf("%w: frame at offset %d claims %d bytes", ErrCorrupt, off, plen)
+		}
+		if uint32(len(data)-off-headerLen) < plen {
+			rec.Torn, rec.Truncated = true, int64(len(data)-off)
+			break
+		}
+		payload := data[off+headerLen : off+headerLen+int(plen)]
+		if crc32.ChecksumIEEE(payload) != sum {
+			if off+headerLen+int(plen) == len(data) {
+				// The final frame: indistinguishable from a crash that tore
+				// the payload write. Truncate, don't fail.
+				rec.Torn, rec.Truncated = true, int64(len(data)-off)
+				break
+			}
+			return nil, 0, fmt.Errorf("%w: checksum mismatch at offset %d", ErrCorrupt, off)
+		}
+		r, derr := decodePayload(payload)
+		if derr != nil {
+			return nil, 0, fmt.Errorf("wal: frame at offset %d: %w", off, derr)
+		}
+		applyRecord(jobs, &order, r, rec)
+		rec.Records++
+		off += headerLen + int(plen)
+	}
+	for _, id := range order {
+		if j, ok := jobs[id]; ok && j != nil {
+			rec.Jobs = append(rec.Jobs, *j)
+			delete(jobs, id) // a resubmitted id appears once per live epoch
+		}
+	}
+	return rec, int64(off), nil
+}
+
+// applyRecord folds one record into the live-job map. Records for unknown
+// jobs (stale lease/requeue/complete surviving a compaction race) are
+// ignored: replay is a conservative fold, not a strict state machine.
+func applyRecord(jobs map[string]*JobState, order *[]string, r Record, rec *Recovery) {
+	switch r.Type {
+	case TypeSubmit:
+		if jobs[r.Job] == nil {
+			jobs[r.Job] = &JobState{ID: r.Job, Spec: r.Spec, Attempts: r.Attempts}
+			*order = append(*order, r.Job)
+		}
+	case TypeLease:
+		if j := jobs[r.Job]; j != nil {
+			j.Leased, j.Worker, j.Attempts = true, r.Worker, r.Attempts
+		}
+	case TypeRequeue:
+		if j := jobs[r.Job]; j != nil {
+			j.Leased, j.Worker, j.Attempts = false, "", r.Attempts
+		}
+	case TypeComplete:
+		rec.Completes++
+		delete(jobs, r.Job)
+	}
+}

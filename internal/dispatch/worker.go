@@ -43,7 +43,10 @@ type WorkerConfig struct {
 // cancelled and the work abandoned, never uploaded twice as a conflicting
 // result (uploads are idempotent by fingerprint anyway). A 404 on lease or
 // heartbeat means the coordinator forgot the worker (restart, pruning):
-// the worker re-registers and carries on.
+// the worker re-registers and carries on — for an in-flight job, the next
+// heartbeat under the fresh id re-attaches to the job a WAL-backed
+// coordinator recovered, so the computation survives the restart instead
+// of being redone.
 type Worker struct {
 	cfg WorkerConfig
 
@@ -147,6 +150,12 @@ func (w *Worker) register(ctx context.Context) error {
 	}
 }
 
+// deregisterTimeout bounds the clean-handover DELETE: deregistration runs
+// on the SIGTERM path, and a wedged coordinator must not hang shutdown —
+// past the deadline the worker leaves anyway and its leases lapse, which
+// requeues the same jobs a few seconds later.
+const deregisterTimeout = 3 * time.Second
+
 func (w *Worker) deregister() {
 	w.mu.Lock()
 	id := w.id
@@ -154,7 +163,9 @@ func (w *Worker) deregister() {
 	if id == "" {
 		return
 	}
-	req, err := http.NewRequest(http.MethodDelete, w.cfg.Coordinator+"/v1/workers/"+id, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), deregisterTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, w.cfg.Coordinator+"/v1/workers/"+id, nil)
 	if err != nil {
 		return
 	}
@@ -189,6 +200,7 @@ func (w *Worker) lease(ctx context.Context) (Job, string, bool) {
 	id := w.id
 	w.mu.Unlock()
 	var resp leaseResponse
+	t0 := time.Now()
 	code, err := w.postJSON(ctx, w.cfg.Coordinator+"/v1/workers/"+id+"/lease", "",
 		leaseRequest{WaitMS: w.cfg.PollWait.Milliseconds()}, &resp)
 	switch {
@@ -208,6 +220,16 @@ func (w *Worker) lease(ctx context.Context) (Job, string, bool) {
 		w.reregister(ctx, id)
 		return Job{}, id, false
 	case code == http.StatusNoContent:
+		// An empty poll normally holds server-side for ~PollWait. One that
+		// returns much sooner means the coordinator is not pacing us (it is
+		// draining for shutdown, or granted the wait to another slot) — sleep
+		// the remainder here or this loop spins at connection speed.
+		if elapsed := time.Since(t0); elapsed < w.cfg.PollWait/2 {
+			select {
+			case <-ctx.Done():
+			case <-time.After(w.cfg.PollWait - elapsed):
+			}
+		}
 		return Job{}, id, false
 	default:
 		w.cfg.Logf("dispatch: lease returned HTTP %d", code)
@@ -270,7 +292,13 @@ func (w *Worker) execute(ctx context.Context, job Job, id string) {
 		statsMu.Unlock()
 		return out
 	}
-	hbURL := fmt.Sprintf("%s/v1/workers/%s/jobs/%s/heartbeat", w.cfg.Coordinator, id, job.ID)
+	// curID is the worker id the job currently heartbeats and uploads as. It
+	// starts as the id the lease was granted under and advances when a
+	// coordinator restart forces a re-registration mid-job; only the
+	// heartbeat goroutine writes it, and the upload path reads it strictly
+	// after <-hbDone.
+	curID := id
+	hbURL := fmt.Sprintf("%s/v1/workers/%s/jobs/%s/heartbeat", w.cfg.Coordinator, curID, job.ID)
 	hbDone := make(chan struct{})
 	go func() {
 		defer close(hbDone)
@@ -300,7 +328,29 @@ func (w *Worker) execute(ctx context.Context, job Job, id string) {
 					statsMu.Unlock()
 					continue
 				}
-				if code == http.StatusGone || code == http.StatusNotFound {
+				if code == http.StatusNotFound {
+					// The coordinator forgot this worker — a restart, not a
+					// lost lease. Re-register and keep computing: the next
+					// beat under the fresh id re-attaches to the job if the
+					// restarted coordinator recovered it from its WAL (it
+					// adopts the lease without a recompute), and draws an
+					// honest 410 if it did not.
+					statsMu.Lock()
+					stats = append(batch, stats...)
+					statsMu.Unlock()
+					w.reregister(jobCtx, curID)
+					w.mu.Lock()
+					next := w.id
+					w.mu.Unlock()
+					if next == "" || next == curID {
+						continue // re-registration interrupted; retry next beat
+					}
+					w.cfg.Logf("dispatch: job %.12s: re-attaching as %s (was %s)", job.ID, next, curID)
+					curID = next
+					hbURL = fmt.Sprintf("%s/v1/workers/%s/jobs/%s/heartbeat", w.cfg.Coordinator, curID, job.ID)
+					continue
+				}
+				if code == http.StatusGone {
 					w.wm.leaseLost.Inc()
 					w.cfg.Logf("dispatch: lease on job %.12s lost (HTTP %d); abandoning", job.ID, code)
 					statsMu.Lock()
@@ -347,7 +397,7 @@ func (w *Worker) execute(ctx context.Context, job Job, id string) {
 		upCtx, upCancel = context.WithTimeout(context.Background(), 10*time.Second)
 		defer upCancel()
 	}
-	resURL := fmt.Sprintf("%s/v1/workers/%s/jobs/%s/result", w.cfg.Coordinator, id, job.ID)
+	resURL := fmt.Sprintf("%s/v1/workers/%s/jobs/%s/result", w.cfg.Coordinator, curID, job.ID)
 	var ack resultResponse
 	for attempt := 0; attempt < 3; attempt++ {
 		code, uerr := w.postWire(upCtx, resURL, job.ID, resBody, &ack)

@@ -102,6 +102,7 @@ func canonicalResult(t *testing.T, raw []byte) string {
 		t.Fatalf("decoding result: %v (%s)", err, raw)
 	}
 	delete(m, "env_cache")
+	delete(m, "dispatch") // control-plane snapshot exists only on the remote side
 	b, err := json.Marshal(m)
 	if err != nil {
 		t.Fatal(err)

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"sync"
 
+	"fedwcm/internal/dispatch"
 	"fedwcm/internal/sweep"
 )
 
@@ -184,13 +185,31 @@ type sweepSummary struct {
 	// misses, evictions, entries) — how often cells reused an already built
 	// dataset+partition instead of constructing one.
 	EnvCache *sweep.EnvCacheStats `json:"env_cache,omitempty"`
-	Cells    []sweepCellRow       `json:"cells,omitempty"`
+	// Dispatch reports the control-plane snapshot when execution is
+	// delegated to a coordinator: queue depth, workers, and — on a
+	// WAL-backed coordinator — whether the process is durable and how many
+	// jobs the last restart recovered. Absent in local-pool mode.
+	Dispatch *dispatch.CoordinatorStats `json:"dispatch,omitempty"`
+	Cells    []sweepCellRow             `json:"cells,omitempty"`
 }
 
 // envStats snapshots the server's environment cache for API responses.
 func (s *Server) envStats() *sweep.EnvCacheStats {
 	st := s.cfg.Envs.Stats()
 	return &st
+}
+
+// dispatchStats snapshots the executor's control-plane view when the
+// backend exposes one (a dispatch.Coordinator in remote mode); nil for the
+// local pool, so the field stays absent from local responses.
+func (s *Server) dispatchStats() *dispatch.CoordinatorStats {
+	if c, ok := s.exec.(interface {
+		Stats() dispatch.CoordinatorStats
+	}); ok {
+		cs := c.Stats()
+		return &cs
+	}
+	return nil
 }
 
 type sweepCellRow struct {
@@ -362,21 +381,23 @@ func (s *Server) handleSweepStatus(w http.ResponseWriter, req *http.Request) {
 	}
 	sum := sw.summary(true)
 	sum.EnvCache = s.envStats()
+	sum.Dispatch = s.dispatchStats()
 	writeJSON(w, http.StatusOK, sum)
 }
 
 // sweepResultResponse is the aggregated view of a finished sweep: the
 // seed-collapsed groups plus a rendered text table for human eyes.
 type sweepResultResponse struct {
-	ID       string               `json:"id"`
-	Status   string               `json:"status"`
-	Total    int                  `json:"total"`
-	Cached   int                  `json:"cached"`
-	Computed int                  `json:"computed"`
-	Failed   int                  `json:"failed"`
-	EnvCache *sweep.EnvCacheStats `json:"env_cache,omitempty"`
-	Groups   []*sweep.Group       `json:"groups"`
-	Table    string               `json:"table"`
+	ID       string                     `json:"id"`
+	Status   string                     `json:"status"`
+	Total    int                        `json:"total"`
+	Cached   int                        `json:"cached"`
+	Computed int                        `json:"computed"`
+	Failed   int                        `json:"failed"`
+	EnvCache *sweep.EnvCacheStats       `json:"env_cache,omitempty"`
+	Dispatch *dispatch.CoordinatorStats `json:"dispatch,omitempty"`
+	Groups   []*sweep.Group             `json:"groups"`
+	Table    string                     `json:"table"`
 }
 
 func (s *Server) handleSweepResult(w http.ResponseWriter, req *http.Request) {
@@ -403,6 +424,7 @@ func (s *Server) handleSweepResult(w http.ResponseWriter, req *http.Request) {
 		Computed: res.Computed,
 		Failed:   res.Failed,
 		EnvCache: s.envStats(),
+		Dispatch: s.dispatchStats(),
 		Groups:   res.Groups,
 		Table:    res.AggTable(title).String(),
 	})

@@ -1,0 +1,36 @@
+package store
+
+import (
+	"fmt"
+	"os"
+)
+
+// SyncFile flushes f's contents to stable storage. An atomic
+// write-then-rename is only crash-safe if the data reaches the platter
+// before the rename publishes the name — otherwise a power loss can leave
+// the final name pointing at a zero-length or partial file.
+func SyncFile(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("store: fsync %s: %w", f.Name(), err)
+	}
+	return nil
+}
+
+// SyncDir fsyncs the directory at path, making renames and file creations
+// inside it durable. Renaming over a name updates the directory entry, and
+// that entry lives in the directory's own blocks — syncing only the file
+// leaves the rename itself at the mercy of a crash.
+func SyncDir(path string) error {
+	d, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("store: sync dir: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("store: sync dir %s: %w", path, err)
+	}
+	return nil
+}

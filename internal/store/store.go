@@ -7,9 +7,10 @@
 // Layout mirrors git's object store: <root>/<fp[:2]>/<fp>.json, one JSONL
 // file per history in the internal/trace encoding (the same format fedsim
 // -json emits, so CLI output round-trips into the store). Writes are
-// atomic — temp file in the target directory, then rename — so a crashed
-// writer never leaves a half-written artifact where a reader could find
-// it. A small in-memory LRU fronts the disk for the hot cells of a sweep.
+// atomic and durable — temp file in the target directory, fsync, rename,
+// then a directory fsync — so a crashed writer (or a power loss mid-write)
+// never leaves a half-written artifact where a reader could find it. A
+// small in-memory LRU fronts the disk for the hot cells of a sweep.
 package store
 
 import (
@@ -172,8 +173,20 @@ func (s *Store) Put(fp string, h *fl.History) error {
 		defer func(start time.Time) { s.putSeconds.Observe(time.Since(start).Seconds()) }(time.Now())
 	}
 	dir := filepath.Dir(s.Path(fp))
+	newDir := false
+	if _, serr := os.Stat(dir); serr != nil {
+		newDir = true
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("store: %w", err)
+	}
+	if newDir {
+		// The prefix directory itself is a new entry in the root; make its
+		// creation durable so the renamed artifact below has a parent that
+		// survives a crash.
+		if err := SyncDir(s.root); err != nil {
+			return err
+		}
 	}
 	tmp, err := os.CreateTemp(dir, "."+fp[:8]+"-*.tmp")
 	if err != nil {
@@ -182,6 +195,12 @@ func (s *Store) Put(fp string, h *fl.History) error {
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
 	cw := &countingWriter{w: tmp}
 	err = trace.WriteJSONL(cw, map[string]*fl.History{fp: h})
+	if err == nil {
+		// The data must be on stable storage before the rename publishes the
+		// name: rename-then-crash without this can leave the final path
+		// holding an empty or truncated artifact.
+		err = SyncFile(tmp)
+	}
 	if cerr := tmp.Close(); err == nil {
 		err = cerr
 	}
@@ -190,6 +209,9 @@ func (s *Store) Put(fp string, h *fl.History) error {
 	}
 	if err := os.Rename(tmp.Name(), s.Path(fp)); err != nil {
 		return fmt.Errorf("store: %w", err)
+	}
+	if err := SyncDir(dir); err != nil {
+		return err
 	}
 	s.putBytes.Add(uint64(cw.n))
 	s.mu.Lock()

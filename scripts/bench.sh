@@ -11,16 +11,21 @@
 # BENCH_async.json (or $4) with the async-vs-sync wall-clock-to-target
 # comparison and the virtual-time core's event throughput (cmd/asyncbench),
 # plus BENCH_wire.json (or $5) with the binary transport codec's byte
-# reduction vs. the JSON bodies it replaced (cmd/wirebench), so performance
-# work lands as tracked numbers instead of claims. CI smoke-runs this with
-# BENCHTIME=1x to keep it executable; real numbers come from the default
-# BENCHTIME (or a longer one on quiet hardware):
+# reduction vs. the JSON bodies it replaced (cmd/wirebench), plus
+# BENCH_control_plane.json (or $6) with the coordinator load test
+# (cmd/ctlbench: submit throughput/latency, WAL recovery time and sustained
+# drain rate with worker crashes mid-sweep), so performance work lands as
+# tracked numbers instead of claims. CI smoke-runs this with BENCHTIME=1x
+# to keep it executable; real numbers come from the default BENCHTIME (or a
+# longer one on quiet hardware):
 #
-#   scripts/bench.sh                    # writes BENCH_hotpath.json + BENCH_dispatch.json + BENCH_obs.json + BENCH_async.json + BENCH_wire.json
+#   scripts/bench.sh                    # writes BENCH_hotpath.json + BENCH_dispatch.json + BENCH_obs.json + BENCH_async.json + BENCH_wire.json + BENCH_control_plane.json
 #   BENCHTIME=100x scripts/bench.sh     # steadier numbers
-#   BENCHTIME=1x scripts/bench.sh /tmp/bench.json /tmp/dispatch.json /tmp/obs.json /tmp/async.json /tmp/wire.json   # CI smoke
+#   BENCHTIME=1x scripts/bench.sh /tmp/bench.json /tmp/dispatch.json /tmp/obs.json /tmp/async.json /tmp/wire.json /tmp/ctl.json   # CI smoke
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+command -v jq >/dev/null || { echo "bench.sh: jq is required (control-plane gates)"; exit 1; }
 
 BENCHTIME="${BENCHTIME:-20x}"
 OUT="${1:-BENCH_hotpath.json}"
@@ -28,6 +33,7 @@ DISPATCH_OUT="${2:-BENCH_dispatch.json}"
 OBS_OUT="${3:-BENCH_obs.json}"
 ASYNC_OUT="${4:-BENCH_async.json}"
 WIRE_OUT="${5:-BENCH_wire.json}"
+CTL_OUT="${6:-BENCH_control_plane.json}"
 # The system's hot paths: one aggregation round, one client's local round,
 # server-side aggregation, evaluation, the CNN forward/backward, and the
 # Dirichlet partitioner. Table/figure regeneration benches are excluded —
@@ -108,3 +114,22 @@ go run ./cmd/wirebench -out "$WIRE_OUT"
 wire_ratio=$(grep -o '"ratio": [0-9.]*' "$WIRE_OUT" | head -1 | grep -o '[0-9.]*$')
 awk -v r="$wire_ratio" 'BEGIN { exit !(r >= 5) }' \
   || { echo "bench.sh: wire result-upload reduction ${wire_ratio}x is below the 5x target"; exit 1; }
+
+# Control-plane load test: submit latency at depth, WAL crash recovery, and
+# sustained drain with workers killed and joining mid-sweep. The smoke
+# setting shrinks the queue; the gates are correctness-shaped either way —
+# every cell must complete in both modes, and the WAL run must replay the
+# full queue after its crash-restart.
+if [ "$BENCHTIME" = "1x" ]; then CTL_CELLS=1500; else CTL_CELLS=12000; fi
+go run ./cmd/ctlbench -cells "$CTL_CELLS" -out "$CTL_OUT"
+for mode in 0 1; do
+  completed=$(jq -r ".runs[$mode].drain.completed" "$CTL_OUT")
+  [ "$completed" = "$CTL_CELLS" ] \
+    || { echo "bench.sh: ctlbench run $mode completed $completed/$CTL_CELLS cells"; exit 1; }
+done
+recovered=$(jq -r '.runs[1].recovery.recovered' "$CTL_OUT")
+[ "$recovered" = "$CTL_CELLS" ] \
+  || { echo "bench.sh: WAL recovery replayed $recovered/$CTL_CELLS jobs"; exit 1; }
+p99=$(jq -r '.runs[1].submit.p99_us' "$CTL_OUT")
+awk -v p="$p99" 'BEGIN { exit !(p > 0) }' \
+  || { echo "bench.sh: WAL submit p99 missing from $CTL_OUT"; exit 1; }

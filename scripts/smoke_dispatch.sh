@@ -115,8 +115,11 @@ local_id=$(curl -sf -X POST "http://$LOCAL_ADDR/v1/sweeps" -d "$SWEEP" | jq -r .
 wait_result "$LOCAL_ADDR" "$local_id" "$WORK/local.json"
 
 echo "== comparing aggregated results"
-jq -S 'del(.env_cache)' "$WORK/remote.json" > "$WORK/remote.canon.json"
-jq -S 'del(.env_cache)' "$WORK/local.json" > "$WORK/local.canon.json"
+# env_cache lives on whichever side builds environments; dispatch (the
+# control-plane snapshot) exists only on the remote backend. Everything
+# else must match byte-for-byte.
+jq -S 'del(.env_cache, .dispatch)' "$WORK/remote.json" > "$WORK/remote.canon.json"
+jq -S 'del(.env_cache, .dispatch)' "$WORK/local.json" > "$WORK/local.canon.json"
 if ! cmp -s "$WORK/remote.canon.json" "$WORK/local.canon.json"; then
   echo "smoke_dispatch: results diverge between backends:"
   diff "$WORK/local.canon.json" "$WORK/remote.canon.json" || true
@@ -131,4 +134,59 @@ for f in $(cd "$WORK/local-store" && find . -name '*.json'); do
     || { echo "smoke_dispatch: artifact $f differs between stores"; exit 1; }
 done
 
-echo "smoke_dispatch: OK — remote (2 workers) and local backends agree byte-for-byte"
+echo "== WAL crash recovery: SIGKILL the coordinator mid-sweep"
+# A WAL-backed coordinator is killed with no warning while a bigger sweep
+# is in flight, then restarted on the same log + store. The restarted
+# process must replay the journaled queue, the worker must re-attach on
+# its own, and resubmitting the same sweep must coalesce onto the
+# recovered jobs and finish with every cell accounted for.
+WAL_ADDR="127.0.0.1:18095"
+# Slower cells than the equivalence sweep on purpose: the kill must land
+# while jobs are still journaled in the WAL, not in the gap after the last
+# complete compacted the log.
+WAL_SWEEP='{"methods":["fedavg"],"seed_count":4,"clients":[8],"sample_rates":[0.5],"local_epochs":[2],"model":"mlp","rounds":30,"effort":0.2}'
+
+"$WORK/fedserve" -remote -addr "$WAL_ADDR" -store "$WORK/wal-store" -lease 5s \
+  -wal "$WORK/coord.wal" 2>"$WORK/coord1.log" &
+WAL_PID=$!
+PIDS+=("$WAL_PID")
+wait_up "$WAL_ADDR"
+"$WORK/fedserve" -worker -join "http://$WAL_ADDR" -name w3 &
+PIDS+=($!)
+
+wal_id=$(curl -sf -X POST "http://$WAL_ADDR/v1/sweeps" -d "$WAL_SWEEP" | jq -r .id)
+echo "   sweep $wal_id submitted to the WAL-backed coordinator"
+
+# Wait until the sweep is genuinely mid-flight: >=1 cell finished, >=1 not.
+for _ in $(seq 1 300); do
+  summary=$(curl -s "http://$WAL_ADDR/v1/sweeps/$wal_id")
+  done_cells=$(jq -r '(.counts.done // 0) + (.counts.cached // 0)' <<<"$summary")
+  total_cells=$(jq -r .total <<<"$summary")
+  [ "$done_cells" -ge 1 ] && [ "$done_cells" -lt "$total_cells" ] && break
+  sleep 0.1
+done
+[ "${done_cells:-0}" -ge 1 ] || { echo "smoke_dispatch: sweep never got mid-flight"; exit 1; }
+
+kill -9 "$WAL_PID"
+echo "   coordinator SIGKILLed with $done_cells/$total_cells cells done"
+
+"$WORK/fedserve" -remote -addr "$WAL_ADDR" -store "$WORK/wal-store" -lease 5s \
+  -wal "$WORK/coord.wal" 2>"$WORK/coord2.log" &
+PIDS+=($!)
+wait_up "$WAL_ADDR"
+grep -q 'jobs recovered' "$WORK/coord2.log" \
+  || { echo "smoke_dispatch: restarted coordinator logged no WAL recovery:"; cat "$WORK/coord2.log"; exit 1; }
+recovered=$(sed -n 's/.*(\([0-9]*\) jobs recovered).*/\1/p' "$WORK/coord2.log" | head -1)
+[ "${recovered:-0}" -ge 1 ] || { echo "smoke_dispatch: expected >=1 recovered job, got '${recovered:-}'"; exit 1; }
+echo "   restarted coordinator replayed $recovered journaled jobs"
+
+wal_id2=$(curl -sf -X POST "http://$WAL_ADDR/v1/sweeps" -d "$WAL_SWEEP" | jq -r .id)
+[ "$wal_id2" = "$wal_id" ] || { echo "smoke_dispatch: sweep id changed across restart: $wal_id2 vs $wal_id"; exit 1; }
+wait_result "$WAL_ADDR" "$wal_id2" "$WORK/wal.json"
+wal_total=$(jq -r '.cached + .computed' "$WORK/wal.json")
+wal_failed=$(jq -r .failed "$WORK/wal.json")
+[ "$wal_total" = 4 ] && [ "$wal_failed" = 0 ] \
+  || { echo "smoke_dispatch: post-recovery sweep: cached+computed=$wal_total failed=$wal_failed, want 4/0"; exit 1; }
+echo "   post-recovery sweep complete: cached+computed=$wal_total, 0 failed"
+
+echo "smoke_dispatch: OK — remote (2 workers) and local backends agree byte-for-byte, and a SIGKILLed WAL coordinator recovers mid-sweep"
