@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"fedwcm/internal/dispatch"
+	"fedwcm/internal/dispatch/shard"
 	"fedwcm/internal/fl"
 	"fedwcm/internal/obs"
 	"fedwcm/internal/store"
@@ -75,7 +76,8 @@ type drainReport struct {
 }
 
 type runReport struct {
-	Mode     string          `json:"mode"` // memory | wal
+	Mode     string          `json:"mode"`             // memory | wal | shards
+	Shards   int             `json:"shards,omitempty"` // shard count (shards mode)
 	Submit   submitReport    `json:"submit"`
 	Recovery *recoveryReport `json:"recovery,omitempty"`
 	Drain    drainReport     `json:"drain"`
@@ -138,6 +140,171 @@ type benchConfig struct {
 	lease                                         time.Duration
 }
 
+func printRun(r runReport, cfg benchConfig) {
+	fmt.Printf("%-6s submit %7.0f cells/s (p50 %.0fµs p99 %.0fµs)  drain %7.0f cells/s (%d/%d, %d killed, %d joined)\n",
+		r.Mode, r.Submit.PerSec, r.Submit.P50Micros, r.Submit.P99Micros,
+		r.Drain.CellsPerSec, r.Drain.Completed, cfg.cells, r.Drain.Killed, r.Drain.Joined)
+	if r.Recovery != nil {
+		fmt.Printf("%-6s recovery replayed %d jobs in %.3fs (final WAL %d bytes)\n",
+			r.Mode, r.Recovery.Recovered, r.Recovery.Seconds, r.WALBytes)
+	}
+}
+
+// submitPhase pushes every job through exec from cfg.submitters concurrent
+// goroutines, recording per-call latency. exec is a bare coordinator on the
+// memory/wal runs and the shard router on the sharded run — the same
+// client-visible contract either way.
+func submitPhase(exec dispatch.Executor, jobs []dispatch.Job, cfg benchConfig) ([]dispatch.Handle, submitReport, error) {
+	handles := make([]dispatch.Handle, len(jobs))
+	lat := make([]float64, len(jobs))
+	var next atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < cfg.submitters; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) || firstErr.Load() != nil {
+					return
+				}
+				t0 := time.Now()
+				h, err := exec.Submit(jobs[i], dispatch.SubmitOpts{})
+				if err != nil {
+					firstErr.CompareAndSwap(nil, fmt.Errorf("submit cell %d: %w", i, err))
+					return
+				}
+				lat[i] = float64(time.Since(t0).Microseconds())
+				handles[i] = h
+			}
+		}()
+	}
+	wg.Wait()
+	if err := firstErr.Load(); err != nil {
+		return nil, submitReport{}, err.(error)
+	}
+	secs := time.Since(start).Seconds()
+	sorted := append([]float64(nil), lat...)
+	sort.Float64s(sorted)
+	return handles, submitReport{
+		Cells:     len(jobs),
+		Seconds:   secs,
+		PerSec:    float64(len(jobs)) / secs,
+		P50Micros: quantile(sorted, 0.50),
+		P99Micros: quantile(sorted, 0.99),
+		MaxMicros: sorted[len(sorted)-1],
+	}, nil
+}
+
+// runDrain is the shared phase 3: real dispatch.Worker clients pull the
+// queue dry over localhost HTTP while the harness crashes cfg.kill of them
+// at one-third drained and brings up cfg.join late joiners. place assigns
+// worker i its coordinator URL and (for sharded runs) the spill list;
+// reattached reads the final reattach count once the queue is dry.
+func runDrain(cfg benchConfig, handles []dispatch.Handle, reattached func() int, place func(i int, late bool) (coordinator string, shards []string)) (drainReport, error) {
+	var workerWG sync.WaitGroup
+	var cancelMu sync.Mutex
+	var cancels []context.CancelFunc
+	startWorker := func(name string, i int, late bool) (*killableTransport, context.CancelFunc, error) {
+		coordURL, shards := place(i, late)
+		kt := &killableTransport{base: http.DefaultTransport}
+		w, err := dispatch.NewWorker(dispatch.WorkerConfig{
+			Coordinator: coordURL,
+			Shards:      shards,
+			Runner:      noopRunner,
+			Name:        name,
+			Slots:       cfg.slots,
+			PollWait:    time.Second,
+			HTTPClient:  &http.Client{Transport: kt, Timeout: 30 * time.Second},
+			Logf:        chatter,
+			Metrics:     obs.NewRegistry(),
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		cancelMu.Lock()
+		cancels = append(cancels, cancel)
+		cancelMu.Unlock()
+		workerWG.Add(1)
+		go func() { defer workerWG.Done(); w.Run(ctx) }()
+		return kt, cancel, nil
+	}
+
+	var completed, failed atomic.Int64
+	var drainWG sync.WaitGroup
+	for _, h := range handles {
+		drainWG.Add(1)
+		go func(h dispatch.Handle) {
+			defer drainWG.Done()
+			<-h.Done()
+			if _, err := h.Result(); err != nil {
+				failed.Add(1)
+			} else {
+				completed.Add(1)
+			}
+		}(h)
+	}
+
+	drainStart := time.Now()
+	type victim struct {
+		kt     *killableTransport
+		cancel context.CancelFunc
+	}
+	victims := make([]victim, 0, cfg.kill)
+	for i := 0; i < cfg.workers; i++ {
+		kt, cancel, err := startWorker(fmt.Sprintf("bench-%d", i), i, false)
+		if err != nil {
+			return drainReport{}, err
+		}
+		if i < cfg.kill {
+			victims = append(victims, victim{kt, cancel})
+		}
+	}
+	// Mid-drain chaos: once a third of the queue has drained, crash the
+	// victims (transport dies first, so no clean deregister happens) and
+	// bring up the same number of late joiners.
+	chaosDone := make(chan struct{})
+	go func() {
+		defer close(chaosDone)
+		third := int64(len(handles)) / 3
+		for completed.Load()+failed.Load() < third {
+			time.Sleep(20 * time.Millisecond)
+		}
+		for _, v := range victims {
+			v.kt.dead.Store(true)
+			v.cancel()
+		}
+		for i := 0; i < cfg.join; i++ {
+			if _, _, err := startWorker(fmt.Sprintf("bench-late-%d", i), i, true); err != nil {
+				fmt.Fprintln(os.Stderr, "ctlbench: late joiner:", err)
+			}
+		}
+	}()
+	drainWG.Wait()
+	drainSecs := time.Since(drainStart).Seconds()
+	<-chaosDone
+	rep := drainReport{
+		Seconds:     drainSecs,
+		Completed:   int(completed.Load()),
+		Failed:      int(failed.Load()),
+		CellsPerSec: float64(completed.Load()) / drainSecs,
+		Killed:      cfg.kill,
+		Joined:      cfg.join,
+		Reattached:  reattached(),
+	}
+
+	cancelMu.Lock()
+	for _, cancel := range cancels {
+		cancel()
+	}
+	cancelMu.Unlock()
+	workerWG.Wait() // workers deregister while the coordinator is still up
+	return rep, nil
+}
+
 func main() {
 	var (
 		out     = flag.String("out", "BENCH_control_plane.json", "report path")
@@ -148,6 +315,7 @@ func main() {
 		joiners = flag.Int("join", 2, "workers joining mid-drain")
 		lease   = flag.Duration("lease", 2*time.Second, "coordinator lease TTL")
 		subs    = flag.Int("submitters", 32, "concurrent submit goroutines")
+		shards  = flag.Int("shards", 2, "WAL shards behind a router for the sharded run (0 skips it)")
 		verbose = flag.Bool("v", false, "log coordinator and worker chatter to stderr")
 	)
 	flag.Parse()
@@ -167,13 +335,16 @@ func main() {
 			os.Exit(1)
 		}
 		rep.Runs = append(rep.Runs, r)
-		fmt.Printf("%-6s submit %7.0f cells/s (p50 %.0fµs p99 %.0fµs)  drain %7.0f cells/s (%d/%d, %d killed, %d joined)\n",
-			mode, r.Submit.PerSec, r.Submit.P50Micros, r.Submit.P99Micros,
-			r.Drain.CellsPerSec, r.Drain.Completed, cfg.cells, r.Drain.Killed, r.Drain.Joined)
-		if r.Recovery != nil {
-			fmt.Printf("%-6s recovery replayed %d jobs in %.3fs (final WAL %d bytes)\n",
-				mode, r.Recovery.Recovered, r.Recovery.Seconds, r.WALBytes)
+		printRun(r, cfg)
+	}
+	if *shards > 1 {
+		r, err := runShards(*shards, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ctlbench: shards run: %v\n", err)
+			os.Exit(1)
 		}
+		rep.Runs = append(rep.Runs, r)
+		printRun(r, cfg)
 	}
 
 	b, err := json.MarshalIndent(rep, "", "  ")
@@ -227,46 +398,11 @@ func runMode(mode string, cfg benchConfig) (runReport, error) {
 	// Phase 1: concurrent submit, per-call latency. On the WAL run each
 	// call holds until its record is fsynced (group commit batches
 	// whatever accumulated while the previous sync was in flight).
-	handles := make([]dispatch.Handle, cfg.cells)
-	lat := make([]float64, cfg.cells)
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	start := time.Now()
-	for g := 0; g < cfg.submitters; g++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= cfg.cells {
-					return
-				}
-				t0 := time.Now()
-				h, err := coord.Submit(jobs[i], dispatch.SubmitOpts{})
-				if err != nil {
-					fmt.Fprintf(os.Stderr, "ctlbench: submit cell %d: %v\n", i, err)
-					os.Exit(1)
-				}
-				lat[i] = float64(time.Since(t0).Microseconds())
-				handles[i] = h
-			}
-		}()
+	handles, sub, err := submitPhase(coord, jobs, cfg)
+	if err != nil {
+		return runReport{}, err
 	}
-	wg.Wait()
-	submitSecs := time.Since(start).Seconds()
-	sorted := append([]float64(nil), lat...)
-	sort.Float64s(sorted)
-	rep := runReport{
-		Mode: mode,
-		Submit: submitReport{
-			Cells:     cfg.cells,
-			Seconds:   submitSecs,
-			PerSec:    float64(cfg.cells) / submitSecs,
-			P50Micros: quantile(sorted, 0.50),
-			P99Micros: quantile(sorted, 0.99),
-			MaxMicros: sorted[len(sorted)-1],
-		},
-	}
+	rep := runReport{Mode: mode, Submit: sub}
 
 	// Phase 2 (WAL only): crash-and-recover with the full queue journaled.
 	// Close is the orderly stand-in for SIGKILL here — it journals no
@@ -302,106 +438,111 @@ func runMode(mode string, cfg benchConfig) (runReport, error) {
 	defer srv.Close()
 	coordURL := "http://" + ln.Addr().String()
 
-	// All worker cancels are collected centrally and fired before
-	// workerWG.Wait below — a worker whose context never cancels long-polls
-	// the (by then closed) coordinator forever.
-	var workerWG sync.WaitGroup
-	var cancelMu sync.Mutex
-	var cancels []context.CancelFunc
-	startWorker := func(name string) (*killableTransport, context.CancelFunc) {
-		kt := &killableTransport{base: http.DefaultTransport}
-		w, err := dispatch.NewWorker(dispatch.WorkerConfig{
-			Coordinator: coordURL,
-			Runner:      noopRunner,
-			Name:        name,
-			Slots:       cfg.slots,
-			PollWait:    time.Second,
-			HTTPClient:  &http.Client{Transport: kt, Timeout: 30 * time.Second},
-			Logf:        logf,
-			Metrics:     obs.NewRegistry(),
-		})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "ctlbench:", err)
-			os.Exit(1)
-		}
-		ctx, cancel := context.WithCancel(context.Background())
-		cancelMu.Lock()
-		cancels = append(cancels, cancel)
-		cancelMu.Unlock()
-		workerWG.Add(1)
-		go func() { defer workerWG.Done(); w.Run(ctx) }()
-		return kt, cancel
+	rep.Drain, err = runDrain(cfg, handles,
+		func() int { return coord.Stats().Reattached },
+		func(int, bool) (string, []string) { return coordURL, nil })
+	if err != nil {
+		return runReport{}, err
 	}
-
-	var completed, failed atomic.Int64
-	var drainWG sync.WaitGroup
-	for _, h := range handles {
-		drainWG.Add(1)
-		go func(h dispatch.Handle) {
-			defer drainWG.Done()
-			<-h.Done()
-			if _, err := h.Result(); err != nil {
-				failed.Add(1)
-			} else {
-				completed.Add(1)
-			}
-		}(h)
-	}
-
-	drainStart := time.Now()
-	type victim struct {
-		kt     *killableTransport
-		cancel context.CancelFunc
-	}
-	victims := make([]victim, 0, cfg.kill)
-	for i := 0; i < cfg.workers; i++ {
-		kt, cancel := startWorker(fmt.Sprintf("bench-%d", i))
-		if i < cfg.kill {
-			victims = append(victims, victim{kt, cancel})
-		}
-	}
-	// Mid-drain chaos: once a third of the queue has drained, crash the
-	// victims (transport dies first, so no clean deregister happens) and
-	// bring up the same number of late joiners.
-	chaosDone := make(chan struct{})
-	go func() {
-		defer close(chaosDone)
-		third := int64(cfg.cells) / 3
-		for completed.Load()+failed.Load() < third {
-			time.Sleep(20 * time.Millisecond)
-		}
-		for _, v := range victims {
-			v.kt.dead.Store(true)
-			v.cancel()
-		}
-		for i := 0; i < cfg.join; i++ {
-			startWorker(fmt.Sprintf("bench-late-%d", i))
-		}
-	}()
-	drainWG.Wait()
-	drainSecs := time.Since(drainStart).Seconds()
-	<-chaosDone
-	stats := coord.Stats()
-	rep.Drain = drainReport{
-		Seconds:     drainSecs,
-		Completed:   int(completed.Load()),
-		Failed:      int(failed.Load()),
-		CellsPerSec: float64(completed.Load()) / drainSecs,
-		Killed:      cfg.kill,
-		Joined:      cfg.join,
-		Reattached:  stats.Reattached,
-	}
-
-	cancelMu.Lock()
-	for _, cancel := range cancels {
-		cancel()
-	}
-	cancelMu.Unlock()
-	workerWG.Wait() // workers deregister while the coordinator is still up
-	coord.Close()   // idempotent with the defer; compacts nothing further
+	coord.Close() // idempotent with the defer; compacts nothing further
 	if walPath != "" {
 		if fi, err := os.Stat(walPath); err == nil {
 			rep.WALBytes = fi.Size()
+		}
+	}
+	return rep, nil
+}
+
+// runShards is the scale-out run: n WAL-backed shard coordinators, each
+// owning a fingerprint range, behind an in-process Router. Submissions fan
+// out by content address, so n group-commit leaders fsync in parallel and
+// the serialized queue/journal work splits n ways. Workers join their own
+// shard and carry the full shard list, so idle ones spill to whichever
+// shard still holds work — the drain survives the same kill/join chaos as
+// the single-coordinator runs.
+func runShards(n int, cfg benchConfig) (runReport, error) {
+	dir, err := os.MkdirTemp("", "ctlbench-shards-*")
+	if err != nil {
+		return runReport{}, err
+	}
+	defer os.RemoveAll(dir)
+	m, err := shard.NewMap(n, nil)
+	if err != nil {
+		return runReport{}, err
+	}
+
+	members := make([]shard.Member, n)
+	shardURLs := make([]string, n)
+	walPaths := make([]string, n)
+	for i := 0; i < n; i++ {
+		// Each shard owns its store, like a real shard process would (peers
+		// read through /v1/artifacts, they don't share a directory) — and so
+		// the store's submit fast path doesn't re-serialize what sharding
+		// just split.
+		st, err := store.Open(filepath.Join(dir, fmt.Sprintf("store%d", i)), store.DefaultLRUSize)
+		if err != nil {
+			return runReport{}, err
+		}
+		walPaths[i] = filepath.Join(dir, fmt.Sprintf("shard%d.wal", i))
+		coord, err := dispatch.NewCoordinator(dispatch.CoordinatorConfig{
+			Store:    st,
+			LeaseTTL: cfg.lease,
+			Queue:    cfg.cells + 16,
+			WALPath:  walPaths[i],
+			Logf:     chatter,
+			Metrics:  obs.NewRegistry(),
+			Tracer:   obs.NewTracer(0),
+		})
+		if err != nil {
+			return runReport{}, err
+		}
+		self, err := shard.NewSelf(coord, m, i)
+		if err != nil {
+			coord.Close()
+			return runReport{}, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			coord.Close()
+			return runReport{}, err
+		}
+		mux := http.NewServeMux()
+		self.Mount(mux)
+		srv := &http.Server{Handler: mux}
+		go srv.Serve(ln)
+		defer srv.Close()
+		shardURLs[i] = "http://" + ln.Addr().String()
+		members[i] = self
+	}
+	router, err := shard.NewRouter(shard.RouterConfig{
+		Map: m, Members: members, Logf: chatter, Metrics: obs.NewRegistry(),
+	})
+	if err != nil {
+		return runReport{}, err
+	}
+	defer router.Close() // owns the members
+
+	jobs := make([]dispatch.Job, cfg.cells)
+	for i := range jobs {
+		jobs[i] = benchJob(i)
+	}
+	handles, sub, err := submitPhase(router, jobs, cfg)
+	if err != nil {
+		return runReport{}, err
+	}
+	rep := runReport{Mode: "shards", Shards: n, Submit: sub}
+
+	// Drain: worker i homes on shard i%n and spills across the full list.
+	rep.Drain, err = runDrain(cfg, handles,
+		func() int { return router.Stats().Reattached },
+		func(i int, _ bool) (string, []string) { return shardURLs[i%n], shardURLs })
+	if err != nil {
+		return runReport{}, err
+	}
+	router.Close()
+	for _, p := range walPaths {
+		if fi, err := os.Stat(p); err == nil {
+			rep.WALBytes += fi.Size()
 		}
 	}
 	return rep, nil

@@ -272,6 +272,30 @@ func (c *Coordinator) appendWAL(recs ...wal.Record) error {
 	return nil
 }
 
+// appendWALAsync journals drain-path records (lease grants, requeues,
+// completes) through the log's group commit without waiting for the fsync.
+// Each of these transitions is individually safe to lose to a crash —
+// recovery replays the pre-transition state and the queue converges (a
+// lost lease replays as pending and the live worker re-attaches via
+// heartbeat adoption; a lost complete replays the job, which the store
+// fast-path drops on recovery; a lost requeue expires again) — so the
+// drain path amortizes fsyncs in the background leader instead of paying
+// commit latency on every transition.
+func (c *Coordinator) appendWALAsync(recs ...wal.Record) {
+	if c.wal == nil || len(recs) == 0 {
+		return
+	}
+	c.walMu.RLock()
+	err := c.wal.AppendAsync(recs...)
+	c.walMu.RUnlock()
+	if err != nil {
+		c.cm.walErrors.Inc()
+		c.cfg.Logf("dispatch: wal append: %v", err)
+		return
+	}
+	c.cm.walRecords.Add(uint64(len(recs)))
+}
+
 // checkpoint rewrites the WAL down to the live job set. The exclusive walMu
 // hold means no append can land between the snapshot and the swap and be
 // lost with the old file.
@@ -305,7 +329,7 @@ func (c *Coordinator) noteCompleteAndMaybeCheckpoint(jid, status string) {
 	if c.wal == nil {
 		return
 	}
-	c.appendWAL(wal.Record{Type: wal.TypeComplete, Job: jid, Status: status})
+	c.appendWALAsync(wal.Record{Type: wal.TypeComplete, Job: jid, Status: status})
 	c.mu.Lock()
 	c.completes++
 	due := c.completes >= c.cfg.WALCompactEvery
@@ -549,7 +573,7 @@ func (c *Coordinator) expireLeases(now time.Time) {
 	// a requeue the log missed replays as "leased" and requeues on recovery
 	// anyway; an exhausted-fail the log missed replays as one more requeue
 	// and fails again on its next expiry.
-	c.appendWAL(walRecs...)
+	c.appendWALAsync(walRecs...)
 }
 
 // Stats is a point-in-time snapshot of the coordinator, reported by sweep
@@ -714,7 +738,7 @@ func (c *Coordinator) handleDeregister(w http.ResponseWriter, req *http.Request)
 		c.notifyLocked()
 	}
 	c.mu.Unlock()
-	c.appendWAL(walRecs...) // journals the refunded attempt counts
+	c.appendWALAsync(walRecs...) // journals the refunded attempt counts
 	c.cfg.Logf("dispatch: worker %s deregistered (%d jobs requeued)", id, requeued)
 	writeJSON(w, http.StatusOK, map[string]int{"requeued": requeued})
 }
@@ -767,11 +791,11 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, req *http.Request) {
 			attempts := j.attempts
 			c.spaceLocked()
 			c.mu.Unlock()
-			// Journal the grant before the worker learns of it. If the append
+			// Journal the grant without waiting for the fsync. If the append
 			// is lost to a crash, recovery simply replays the job as pending —
 			// the worker's in-flight computation re-attaches via heartbeat
 			// adoption, so the window costs nothing.
-			c.appendWAL(wal.Record{Type: wal.TypeLease, Job: j.h.job.ID, Worker: id, Attempts: attempts})
+			c.appendWALAsync(wal.Record{Type: wal.TypeLease, Job: j.h.job.ID, Worker: id, Attempts: attempts})
 			if !started {
 				for _, f := range starts {
 					f()
@@ -898,7 +922,7 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, req *http.Request) 
 	c.mu.Unlock()
 	if adopted {
 		c.cfg.Logf("dispatch: job %.12s: worker %s re-attached mid-flight (attempt %d resumes)", jid, wid, attempts)
-		c.appendWAL(wal.Record{Type: wal.TypeLease, Job: jid, Worker: wid, Attempts: attempts})
+		c.appendWALAsync(wal.Record{Type: wal.TypeLease, Job: jid, Worker: wid, Attempts: attempts})
 		if !started {
 			for _, f := range starts {
 				f()

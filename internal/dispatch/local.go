@@ -184,6 +184,11 @@ func (l *Local) Submit(job Job, opts SubmitOpts) (Handle, error) {
 	}
 }
 
+// Pending reports the queued (not yet running) submissions — the same
+// depth the fedwcm_dispatch_local_queue_depth gauge exports, exposed for
+// admission-control backpressure.
+func (l *Local) Pending() int { return len(l.jobs) }
+
 // Close cancels in-flight jobs (the runner observes the executor context
 // between rounds and returns early), fails queued jobs with ErrClosed, and
 // waits for the pool to exit. The closing flag is set under the same lock

@@ -384,9 +384,9 @@ func TestDeregisterTimesOutOnWedgedCoordinator(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w.mu.Lock()
-	w.id = "w-wedged"
-	w.mu.Unlock()
+	w.primary.mu.Lock()
+	w.primary.id = "w-wedged"
+	w.primary.mu.Unlock()
 	start := time.Now()
 	w.deregister()
 	if elapsed := time.Since(start); elapsed > deregisterTimeout+5*time.Second {

@@ -1,0 +1,284 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"fedwcm/internal/dispatch"
+	"fedwcm/internal/fl"
+	"fedwcm/internal/store"
+)
+
+// TestShardFailoverMidSweep extends the PR 5/PR 9 failure matrix to the
+// sharded control plane: one of two WAL-backed shards is "SIGKILLed"
+// mid-sweep (listener torn down, coordinator dropped without journaling
+// completes — exactly the crash signature the smoke test produces with a
+// real kill -9), restarted on the same address + WAL + store, and the
+// resubmitted sweep must finish with every cell completing exactly once
+// and every artifact byte-identical to a local-backend run of the same
+// jobs.
+//
+// Execution (not completion) is at-least-once by design: a worker whose
+// upload window straddles the crash abandons the job, the recovered lease
+// expires, and a retry recomputes it — the idempotent content-addressed
+// upload still completes the cell once. The choreography below keeps the
+// kill window narrow enough that a duplicate execution stays the rare
+// case, and asserts it never exceeds the one-retry budget.
+func TestShardFailoverMidSweep(t *testing.T) {
+	dir := t.TempDir()
+	m, err := NewMap(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Deterministic runner whose artifact derives from the spec alone, so a
+	// local-backend reference run must produce byte-identical store files.
+	var execMu sync.Mutex
+	execs := map[string]int{}
+	mkRunner := func(delay time.Duration, count bool) dispatch.Runner {
+		return func(ctx context.Context, job dispatch.Job, onRound func(fl.RoundStat)) (*fl.History, error) {
+			if count {
+				execMu.Lock()
+				execs[job.ID]++
+				execMu.Unlock()
+			}
+			if delay > 0 {
+				select {
+				case <-time.After(delay):
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+			}
+			var spec struct {
+				Cell int `json:"cell"`
+			}
+			if err := json.Unmarshal(job.Spec, &spec); err != nil {
+				return nil, err
+			}
+			h := cannedHist(spec.Cell)
+			if onRound != nil {
+				for _, st := range h.Stats {
+					onRound(st)
+				}
+			}
+			return h, nil
+		}
+	}
+
+	// Enough jobs that shard 1 still has a deep queue when the kill lands.
+	var jobs []dispatch.Job
+	perShard := [2]int{}
+	for i := 0; len(jobs) < 40; i++ {
+		j := testJob(i)
+		idx, err := m.Owner(j.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perShard[idx]++
+		jobs = append(jobs, j)
+	}
+	if perShard[0] < 8 || perShard[1] < 8 {
+		t.Fatalf("fingerprint split %v too lopsided for the scenario", perShard)
+	}
+
+	// Two WAL-backed shards on real listeners.
+	stores := [2]*store.Store{}
+	coords := [2]*dispatch.Coordinator{}
+	srvs := [2]*http.Server{}
+	addrs := [2]string{}
+	mkCoord := func(i int) *dispatch.Coordinator {
+		c, err := dispatch.NewCoordinator(dispatch.CoordinatorConfig{
+			Store: stores[i], WALPath: filepath.Join(dir, "shard"+string(rune('0'+i))+".wal"),
+			LeaseTTL: 5 * time.Second, Logf: t.Logf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	serveShard := func(i int, c *dispatch.Coordinator, ln net.Listener) *http.Server {
+		s, err := NewSelf(c, m, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mux := http.NewServeMux()
+		s.Mount(mux)
+		srv := &http.Server{Handler: mux}
+		go srv.Serve(ln)
+		return srv
+	}
+	for i := 0; i < 2; i++ {
+		st, err := store.Open(filepath.Join(dir, "store"+string(rune('0'+i))), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stores[i] = st
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		coords[i] = mkCoord(i)
+		srvs[i] = serveShard(i, coords[i], ln)
+	}
+	defer func() {
+		for i := 0; i < 2; i++ {
+			if srvs[i] != nil {
+				srvs[i].Close()
+			}
+		}
+	}()
+
+	// One worker per shard, spilling both ways, slow enough that the sweep
+	// is genuinely mid-flight when the kill lands.
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		w, err := dispatch.NewWorker(dispatch.WorkerConfig{
+			Coordinator: "http://" + addrs[i],
+			Shards:      []string{"http://" + addrs[0], "http://" + addrs[1]},
+			Runner:      mkRunner(30*time.Millisecond, true),
+			Name:        "w" + string(rune('0'+i)),
+			PollWait:    250 * time.Millisecond,
+			Logf:        t.Logf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() { defer wg.Done(); w.Run(ctx) }()
+	}
+	defer func() { cancel(); wg.Wait() }()
+
+	router1, err := NewRouter(RouterConfig{Map: m, Members: []Member{coords[0], coords[1]}, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		if _, err := router1.Submit(j, dispatch.SubmitOpts{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Wait until shard 1 is mid-flight: some cells done, several left.
+	shard1Done := func() int {
+		n := 0
+		for _, j := range jobs {
+			if idx, _ := m.Owner(j.ID); idx != 1 {
+				continue
+			}
+			if _, ok, _ := stores[1].Get(j.ID); ok {
+				n++
+			}
+		}
+		return n
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		done := shard1Done()
+		if done >= 1 && done <= perShard[1]-4 {
+			break
+		}
+		if done > perShard[1]-4 {
+			t.Fatalf("shard 1 drained to %d/%d before the kill window", done, perShard[1])
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("shard 1 never got mid-flight (%d/%d done)", done, perShard[1])
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// "SIGKILL" shard 1: listener torn down, active connections cut, and the
+	// coordinator dropped. Close journals no completes, so the WAL still
+	// carries every unfinished job — the same on-disk state a real kill -9
+	// leaves behind.
+	killedAt := shard1Done()
+	srvs[1].Close()
+	coords[1].Close()
+	t.Logf("shard 1 killed with %d/%d of its cells done", killedAt, perShard[1])
+
+	// Restart on the same address + WAL + store.
+	ln2, err := net.Listen("tcp", addrs[1])
+	if err != nil {
+		t.Fatalf("rebinding %s: %v", addrs[1], err)
+	}
+	coords[1] = mkCoord(1)
+	if s := coords[1].Stats(); !s.Durable || s.Recovered == 0 {
+		t.Fatalf("restarted shard recovered %+v, want journaled jobs back", s)
+	}
+	srvs[1] = serveShard(1, coords[1], ln2)
+	t.Logf("shard 1 restarted: %d jobs recovered", coords[1].Stats().Recovered)
+
+	// The orchestration layer re-submits the sweep after a backend restart;
+	// resubmissions coalesce onto recovered (or already-stored) jobs.
+	router2, err := NewRouter(RouterConfig{Map: m, Members: []Member{coords[0], coords[1]}, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router2.Close()
+	handles := make([]dispatch.Handle, 0, len(jobs))
+	for _, j := range jobs {
+		h, err := router2.Submit(j, dispatch.SubmitOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	for i, h := range handles {
+		if _, err := waitDone(t, h); err != nil {
+			t.Fatalf("cell %d (%.12s) after failover: %v", i, h.Job().ID, err)
+		}
+	}
+
+	// Byte-identity: run the same jobs on the local backend and compare the
+	// artifact files bit for bit against whichever shard computed each cell.
+	refStore := tstore(t)
+	local, err := dispatch.NewLocal(dispatch.LocalConfig{Store: refStore, Workers: 2, Runner: mkRunner(0, false), Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer local.Close()
+	for _, j := range jobs {
+		h, err := local.Submit(j, dispatch.SubmitOpts{Block: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := waitDone(t, h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, j := range jobs {
+		idx, _ := m.Owner(j.ID)
+		got, err := os.ReadFile(stores[idx].Path(j.ID))
+		if err != nil {
+			t.Fatalf("artifact %.12s missing from shard %d: %v", j.ID, idx, err)
+		}
+		want, err := os.ReadFile(refStore.Path(j.ID))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("artifact %.12s differs from the local-backend run", j.ID)
+		}
+	}
+
+	// Exactly-once completion, bounded re-execution: every cell ran, and no
+	// cell burned more than one crash retry.
+	execMu.Lock()
+	defer execMu.Unlock()
+	for _, j := range jobs {
+		switch n := execs[j.ID]; {
+		case n == 0:
+			t.Errorf("cell %.12s never executed", j.ID)
+		case n > 2:
+			t.Errorf("cell %.12s executed %d times; the crash budget is one retry", j.ID, n)
+		}
+	}
+}

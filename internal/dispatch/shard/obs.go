@@ -1,0 +1,33 @@
+package shard
+
+import (
+	"fedwcm/internal/obs"
+)
+
+// routerMetrics is the router's handle set. Aggregate queue gauges come
+// from GaugeFuncs over the merged Stats snapshot — the same numbers the
+// sweep status API reports — and per-shard routing counts carry the shard
+// index as a label.
+type routerMetrics struct {
+	submits *obs.CounterVec // jobs routed, by owning shard index
+	errors  *obs.CounterVec // member submit failures, by shard index
+}
+
+func newRouterMetrics(reg *obs.Registry, r *Router) routerMetrics {
+	if reg == nil {
+		return routerMetrics{}
+	}
+	reg.GaugeFunc("fedwcm_dispatch_shards", "Shards in the routing map.", func() float64 {
+		return float64(len(r.cfg.Map.Shards))
+	})
+	reg.GaugeFunc("fedwcm_dispatch_shard_pending", "Jobs waiting for a lease, summed across shards.", func() float64 {
+		return float64(r.Stats().Pending)
+	})
+	reg.GaugeFunc("fedwcm_dispatch_shard_workers", "Workers registered, summed across shards.", func() float64 {
+		return float64(r.Stats().Workers)
+	})
+	return routerMetrics{
+		submits: reg.CounterVec("fedwcm_dispatch_shard_submits_total", "Jobs routed by fingerprint, by owning shard.", "shard"),
+		errors:  reg.CounterVec("fedwcm_dispatch_shard_errors_total", "Member submissions that failed, by shard.", "shard"),
+	}
+}

@@ -1,0 +1,73 @@
+package shard
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+
+	"fedwcm/internal/dispatch"
+	"fedwcm/internal/obs"
+)
+
+// statsTTL bounds how stale a Remote's cached peer snapshot may get. Stats
+// feed dashboards, sweep summaries and spill decisions — none of which
+// need sub-second freshness — so one fetch per second per peer is plenty.
+const statsTTL = time.Second
+
+// Remote is the router-side member for a shard running in another
+// process: submissions ride the shard's public run API (dispatch.Client,
+// so cached cells, 503 backpressure and progress relay all keep working),
+// and Stats reads the shard's own /v1/shards snapshot through a short
+// cache instead of hammering the peer on every sweep-status poll.
+type Remote struct {
+	*dispatch.Client
+	url  string
+	hc   *http.Client
+	logf func(format string, args ...any)
+
+	mu      sync.Mutex
+	cached  dispatch.CoordinatorStats
+	fetched time.Time
+}
+
+// NewRemote returns a member for the shard process at base (e.g.
+// "http://shard0:8080"). hc nil means a 10s-timeout client.
+func NewRemote(base string, hc *http.Client) (*Remote, error) {
+	c, err := dispatch.NewClient(dispatch.ClientConfig{BaseURL: base, HTTPClient: hc})
+	if err != nil {
+		return nil, err
+	}
+	if hc == nil {
+		hc = &http.Client{Timeout: 10 * time.Second}
+	}
+	return &Remote{Client: c, url: base, hc: hc, logf: obs.Logf("dispatch")}, nil
+}
+
+// URL returns the peer's base URL.
+func (r *Remote) URL() string { return r.url }
+
+// Stats returns the peer's own snapshot, cached for statsTTL. A fetch
+// failure serves the last snapshot (stale beats absent on a dashboard);
+// a peer that has never answered reads as an empty shard.
+func (r *Remote) Stats() dispatch.CoordinatorStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.fetched.IsZero() && time.Since(r.fetched) < statsTTL {
+		return r.cached
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	st, err := GetStatus(ctx, r.hc, r.url)
+	if err != nil || st.Self < 0 || st.Self >= len(st.Stats) {
+		if err != nil {
+			r.logf("dispatch: shard %s stats: %v", r.url, err)
+		}
+		r.fetched = time.Now() // back off failed fetches on the same TTL
+		return r.cached
+	}
+	r.cached, r.fetched = st.Stats[st.Self], time.Now()
+	return r.cached
+}
+
+var _ Member = (*Remote)(nil)

@@ -1,0 +1,132 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+
+	"fedwcm/internal/dispatch"
+	"fedwcm/internal/obs"
+)
+
+// Member is what the router fans out to: an executor that can also report
+// a queue snapshot. *dispatch.Coordinator satisfies it directly (the
+// in-process topology ctlbench builds); *Remote satisfies it for a shard
+// living in another process.
+type Member interface {
+	dispatch.Executor
+	Stats() dispatch.CoordinatorStats
+}
+
+// RouterConfig wires a Router.
+type RouterConfig struct {
+	// Map is the static partition; Members must carry one executor per
+	// range, index-aligned.
+	Map     Map
+	Members []Member
+	// Logf defaults to the unified slog route (obs.Logf("dispatch")).
+	Logf func(format string, args ...any)
+	// Metrics, when non-nil, registers the fedwcm_dispatch_shard_* series.
+	Metrics *obs.Registry
+}
+
+// Router is the stateless front half of a sharded control plane: it owns
+// no queue, no WAL and no leases — just the map. Submit routes each job to
+// the member owning its fingerprint bucket; everything stateful (queueing,
+// durability, recovery) stays inside the members, which is what lets N of
+// them scale one logical queue without coordinating with each other.
+type Router struct {
+	cfg    RouterConfig
+	sm     routerMetrics
+	closed atomic.Bool
+}
+
+// NewRouter validates the map/member alignment and returns the router.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if err := cfg.Map.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cfg.Members) != len(cfg.Map.Shards) {
+		return nil, fmt.Errorf("shard: %d members for a map of %d", len(cfg.Members), len(cfg.Map.Shards))
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = obs.Logf("dispatch")
+	}
+	r := &Router{cfg: cfg}
+	r.sm = newRouterMetrics(cfg.Metrics, r)
+	return r, nil
+}
+
+// Submit routes the job to the shard owning its fingerprint. Blocking,
+// queue-full and coalescing semantics are whatever the owning member
+// implements — the router adds nothing but the routing decision.
+func (r *Router) Submit(job dispatch.Job, opts dispatch.SubmitOpts) (dispatch.Handle, error) {
+	if r.closed.Load() {
+		return nil, dispatch.ErrClosed
+	}
+	idx, err := r.cfg.Map.Owner(job.ID)
+	if err != nil {
+		return nil, err
+	}
+	if r.sm.submits != nil {
+		r.sm.submits.With(strconv.Itoa(idx)).Inc()
+	}
+	h, err := r.cfg.Members[idx].Submit(job, opts)
+	if err != nil && r.sm.errors != nil {
+		r.sm.errors.With(strconv.Itoa(idx)).Inc()
+	}
+	return h, err
+}
+
+// Close closes every member (the router owns them) and fails later
+// submissions with ErrClosed.
+func (r *Router) Close() {
+	if r.closed.Swap(true) {
+		return
+	}
+	for _, m := range r.cfg.Members {
+		m.Close()
+	}
+}
+
+// Stats merges the member snapshots into one logical-queue view: counts
+// sum; Durable holds only if every shard journals (one volatile shard
+// makes the aggregate queue volatile).
+func (r *Router) Stats() dispatch.CoordinatorStats {
+	var agg dispatch.CoordinatorStats
+	agg.Durable = len(r.cfg.Members) > 0
+	for _, m := range r.cfg.Members {
+		s := m.Stats()
+		agg.Workers += s.Workers
+		agg.Pending += s.Pending
+		agg.Leased += s.Leased
+		agg.Recovered += s.Recovered
+		agg.Reattached += s.Reattached
+		agg.Durable = agg.Durable && s.Durable
+	}
+	return agg
+}
+
+// ShardStats returns the per-member snapshots, index-aligned with the map.
+func (r *Router) ShardStats() []dispatch.CoordinatorStats {
+	out := make([]dispatch.CoordinatorStats, len(r.cfg.Members))
+	for i, m := range r.cfg.Members {
+		out[i] = m.Stats()
+	}
+	return out
+}
+
+// Mount publishes the topology: GET /v1/shards with the full map and every
+// member's snapshot (Self: -1 marks a router, which owns no range).
+func (r *Router) Mount(mux *http.ServeMux) {
+	mux.HandleFunc("GET /v1/shards", func(w http.ResponseWriter, _ *http.Request) {
+		st := Status{Self: -1, Shards: r.cfg.Map.Shards, Stats: r.ShardStats()}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(st)
+	})
+}
+
+var _ dispatch.Executor = (*Router)(nil)
+var _ Member = (*Router)(nil)

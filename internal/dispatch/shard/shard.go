@@ -1,0 +1,244 @@
+// Package shard partitions the dispatch job space across N WAL-backed
+// coordinators so they serve one logical queue. The partition key is the
+// job fingerprint itself — the SHA-256 content address every backend
+// already computes — so routing needs no extra state: the first 16 bits of
+// the hex fingerprint index into a static N-way map of half-open bucket
+// ranges, published by every participant at GET /v1/shards.
+//
+// Three pieces compose a sharded control plane:
+//
+//   - Map is the static partition: shard i owns the bucket interval
+//     [i·65536/N, (i+1)·65536/N), rendered as inclusive 4-hex-digit prefix
+//     ranges. Fingerprints are SHA-256 outputs, so buckets are uniform and
+//     a static equal split balances load without consistent hashing.
+//   - Router is a thin stateless Executor in front of N members: Submit
+//     fans each job to the shard owning its fingerprint, Stats merges the
+//     member snapshots, and Mount publishes the map.
+//   - Self wraps one shard process's own Coordinator, mounting the worker
+//     protocol plus /v1/shards so workers and peers can discover the
+//     topology and the shard's queue depth from the shard itself.
+//
+// Remote (remote.go) is the router-side member for a shard living in
+// another process: submissions ride the shard's public run API via
+// dispatch.Client, stats ride /v1/shards with a short cache.
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"fedwcm/internal/dispatch"
+)
+
+// buckets is the size of the routing space: the first 4 hex digits (16
+// bits) of a fingerprint. Fine enough that any practical shard count
+// divides it near-evenly, coarse enough that a map stays human-readable.
+const buckets = 1 << 16
+
+// Range is one shard's slice of the fingerprint space, as inclusive
+// 4-hex-digit prefix bounds (what /v1/shards publishes).
+type Range struct {
+	Index int    `json:"index"`
+	Start string `json:"start"` // first owned prefix, inclusive ("0000")
+	End   string `json:"end"`   // last owned prefix, inclusive ("7fff")
+	URL   string `json:"url,omitempty"`
+}
+
+// Map is the static N-way partition of the fingerprint space.
+type Map struct {
+	Shards []Range `json:"shards"`
+}
+
+// NewMap builds the canonical N-way split: shard i owns buckets
+// [i·65536/n, (i+1)·65536/n). urls, when non-nil, must carry one base URL
+// per shard (nil means an in-process topology with no addresses).
+func NewMap(n int, urls []string) (Map, error) {
+	if n < 1 || n > buckets {
+		return Map{}, fmt.Errorf("shard: %d shards (want 1..%d)", n, buckets)
+	}
+	if urls != nil && len(urls) != n {
+		return Map{}, fmt.Errorf("shard: %d URLs for %d shards", len(urls), n)
+	}
+	m := Map{Shards: make([]Range, n)}
+	for i := 0; i < n; i++ {
+		lo, hi := i*buckets/n, (i+1)*buckets/n-1
+		m.Shards[i] = Range{
+			Index: i,
+			Start: fmt.Sprintf("%04x", lo),
+			End:   fmt.Sprintf("%04x", hi),
+		}
+		if urls != nil {
+			m.Shards[i].URL = urls[i]
+		}
+	}
+	return m, nil
+}
+
+// bounds parses the range's inclusive bucket interval.
+func (r Range) bounds() (lo, hi int, err error) {
+	l, err := strconv.ParseUint(r.Start, 16, 32)
+	if err != nil || len(r.Start) != 4 {
+		return 0, 0, fmt.Errorf("shard: range %d: bad start %q", r.Index, r.Start)
+	}
+	h, err := strconv.ParseUint(r.End, 16, 32)
+	if err != nil || len(r.End) != 4 {
+		return 0, 0, fmt.Errorf("shard: range %d: bad end %q", r.Index, r.End)
+	}
+	return int(l), int(h), nil
+}
+
+// Owner returns the index of the shard owning fp's bucket. The scan is
+// linear: shard counts are single digits and the arithmetic inverse of a
+// floor-divided split is fiddly enough that the obvious loop is the
+// trustworthy one.
+func (m Map) Owner(fp string) (int, error) {
+	if len(fp) < 4 {
+		return 0, fmt.Errorf("shard: fingerprint %q too short to route", fp)
+	}
+	b64, err := strconv.ParseUint(fp[:4], 16, 32)
+	if err != nil {
+		return 0, fmt.Errorf("shard: fingerprint %q is not hex", fp[:4])
+	}
+	b := int(b64)
+	for _, r := range m.Shards {
+		lo, hi, err := r.bounds()
+		if err != nil {
+			return 0, err
+		}
+		if b >= lo && b <= hi {
+			return r.Index, nil
+		}
+	}
+	return 0, fmt.Errorf("shard: bucket %04x owned by no shard (map of %d)", b, len(m.Shards))
+}
+
+// Validate checks the map covers the whole bucket space exactly once, in
+// index order — the invariant a router trusts before fanning submissions.
+func (m Map) Validate() error {
+	if len(m.Shards) == 0 {
+		return fmt.Errorf("shard: empty map")
+	}
+	next := 0
+	for i, r := range m.Shards {
+		if r.Index != i {
+			return fmt.Errorf("shard: range %d carries index %d", i, r.Index)
+		}
+		lo, hi, err := r.bounds()
+		if err != nil {
+			return err
+		}
+		if lo != next || hi < lo {
+			return fmt.Errorf("shard: range %d covers [%04x,%04x], want to start at %04x", i, lo, hi, next)
+		}
+		next = hi + 1
+	}
+	if next != buckets {
+		return fmt.Errorf("shard: map ends at %04x, want full coverage", next-1)
+	}
+	return nil
+}
+
+// Status is the GET /v1/shards payload: the static map, plus a stats
+// snapshot per shard. A shard process reports Self (its own index) and
+// fills only its own stats slot — peers ask each shard about itself, so
+// depth numbers are always authoritative, never relayed. A front router
+// reports Self: -1 and fills every slot from its members.
+type Status struct {
+	Self   int                         `json:"self"`
+	Shards []Range                     `json:"shards"`
+	Stats  []dispatch.CoordinatorStats `json:"stats"`
+}
+
+// GetStatus fetches and decodes a participant's /v1/shards.
+func GetStatus(ctx context.Context, hc *http.Client, base string) (*Status, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/shards", nil)
+	if err != nil {
+		return nil, err
+	}
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("shard: GET %s/v1/shards: HTTP %d: %s", base, resp.StatusCode, body)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, fmt.Errorf("shard: decoding %s/v1/shards: %w", base, err)
+	}
+	return &st, nil
+}
+
+// Self wraps one shard process's own coordinator: the same Executor, with
+// Mount extended to publish /v1/shards alongside the worker protocol.
+type Self struct {
+	*dispatch.Coordinator
+	m     Map
+	index int
+}
+
+// NewSelf pairs a coordinator with its slot in the map.
+func NewSelf(c *dispatch.Coordinator, m Map, index int) (*Self, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if index < 0 || index >= len(m.Shards) {
+		return nil, fmt.Errorf("shard: index %d outside map of %d", index, len(m.Shards))
+	}
+	return &Self{Coordinator: c, m: m, index: index}, nil
+}
+
+// Map returns the partition this shard serves a slice of.
+func (s *Self) Map() Map { return s.m }
+
+// Index returns this shard's slot.
+func (s *Self) Index() int { return s.index }
+
+// Owns reports whether fp routes to this shard — the submission guard that
+// keeps a mis-routed job from being journaled (and recovered) by a shard
+// the map says should never see it.
+func (s *Self) Owns(fp string) bool {
+	idx, err := s.m.Owner(fp)
+	return err == nil && idx == s.index
+}
+
+// Submit enforces ownership before delegating to the coordinator: a job
+// whose fingerprint the map assigns elsewhere is refused outright. Without
+// this, a client that bypasses the router could journal the same cell on
+// two shards, and both would recover (and recompute) it after a restart.
+func (s *Self) Submit(job dispatch.Job, opts dispatch.SubmitOpts) (dispatch.Handle, error) {
+	if !s.Owns(job.ID) {
+		owner, err := s.m.Owner(job.ID)
+		if err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("shard: job %.12s belongs to shard %d, not %d — submit through the router", job.ID, owner, s.index)
+	}
+	return s.Coordinator.Submit(job, opts)
+}
+
+// Mount registers the worker protocol plus the topology endpoint.
+func (s *Self) Mount(mux *http.ServeMux) {
+	s.Coordinator.Mount(mux)
+	mux.HandleFunc("GET /v1/shards", func(w http.ResponseWriter, _ *http.Request) {
+		st := Status{
+			Self:   s.index,
+			Shards: s.m.Shards,
+			Stats:  make([]dispatch.CoordinatorStats, len(s.m.Shards)),
+		}
+		st.Stats[s.index] = s.Coordinator.Stats()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(st)
+	})
+}
+
+var _ dispatch.Executor = (*Self)(nil)

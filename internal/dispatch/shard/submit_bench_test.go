@@ -1,0 +1,87 @@
+package shard
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"fedwcm/internal/dispatch"
+	"fedwcm/internal/obs"
+	"fedwcm/internal/store"
+)
+
+func benchSpec(i int) dispatch.Job {
+	spec := fmt.Sprintf(`{"bench":"shard","cell":%d}`, i)
+	sum := sha256.Sum256([]byte(spec))
+	return dispatch.Job{ID: hex.EncodeToString(sum[:]), Spec: json.RawMessage(spec)}
+}
+
+// BenchmarkShardedSubmit compares WAL-durable submit throughput through a
+// single coordinator against an N-shard router, all in-process — the
+// submit half of cmd/ctlbench without the HTTP drain.
+func BenchmarkShardedSubmit(b *testing.B) {
+	for _, n := range []int{1, 2} {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			dir := b.TempDir()
+			m, err := NewMap(n, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			members := make([]Member, n)
+			for i := 0; i < n; i++ {
+				st, err := store.Open(filepath.Join(dir, fmt.Sprintf("store%d", i)), store.DefaultLRUSize)
+				if err != nil {
+					b.Fatal(err)
+				}
+				c, err := dispatch.NewCoordinator(dispatch.CoordinatorConfig{
+					Store:   st,
+					Queue:   b.N*128 + 16,
+					WALPath: filepath.Join(dir, fmt.Sprintf("s%d.wal", i)),
+					Metrics: obs.NewRegistry(),
+					Tracer:  obs.NewTracer(0),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer c.Close()
+				if members[i], err = NewSelf(c, m, i); err != nil {
+					b.Fatal(err)
+				}
+			}
+			router, err := NewRouter(RouterConfig{Map: m, Members: members, Logf: func(string, ...any) {}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			jobs := make([]dispatch.Job, b.N*128)
+			for i := range jobs {
+				jobs[i] = benchSpec(i)
+			}
+			b.ResetTimer()
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			for g := 0; g < 128; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						i := int(next.Add(1)) - 1
+						if i >= len(jobs) {
+							return
+						}
+						if _, err := router.Submit(jobs[i], dispatch.SubmitOpts{}); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			b.ReportMetric(float64(len(jobs))/b.Elapsed().Seconds(), "submits/s")
+		})
+	}
+}

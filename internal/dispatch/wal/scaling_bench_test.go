@@ -1,0 +1,47 @@
+package wal
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// BenchmarkGroupCommitScaling measures aggregate append throughput as the
+// writer population splits across 1, 2 and 4 logs — the submit-side model
+// of a sharded control plane on one disk. b.N is records per writer.
+func BenchmarkGroupCommitScaling(b *testing.B) {
+	for _, nlogs := range []int{1, 2, 4} {
+		for _, writers := range []int{32, 128} {
+			b.Run(fmt.Sprintf("logs=%d/writers=%d", nlogs, writers), func(b *testing.B) {
+				dir := b.TempDir()
+				logs := make([]*Log, nlogs)
+				for i := range logs {
+					var err error
+					logs[i], _, err = Open(filepath.Join(dir, fmt.Sprintf("w%d", i)))
+					if err != nil {
+						b.Fatal(err)
+					}
+					defer logs[i].Close()
+				}
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for w := 0; w < writers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						rec := Record{Type: TypeSubmit, Job: fmt.Sprintf("%064d", w), Spec: []byte(`{"bench":1}`)}
+						for j := 0; j < b.N; j++ {
+							if err := logs[w%nlogs].Append(rec); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}(w)
+				}
+				wg.Wait()
+				b.ReportMetric(float64(writers*b.N)/b.Elapsed().Seconds(), "recs/s")
+			})
+		}
+	}
+}

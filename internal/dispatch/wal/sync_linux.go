@@ -1,0 +1,22 @@
+//go:build linux
+
+package wal
+
+import (
+	"os"
+	"syscall"
+)
+
+// datasync flushes file data without forcing a metadata journal commit.
+// Appends land inside the preallocated region, so the inode size is already
+// durable and fdatasync is sufficient — and materially cheaper than fsync:
+// it skips the filesystem journal commit that serializes concurrent logs
+// (one per shard) sharing a filesystem.
+func datasync(f *os.File) error {
+	for {
+		err := syscall.Fdatasync(int(f.Fd()))
+		if err != syscall.EINTR {
+			return err
+		}
+	}
+}

@@ -12,7 +12,9 @@
 // uvarint-length-prefixed job / worker / status / spec fields and a uvarint
 // attempt counter. Every Append is fsync'd before it returns (concurrent
 // appenders share one fsync via group commit), so an acknowledged
-// submission survives power loss.
+// submission survives power loss. AppendAsync rides the same group commit
+// without waiting for it — the right trade for drain-path transitions
+// (lease/requeue/complete) whose loss recovery tolerates by design.
 //
 // Recovery semantics are deliberately asymmetric: a torn tail — a partial
 // frame, or a checksum mismatch on the final frame — is the expected
@@ -30,7 +32,9 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync"
+	"time"
 
 	"fedwcm/internal/store"
 )
@@ -94,6 +98,14 @@ const (
 	// maxRecord bounds one frame's payload. Specs are a few KB of canonical
 	// JSON; anything claiming more is a corrupt length field, not a record.
 	maxRecord = 8 << 20
+	// preallocChunk is how far the file is extended ahead of the write
+	// offset. Appends then land inside the allocated size, so the per-commit
+	// sync is a data-only fdatasync instead of an fsync that must also
+	// journal an inode size change — the journal commit is what serializes
+	// concurrent WALs (one per shard) on a shared filesystem. The zeroed
+	// tail doubles as the end-of-log marker: replay stops at the first
+	// all-zero frame header, since a real frame is never empty.
+	preallocChunk = 1 << 20
 )
 
 // Log is an open write-ahead log. Append is safe for concurrent use;
@@ -101,14 +113,28 @@ const (
 // combined buffer while the rest wait on its generation).
 type Log struct {
 	mu      sync.Mutex
-	cond    *sync.Cond
 	f       *os.File
 	path    string
-	buf     []byte // frames appended but not yet flushed
-	seq     uint64 // append generations buffered so far
-	synced  uint64 // generations durably on disk
-	syncing bool   // a leader is mid-flush
-	err     error  // sticky: a failed write or fsync poisons the log
+	buf     []byte     // frames appended but not yet flushed
+	seq     uint64     // append generations buffered so far
+	synced  uint64     // generations durably on disk
+	syncing bool       // the background flush leader is running
+	wait    *flushWait // outcome of the flush covering the current buffer
+	off     int64      // write offset: end of the framed prefix
+	alloc   int64      // preallocated file size (off <= alloc)
+	err     error      // sticky: a failed write or fsync poisons the log
+}
+
+// flushWait carries one group commit's outcome to its waiters: done is
+// closed once every frame buffered before the batch snapshot is durable
+// (or the flush failed), and err is written before the close. Waiters
+// block on the channel they captured while buffering and never reacquire
+// l.mu afterwards — with hundreds of concurrent appenders, waking a cohort
+// through a shared mutex is a lock convoy that costs more than the sync it
+// waits on.
+type flushWait struct {
+	done chan struct{}
+	err  error
 }
 
 // Open opens (creating if absent) the log at path, replays it, and returns
@@ -137,8 +163,9 @@ func Open(path string) (*Log, *Recovery, error) {
 		return nil, nil, fmt.Errorf("wal: %w", err)
 	}
 	if end < info.Size() {
-		// Torn tail: drop it now so a later crash cannot concatenate new
-		// frames onto half a frame and turn a benign tear into ErrCorrupt.
+		// Torn or preallocated tail: drop it now so a later crash cannot
+		// concatenate new frames onto half a frame and turn a benign tear
+		// into ErrCorrupt.
 		if err := f.Truncate(end); err != nil {
 			f.Close()
 			return nil, nil, fmt.Errorf("wal: truncating torn tail: %w", err)
@@ -161,17 +188,25 @@ func Open(path string) (*Log, *Recovery, error) {
 			f.Close()
 			return nil, nil, fmt.Errorf("wal: %w", err)
 		}
-		if err := f.Sync(); err != nil {
-			f.Close()
-			return nil, nil, fmt.Errorf("wal: %w", err)
-		}
-		if err := store.SyncDir(filepath.Dir(path)); err != nil {
-			f.Close()
-			return nil, nil, fmt.Errorf("wal: %w", err)
-		}
+		end = int64(len(fileMagic))
 	}
-	l := &Log{f: f, path: path}
-	l.cond = sync.NewCond(&l.mu)
+	// Extend ahead of the write offset (a sparse, all-zero tail) and journal
+	// the new size once, so steady-state commits are data-only fdatasyncs.
+	alloc := end + preallocChunk
+	if err := f.Truncate(alloc); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: preallocating: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	if err := store.SyncDir(filepath.Dir(path)); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	l := &Log{f: f, path: path, off: end, alloc: alloc}
+	l.wait = &flushWait{done: make(chan struct{})}
 	return l, rec, nil
 }
 
@@ -189,45 +224,162 @@ func (l *Log) Append(recs ...Record) error {
 		frames = appendFrame(frames, &recs[i])
 	}
 	l.mu.Lock()
+	if l.err != nil {
+		err := l.err
+		l.mu.Unlock()
+		return err
+	}
+	l.buf = append(l.buf, frames...)
+	l.seq++
+	if !l.syncing {
+		l.syncing = true
+		go l.flushLoop()
+	}
+	// Capturing the wait in the same critical section as the buffering
+	// guarantees the flush that rotates it covers our frames; the channel
+	// close is the durability (or failure) signal.
+	w := l.wait
+	l.mu.Unlock()
+	<-w.done
+	return w.err
+}
+
+// AppendAsync buffers the records for the next group commit and returns
+// without waiting for the fsync. A background flush leader (started here if
+// none is running) writes and syncs the batch; until it does, a crash can
+// drop the records. That makes AppendAsync correct only for transitions
+// that are individually safe to lose — lease grants, requeues, completes —
+// where replaying the pre-transition state is benign. Submissions must stay
+// on Append: acknowledging a spec that was never persisted loses work.
+// Ordering is preserved relative to every other append (sync or async):
+// frames share one buffer, so recovery replays them in call order. A sticky
+// write/fsync error from a prior flush is returned just like Append's.
+func (l *Log) AppendAsync(recs ...Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	var frames []byte
+	for i := range recs {
+		frames = appendFrame(frames, &recs[i])
+	}
+	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.err != nil {
 		return l.err
 	}
 	l.buf = append(l.buf, frames...)
 	l.seq++
-	target := l.seq
-	for l.synced < target && l.err == nil {
-		if !l.syncing {
-			// Become the leader: flush everything buffered so far (our frames
-			// included) with a single write+fsync on behalf of every waiter.
-			l.syncing = true
-			batch := l.buf
-			flushed := l.seq
-			l.buf = nil
-			f := l.f
+	if !l.syncing {
+		l.syncing = true
+		go l.flushLoop()
+	}
+	return nil
+}
+
+// flushLoop is the background commit leader spawned by the first append
+// that finds no leader running: it drains the buffer in write+sync batches
+// until nothing is pending, so a burst of appends amortizes into a handful
+// of syncs instead of one per record. Entered with l.syncing already
+// claimed by the spawner. On exit the current wait is rotated and closed:
+// when the buffer drained cleanly no appender can hold it with unflushed
+// frames (buffering and capture share one critical section, and every
+// buffered frame was snapshotted), so only Close/Compact-style observers
+// wake; on a sticky error it fails any waiters the dying flush stranded.
+func (l *Log) flushLoop() {
+	l.mu.Lock()
+	for l.err == nil && len(l.buf) > 0 {
+		l.flushBatchLocked()
+	}
+	w := l.wait
+	l.wait = &flushWait{done: make(chan struct{})}
+	w.err = l.err
+	close(w.done)
+	l.syncing = false
+	l.mu.Unlock()
+}
+
+// accumulateWindow bounds how long a commit leader waits for concurrent
+// appenders to land in the buffer before flushing. Without it the leader
+// fires the moment it claims the token — routinely committing a one-record
+// batch while the rest of a woken submitter cohort is still being
+// scheduled, which degrades group commit into sync-per-record. The window
+// only applies when more than one append generation is pending, so a lone
+// appender pays nothing. Accumulation yields the processor rather than
+// sleeping: timer sleeps on Linux round up to ~1ms, an order of magnitude
+// more than the sync they'd be amortizing.
+const accumulateWindow = 200 * time.Microsecond
+
+// flushBatchLocked writes and syncs everything buffered so far on behalf
+// of every waiter. The caller holds l.mu with l.syncing claimed; the lock
+// is dropped around the IO so appenders can keep buffering into the next
+// batch, and waiters are woken once the batch's generation is durable.
+// Inside the preallocated region the sync is a data-only fdatasync; when
+// the batch would outgrow the allocation, the file is extended first and
+// that extension's size change is journaled by a full fsync.
+func (l *Log) flushBatchLocked() {
+	if l.seq-l.synced > 1 {
+		// Concurrent appenders in flight: give stragglers a short window to
+		// join this batch instead of each paying their own sync. Yield until
+		// the buffer stops growing or the window closes.
+		deadline := time.Now().Add(accumulateWindow)
+		for {
+			n := len(l.buf)
 			l.mu.Unlock()
-			var ferr error
-			if _, werr := f.Write(batch); werr != nil {
-				ferr = werr
-			} else if serr := f.Sync(); serr != nil {
-				ferr = serr
+			for i := 0; i < 8; i++ {
+				runtime.Gosched()
 			}
 			l.mu.Lock()
-			l.syncing = false
-			if ferr != nil {
-				l.err = fmt.Errorf("wal: append: %w", ferr)
-			} else if l.synced < flushed {
-				l.synced = flushed
+			if len(l.buf) == n || l.err != nil || time.Now().After(deadline) {
+				break
 			}
-			l.cond.Broadcast()
-		} else {
-			l.cond.Wait()
 		}
 	}
-	if l.synced >= target {
-		return nil
+	batch := l.buf
+	flushed := l.seq
+	// Rotate the wait at snapshot time: every waiter that buffered before
+	// this point holds w (closed below, once the batch is durable); anyone
+	// arriving during the IO parks on the fresh one for the next flush.
+	w := l.wait
+	l.wait = &flushWait{done: make(chan struct{})}
+	l.buf = nil
+	f, off, alloc := l.f, l.off, l.alloc
+	l.mu.Unlock()
+	var ferr error
+	grew := false
+	if off+int64(len(batch)) > alloc {
+		alloc = off + int64(len(batch)) + preallocChunk
+		ferr = f.Truncate(alloc)
+		grew = true
 	}
-	return l.err
+	if ferr == nil {
+		if _, werr := f.Write(batch); werr != nil {
+			ferr = werr
+		} else if grew {
+			ferr = f.Sync()
+		} else {
+			ferr = datasync(f)
+		}
+	}
+	l.mu.Lock()
+	if ferr != nil {
+		l.err = fmt.Errorf("wal: append: %w", ferr)
+		w.err = l.err
+	} else {
+		l.off = off + int64(len(batch))
+		l.alloc = alloc
+		if l.synced < flushed {
+			l.synced = flushed
+		}
+	}
+	close(w.done)
+}
+
+// Size returns the framed length of the log — the bytes replay would scan,
+// excluding any unflushed buffer and the preallocated zero tail.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.off
 }
 
 // Compact atomically replaces the log's contents with live: a fresh file
@@ -239,7 +391,10 @@ func (l *Log) Compact(live []Record) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	for l.syncing {
-		l.cond.Wait()
+		w := l.wait
+		l.mu.Unlock()
+		<-w.done
+		l.mu.Lock()
 	}
 	if l.err != nil {
 		return l.err
@@ -262,6 +417,11 @@ func (l *Log) Compact(live []Record) error {
 	l.synced = l.seq
 	_, werr := tmp.Write(frames)
 	if werr == nil {
+		// Preallocate the replacement like Open does, so appends after the
+		// checkpoint stay on the data-only sync path.
+		werr = tmp.Truncate(int64(len(frames)) + preallocChunk)
+	}
+	if werr == nil {
 		werr = store.SyncFile(tmp)
 	}
 	if werr != nil {
@@ -282,28 +442,66 @@ func (l *Log) Compact(live []Record) error {
 	// inode, not the handle); adopt it and retire the old one.
 	l.f.Close()
 	l.f = tmp
-	l.cond.Broadcast() // anyone whose buffered frames we carried is now durable
+	l.off = int64(len(frames))
+	l.alloc = l.off + preallocChunk
+	// Anyone whose buffered frames we carried is now durable.
+	w := l.wait
+	l.wait = &flushWait{done: make(chan struct{})}
+	close(w.done)
 	return nil
 }
 
-// Close flushes nothing extra (Append already synced everything it
-// acknowledged) and releases the file. Further appends fail.
+// Close flushes any frames still parked by AppendAsync (a clean shutdown
+// should not demote buffered transitions into crash losses), then releases
+// the file. Further appends fail.
 func (l *Log) Close() error {
 	l.mu.Lock()
 	for l.syncing {
-		l.cond.Wait()
+		w := l.wait
+		l.mu.Unlock()
+		<-w.done
+		l.mu.Lock()
+	}
+	if l.err == nil && len(l.buf) > 0 {
+		l.syncing = true
+		l.flushBatchLocked()
+		l.syncing = false
 	}
 	f := l.f
+	off := l.off
+	clean := l.err == nil
 	l.f = nil
 	if l.err == nil {
 		l.err = errClosed
 	}
-	l.cond.Broadcast()
+	// Fail anyone racing an append against Close rather than stranding them.
+	w := l.wait
+	l.wait = &flushWait{done: make(chan struct{})}
+	w.err = l.err
+	close(w.done)
 	l.mu.Unlock()
 	if f != nil {
+		if clean {
+			// Trim the preallocated zero tail so the closed file ends at the
+			// framed prefix (a reopen re-extends it).
+			if err := f.Truncate(off); err == nil {
+				f.Sync()
+			}
+		}
 		return f.Close()
 	}
 	return nil
+}
+
+// allZero reports whether b holds only zero bytes — the signature of the
+// untouched preallocated region.
+func allZero(b []byte) bool {
+	for _, c := range b {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // --- encoding ---
@@ -413,7 +611,24 @@ func replay(f *os.File) (*Recovery, int64, error) {
 		}
 		plen := binary.LittleEndian.Uint32(data[off : off+4])
 		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if plen == 0 && sum == 0 {
+			// An all-zero header is the preallocated tail: the clean end of
+			// the log (a real frame is never empty). Frames beyond it mean a
+			// batch whose pages persisted out of order before the crash —
+			// the sync covering this hole never completed, so nothing past
+			// it was ever acknowledged: truncate as a tear, don't replay it.
+			if !allZero(data[off:]) {
+				rec.Torn, rec.Truncated = true, int64(len(data)-off)
+			}
+			break
+		}
 		if plen > maxRecord {
+			if allZero(data[off+headerLen:]) {
+				// A header torn mid-write, followed by nothing but the zeroed
+				// allocation: the crash signature, not damage.
+				rec.Torn, rec.Truncated = true, int64(len(data)-off)
+				break
+			}
 			return nil, 0, fmt.Errorf("%w: frame at offset %d claims %d bytes", ErrCorrupt, off, plen)
 		}
 		if uint32(len(data)-off-headerLen) < plen {
@@ -422,9 +637,11 @@ func replay(f *os.File) (*Recovery, int64, error) {
 		}
 		payload := data[off+headerLen : off+headerLen+int(plen)]
 		if crc32.ChecksumIEEE(payload) != sum {
-			if off+headerLen+int(plen) == len(data) {
-				// The final frame: indistinguishable from a crash that tore
-				// the payload write. Truncate, don't fail.
+			if allZero(data[off+headerLen+int(plen):]) {
+				// The final frame (nothing but preallocated zeros after it):
+				// indistinguishable from a crash that tore the payload write.
+				// Truncate, don't fail. Framed data after the mismatch means
+				// damage to something that was once durable.
 				rec.Torn, rec.Truncated = true, int64(len(data)-off)
 				break
 			}

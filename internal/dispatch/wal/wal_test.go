@@ -262,7 +262,7 @@ func TestCompactShrinksLog(t *testing.T) {
 			}
 		}
 	}
-	before, _ := os.Stat(path)
+	before := l.Size()
 	live := []Record{
 		{Type: TypeSubmit, Job: "job-17", Spec: []byte(`{}`)},
 		{Type: TypeSubmit, Job: "job-18", Spec: []byte(`{}`), Attempts: 1},
@@ -272,9 +272,8 @@ func TestCompactShrinksLog(t *testing.T) {
 	if err := l.Compact(live); err != nil {
 		t.Fatalf("Compact: %v", err)
 	}
-	after, _ := os.Stat(path)
-	if after.Size() >= before.Size() {
-		t.Fatalf("compaction grew the log: %d -> %d bytes", before.Size(), after.Size())
+	if after := l.Size(); after >= before {
+		t.Fatalf("compaction grew the log: %d -> %d framed bytes", before, after)
 	}
 	// The compacted log still accepts appends on the swapped descriptor.
 	if err := l.Append(Record{Type: TypeComplete, Job: "job-17", Status: "stored"}); err != nil {
@@ -385,4 +384,137 @@ func flipFuzz(b []byte, i int) []byte {
 	out := append([]byte(nil), b...)
 	out[i] ^= 0x20
 	return out
+}
+
+func TestAppendAsyncDurableAfterClose(t *testing.T) {
+	path := walPath(t)
+	l, _ := openT(t, path)
+	const n = 200
+	if err := l.Append(Record{Type: TypeSubmit, Job: "job-sync", Spec: []byte(`{}`)}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		r := Record{Type: TypeLease, Job: "job-sync", Worker: fmt.Sprintf("w-%d", i), Attempts: i + 1}
+		if err := l.AppendAsync(r); err != nil {
+			t.Fatalf("AppendAsync: %v", err)
+		}
+	}
+	// Close must flush whatever the background leader has not yet synced:
+	// a clean shutdown loses nothing.
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	_, rec := openT(t, path)
+	if rec.Records != n+1 {
+		t.Fatalf("replayed %d records, want %d", rec.Records, n+1)
+	}
+	if len(rec.Jobs) != 1 || rec.Jobs[0].Worker != fmt.Sprintf("w-%d", n-1) {
+		t.Fatalf("last async lease lost: %+v", rec.Jobs)
+	}
+}
+
+func TestAppendAsyncOrderedWithSync(t *testing.T) {
+	// A sync Append issued after async appends must flush them too (shared
+	// buffer, shared commit): once Append returns, every earlier AppendAsync
+	// is durable and replay sees call order.
+	path := walPath(t)
+	l, _ := openT(t, path)
+	if err := l.Append(Record{Type: TypeSubmit, Job: "job-x", Spec: []byte(`{}`)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendAsync(Record{Type: TypeLease, Job: "job-x", Worker: "w-1", Attempts: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendAsync(Record{Type: TypeRequeue, Job: "job-x", Attempts: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(Record{Type: TypeSubmit, Job: "job-y", Spec: []byte(`{}`)}); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen without Close: everything acknowledged by the last sync Append
+	// must already be on disk (Close on the original handle would flush, so
+	// bypass it to prove the sync barrier alone suffices).
+	l2, rec := openT(t, path)
+	defer l2.Close()
+	if rec.Records != 4 {
+		t.Fatalf("replayed %d records, want 4", rec.Records)
+	}
+	if len(rec.Jobs) != 2 {
+		t.Fatalf("recovered %d jobs, want 2: %+v", len(rec.Jobs), rec.Jobs)
+	}
+	if j := rec.Jobs[0]; j.ID != "job-x" || j.Leased || j.Attempts != 1 {
+		t.Fatalf("job-x state out of order: %+v", j)
+	}
+	l.Close()
+}
+
+func TestAppendAsyncConcurrentMix(t *testing.T) {
+	path := walPath(t)
+	l, _ := openT(t, path)
+	const goroutines, per = 8, 40
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				id := fmt.Sprintf("job-%d-%d", g, i)
+				if err := l.Append(Record{Type: TypeSubmit, Job: id, Spec: []byte(`{}`)}); err != nil {
+					t.Errorf("Append: %v", err)
+					return
+				}
+				if err := l.AppendAsync(Record{Type: TypeLease, Job: id, Worker: "w", Attempts: 1}); err != nil {
+					t.Errorf("AppendAsync: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	_, rec := openT(t, path)
+	if rec.Records != 2*goroutines*per {
+		t.Fatalf("replayed %d records, want %d", rec.Records, 2*goroutines*per)
+	}
+	if len(rec.Jobs) != goroutines*per {
+		t.Fatalf("recovered %d jobs, want %d", len(rec.Jobs), goroutines*per)
+	}
+	for _, j := range rec.Jobs {
+		if !j.Leased || j.Attempts != 1 {
+			t.Fatalf("async lease lost for %s: %+v", j.ID, j)
+		}
+	}
+}
+
+func TestAppendAsyncCompactCarriesBuffered(t *testing.T) {
+	// Frames parked by AppendAsync but not yet flushed must survive a
+	// compaction: Compact carries the pending buffer into the new file.
+	path := walPath(t)
+	l, _ := openT(t, path)
+	if err := l.Append(Record{Type: TypeSubmit, Job: "job-a", Spec: []byte(`{}`)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendAsync(Record{Type: TypeLease, Job: "job-a", Worker: "w-1", Attempts: 1}); err != nil {
+		t.Fatal(err)
+	}
+	live := []Record{{Type: TypeSubmit, Job: "job-a", Spec: []byte(`{}`)}}
+	if err := l.Compact(live); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	_, rec := openT(t, path)
+	if len(rec.Jobs) != 1 {
+		t.Fatalf("recovered %d jobs, want 1: %+v", len(rec.Jobs), rec.Jobs)
+	}
+	// Depending on whether the background leader won the race before
+	// Compact snapshotted, the lease frame lands before or after the new
+	// submit frame — both replay to a consistent job; it must not vanish
+	// into the discarded old file.
+	if rec.Records < 1 || rec.Records > 2 {
+		t.Fatalf("replayed %d records, want 1 or 2", rec.Records)
+	}
 }

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"sync"
 	"time"
@@ -19,6 +20,12 @@ import (
 type WorkerConfig struct {
 	Coordinator string // required: coordinator base URL, e.g. http://host:8080
 	Runner      Runner // required: how one leased job executes
+	// Shards lists the other coordinators of a sharded control plane (base
+	// URLs). The worker leases from Coordinator; when that queue is idle it
+	// spills to the listed shard with the deepest pending backlog, so a
+	// straggling shard doesn't strand capacity parked on an empty one.
+	// Entries equal to Coordinator are ignored; empty means never spill.
+	Shards []string
 	Name        string // reported at registration; defaults to the hostname-free "worker"
 	Slots       int    // concurrent jobs; 0 = 1 (the coordinator may cap it)
 	// PollWait is the long-poll budget per lease request. 0 = 10s.
@@ -50,13 +57,28 @@ type WorkerConfig struct {
 type Worker struct {
 	cfg WorkerConfig
 
+	primary *conn   // the coordinator the worker joined and long-polls
+	spills  []*conn // other shards, registered with lazily on first spill
+
+	wm workerMetrics
+}
+
+// conn is one coordinator relationship: the primary the worker joined, or
+// a spill shard it borrows work from when its own queue is idle. Each
+// carries its own registration (worker ids are per-coordinator) and a
+// briefly cached queue-depth snapshot for spill targeting.
+type conn struct {
+	base string
+
 	mu  sync.Mutex
 	id  string
 	ttl time.Duration
 
 	regMu sync.Mutex // single-flights re-registration across slot loops
 
-	wm workerMetrics
+	statsMu sync.Mutex
+	pending int       // last observed queue depth (spill shards only)
+	statsAt time.Time // when pending was fetched
 }
 
 // NewWorker validates cfg and returns the worker; Run starts it.
@@ -87,23 +109,36 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	if cfg.Metrics == nil {
 		cfg.Metrics = obs.Default()
 	}
-	return &Worker{cfg: cfg, wm: newWorkerMetrics(cfg.Metrics)}, nil
+	w := &Worker{cfg: cfg, primary: &conn{base: cfg.Coordinator}, wm: newWorkerMetrics(cfg.Metrics)}
+	for _, base := range cfg.Shards {
+		if base != "" && base != cfg.Coordinator {
+			w.spills = append(w.spills, &conn{base: base})
+		}
+	}
+	return w, nil
+}
+
+// jitter scales d by a uniform factor in [0.8, 1.2). N workers whose empty
+// polls all complete the moment a flush drains the queue would otherwise
+// re-poll in lockstep forever; the spread desynchronizes the herd.
+func jitter(d time.Duration) time.Duration {
+	return time.Duration(float64(d) * (0.8 + 0.4*rand.Float64()))
 }
 
 // Ready reports whether the worker holds a live registration — the /readyz
 // signal for a worker process: healthy the moment it boots, ready once the
 // coordinator knows it.
 func (w *Worker) Ready() bool {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return w.id != ""
+	w.primary.mu.Lock()
+	defer w.primary.mu.Unlock()
+	return w.primary.id != ""
 }
 
 // Run registers and serves leases until ctx is cancelled, then deregisters
 // so in-flight leases hand over cleanly instead of timing out. It returns
 // ctx.Err() on cancellation.
 func (w *Worker) Run(ctx context.Context) error {
-	if err := w.register(ctx); err != nil {
+	if err := w.registerLoop(ctx, w.primary); err != nil {
 		return err
 	}
 	var wg sync.WaitGroup
@@ -119,30 +154,40 @@ func (w *Worker) Run(ctx context.Context) error {
 	return ctx.Err()
 }
 
-// register (re-)registers with the coordinator, retrying with backoff so a
-// worker booted before its coordinator comes up cleanly.
-func (w *Worker) register(ctx context.Context) error {
+// registerOnce makes a single registration attempt against cn.
+func (w *Worker) registerOnce(ctx context.Context, cn *conn) error {
+	var resp registerResponse
+	code, err := w.postJSON(ctx, cn.base+"/v1/workers", "",
+		registerRequest{Name: w.cfg.Name, Slots: w.cfg.Slots}, &resp)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusCreated {
+		return fmt.Errorf("registration returned HTTP %d", code)
+	}
+	ttl := time.Duration(resp.LeaseTTL) * time.Millisecond
+	cn.mu.Lock()
+	cn.id, cn.ttl = resp.ID, ttl
+	cn.mu.Unlock()
+	w.cfg.Logf("dispatch: registered with %s as %s (lease TTL %v)", cn.base, resp.ID, ttl)
+	return nil
+}
+
+// registerLoop retries registerOnce with backoff until it lands or ctx
+// cancels — the boot path, where a worker started before its coordinator
+// must wait it out.
+func (w *Worker) registerLoop(ctx context.Context, cn *conn) error {
 	backoff := 100 * time.Millisecond
 	for {
-		var resp registerResponse
-		code, err := w.postJSON(ctx, w.cfg.Coordinator+"/v1/workers", "",
-			registerRequest{Name: w.cfg.Name, Slots: w.cfg.Slots}, &resp)
-		if err == nil && code == http.StatusCreated {
-			w.mu.Lock()
-			w.id = resp.ID
-			w.ttl = time.Duration(resp.LeaseTTL) * time.Millisecond
-			w.mu.Unlock()
-			w.cfg.Logf("dispatch: registered as %s (lease TTL %v)", resp.ID, w.ttl)
+		err := w.registerOnce(ctx, cn)
+		if err == nil {
 			return nil
 		}
-		if err == nil {
-			err = fmt.Errorf("registration returned HTTP %d", code)
-		}
-		w.cfg.Logf("dispatch: registering with %s: %v (retrying in %v)", w.cfg.Coordinator, err, backoff)
+		w.cfg.Logf("dispatch: registering with %s: %v (retrying in %v)", cn.base, err, backoff)
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-time.After(backoff):
+		case <-time.After(jitter(backoff)):
 		}
 		if backoff < 5*time.Second {
 			backoff *= 2
@@ -157,69 +202,102 @@ func (w *Worker) register(ctx context.Context) error {
 const deregisterTimeout = 3 * time.Second
 
 func (w *Worker) deregister() {
-	w.mu.Lock()
-	id := w.id
-	w.mu.Unlock()
-	if id == "" {
-		return
+	for _, cn := range append([]*conn{w.primary}, w.spills...) {
+		cn.mu.Lock()
+		id := cn.id
+		cn.mu.Unlock()
+		if id == "" {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), deregisterTimeout)
+		req, err := http.NewRequestWithContext(ctx, http.MethodDelete, cn.base+"/v1/workers/"+id, nil)
+		if err != nil {
+			cancel()
+			continue
+		}
+		resp, err := w.cfg.HTTPClient.Do(req)
+		if err != nil {
+			w.cfg.Logf("dispatch: deregistering %s: %v (lease will lapse instead)", id, err)
+			cancel()
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		cancel()
+		w.cfg.Logf("dispatch: worker %s deregistered", id)
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), deregisterTimeout)
-	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, w.cfg.Coordinator+"/v1/workers/"+id, nil)
-	if err != nil {
-		return
-	}
-	resp, err := w.cfg.HTTPClient.Do(req)
-	if err != nil {
-		w.cfg.Logf("dispatch: deregistering %s: %v (lease will lapse instead)", id, err)
-		return
-	}
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
-	w.cfg.Logf("dispatch: worker %s deregistered", id)
 }
 
-// slotLoop leases and executes jobs one at a time until ctx cancels.
+// slotLoop leases and executes jobs one at a time until ctx cancels. After
+// a spilled job it drains the spill shard further before parking on the
+// primary's long poll again.
 func (w *Worker) slotLoop(ctx context.Context) {
+	var backoff time.Duration
+	spilled := false
 	for ctx.Err() == nil {
-		job, id, ok := w.lease(ctx)
+		if spilled {
+			if job, cn, id, ok := w.spillLease(ctx); ok {
+				w.execute(ctx, job, cn, id)
+				continue
+			}
+			spilled = false
+		}
+		job, cn, id, ok := w.lease(ctx, &backoff)
 		if !ok {
 			continue // no job this poll (or transient error; lease backs off)
 		}
-		w.execute(ctx, job, id)
+		backoff = 0
+		spilled = cn != w.primary
+		w.execute(ctx, job, cn, id)
 	}
 }
 
-// lease asks for one job, long-polling server-side, and returns the worker
-// id the lease was granted under — the id the job must heartbeat and
-// upload as, even if another slot re-registers meanwhile. false means
-// "nothing leased": empty queue, transient error, or a 404 that forced a
-// re-registration.
-func (w *Worker) lease(ctx context.Context) (Job, string, bool) {
-	w.mu.Lock()
-	id := w.id
-	w.mu.Unlock()
+// lease asks the primary for one job, long-polling server-side, and
+// returns the connection + worker id the lease was granted under — the id
+// the job must heartbeat and upload as, even if another slot re-registers
+// meanwhile. An empty primary queue first tries a spill shard. false means
+// "nothing leased": empty queues, transient error, or a 404 that forced a
+// re-registration. backoff carries the escalating transient-error delay
+// across calls (reset by the caller on success); every sleep here is
+// jittered ±20% so a fleet re-polling an empty shard spreads out.
+func (w *Worker) lease(ctx context.Context, backoff *time.Duration) (Job, *conn, string, bool) {
+	w.primary.mu.Lock()
+	id := w.primary.id
+	w.primary.mu.Unlock()
 	var resp leaseResponse
 	t0 := time.Now()
-	code, err := w.postJSON(ctx, w.cfg.Coordinator+"/v1/workers/"+id+"/lease", "",
+	code, err := w.postJSON(ctx, w.primary.base+"/v1/workers/"+id+"/lease", "",
 		leaseRequest{WaitMS: w.cfg.PollWait.Milliseconds()}, &resp)
 	switch {
 	case ctx.Err() != nil:
-		return Job{}, id, false
+		return Job{}, w.primary, id, false
 	case err != nil:
 		w.cfg.Logf("dispatch: lease: %v", err)
-		select { // transient (coordinator restarting?): back off briefly
-		case <-ctx.Done():
-		case <-time.After(500 * time.Millisecond):
+		// Transient (coordinator restarting?): escalate from 500ms toward the
+		// poll budget so a dead coordinator isn't hammered at connect speed.
+		if *backoff <= 0 {
+			*backoff = 500 * time.Millisecond
+		} else if *backoff < w.cfg.PollWait {
+			*backoff = min(2*(*backoff), w.cfg.PollWait)
 		}
-		return Job{}, id, false
+		select {
+		case <-ctx.Done():
+		case <-time.After(jitter(*backoff)):
+		}
+		return Job{}, w.primary, id, false
 	case code == http.StatusOK:
 		w.wm.leases.Inc()
-		return resp.Job, id, true
+		return resp.Job, w.primary, id, true
 	case code == http.StatusNotFound:
-		w.reregister(ctx, id)
-		return Job{}, id, false
+		w.reregister(ctx, w.primary, id)
+		return Job{}, w.primary, id, false
 	case code == http.StatusNoContent:
+		// The primary has nothing. Borrow from the deepest-backlogged spill
+		// shard before sleeping — idle capacity here is exactly what a
+		// straggling shard needs.
+		if job, cn, sid, ok := w.spillLease(ctx); ok {
+			return job, cn, sid, true
+		}
 		// An empty poll normally holds server-side for ~PollWait. One that
 		// returns much sooner means the coordinator is not pacing us (it is
 		// draining for shutdown, or granted the wait to another slot) — sleep
@@ -227,41 +305,161 @@ func (w *Worker) lease(ctx context.Context) (Job, string, bool) {
 		if elapsed := time.Since(t0); elapsed < w.cfg.PollWait/2 {
 			select {
 			case <-ctx.Done():
-			case <-time.After(w.cfg.PollWait - elapsed):
+			case <-time.After(jitter(w.cfg.PollWait - elapsed)):
 			}
 		}
-		return Job{}, id, false
+		return Job{}, w.primary, id, false
 	default:
 		w.cfg.Logf("dispatch: lease returned HTTP %d", code)
-		return Job{}, id, false
+		return Job{}, w.primary, id, false
 	}
 }
 
-// reregister obtains a fresh registration after the coordinator forgot the
-// worker (restart, idle pruning). Single-flighted: when both slot loops
-// hit 404 at once, only the first re-registers — a second would leave a
-// phantom registration and flap w.id under the first one's leases.
-func (w *Worker) reregister(ctx context.Context, stale string) {
-	w.regMu.Lock()
-	defer w.regMu.Unlock()
-	w.mu.Lock()
-	cur := w.id
-	w.mu.Unlock()
+// spillLease tries to lease from the spill shard with the deepest pending
+// backlog. The poll is non-blocking (WaitMS 0): the primary's long poll is
+// where an idle worker parks; a foreign shard is only borrowed from when
+// it has queued work right now.
+func (w *Worker) spillLease(ctx context.Context) (Job, *conn, string, bool) {
+	var target *conn
+	deepest := 0
+	for _, cn := range w.spills {
+		if p := w.shardPending(ctx, cn); p > deepest {
+			target, deepest = cn, p
+		}
+	}
+	if target == nil {
+		return Job{}, nil, "", false
+	}
+	id, ok := w.connID(ctx, target)
+	if !ok {
+		return Job{}, nil, "", false
+	}
+	var resp leaseResponse
+	code, err := w.postJSON(ctx, target.base+"/v1/workers/"+id+"/lease", "", leaseRequest{WaitMS: 0}, &resp)
+	switch {
+	case ctx.Err() != nil || err != nil:
+		return Job{}, nil, "", false
+	case code == http.StatusOK:
+		w.wm.leases.Inc()
+		w.wm.spills.Inc()
+		w.cfg.Logf("dispatch: spilled to shard %s for job %.12s", target.base, resp.Job.ID)
+		return resp.Job, target, id, true
+	case code == http.StatusNotFound:
+		// The shard forgot us (restart); drop the registration so the next
+		// spill re-registers fresh.
+		target.mu.Lock()
+		if target.id == id {
+			target.id = ""
+		}
+		target.mu.Unlock()
+		return Job{}, nil, "", false
+	default:
+		return Job{}, nil, "", false
+	}
+}
+
+// shardPending reads cn's own queue depth from its /v1/shards snapshot,
+// cached briefly so a fleet of idle slots doesn't turn spill targeting
+// into a scrape storm. Unreachable shards (or ones not publishing the
+// endpoint) read as empty and are simply not spilled to.
+func (w *Worker) shardPending(ctx context.Context, cn *conn) int {
+	cn.statsMu.Lock()
+	defer cn.statsMu.Unlock()
+	if !cn.statsAt.IsZero() && time.Since(cn.statsAt) < time.Second {
+		return cn.pending
+	}
+	cn.pending, cn.statsAt = 0, time.Now()
+	pctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, cn.base+"/v1/shards", nil)
+	if err != nil {
+		return 0
+	}
+	resp, err := w.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return 0
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	var st struct {
+		Self  int                `json:"self"`
+		Stats []CoordinatorStats `json:"stats"`
+	}
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&st) != nil {
+		return 0
+	}
+	if st.Self >= 0 && st.Self < len(st.Stats) {
+		cn.pending = st.Stats[st.Self].Pending
+	}
+	return cn.pending
+}
+
+// connID returns cn's live registration id, registering on first use. One
+// attempt, no retry loop: a spill shard that is down just isn't spilled to
+// this round.
+func (w *Worker) connID(ctx context.Context, cn *conn) (string, bool) {
+	cn.mu.Lock()
+	id := cn.id
+	cn.mu.Unlock()
+	if id != "" {
+		return id, true
+	}
+	cn.regMu.Lock()
+	defer cn.regMu.Unlock()
+	cn.mu.Lock()
+	id = cn.id
+	cn.mu.Unlock()
+	if id != "" {
+		return id, true // another slot registered meanwhile
+	}
+	if err := w.registerOnce(ctx, cn); err != nil {
+		w.cfg.Logf("dispatch: registering with spill shard %s: %v", cn.base, err)
+		return "", false
+	}
+	cn.mu.Lock()
+	id = cn.id
+	cn.mu.Unlock()
+	return id, true
+}
+
+// reregister obtains a fresh registration after a coordinator forgot the
+// worker (restart, idle pruning). Single-flighted per connection: when both
+// slot loops hit 404 at once, only the first re-registers — a second would
+// leave a phantom registration and flap the id under the first one's
+// leases. The primary retries until it lands (the worker is useless
+// without it); a spill shard gets one attempt and is otherwise dropped.
+func (w *Worker) reregister(ctx context.Context, cn *conn, stale string) {
+	cn.regMu.Lock()
+	defer cn.regMu.Unlock()
+	cn.mu.Lock()
+	cur := cn.id
+	cn.mu.Unlock()
 	if cur != stale {
 		return // another slot already re-registered
 	}
-	w.cfg.Logf("dispatch: coordinator forgot worker %s; re-registering", stale)
-	w.register(ctx)
+	w.cfg.Logf("dispatch: coordinator %s forgot worker %s; re-registering", cn.base, stale)
+	if cn == w.primary {
+		w.registerLoop(ctx, cn)
+		return
+	}
+	cn.mu.Lock()
+	cn.id = ""
+	cn.mu.Unlock()
+	if err := w.registerOnce(ctx, cn); err != nil {
+		w.cfg.Logf("dispatch: re-registering with spill shard %s: %v", cn.base, err)
+	}
 }
 
-// execute runs one leased job under the worker id it was leased to:
-// heartbeats flow while training, the result (or execution error) is
-// uploaded at the end. A lost lease cancels the job's context and abandons
-// the upload.
-func (w *Worker) execute(ctx context.Context, job Job, id string) {
-	w.mu.Lock()
-	ttl := w.ttl
-	w.mu.Unlock()
+// execute runs one leased job against the coordinator it was leased from,
+// under the worker id it was leased to: heartbeats flow while training,
+// the result (or execution error) is uploaded at the end. A lost lease
+// cancels the job's context and abandons the upload.
+func (w *Worker) execute(ctx context.Context, job Job, cn *conn, id string) {
+	cn.mu.Lock()
+	ttl := cn.ttl
+	cn.mu.Unlock()
 	every := w.cfg.HeartbeatEvery
 	if every <= 0 {
 		every = ttl / 3
@@ -298,7 +496,7 @@ func (w *Worker) execute(ctx context.Context, job Job, id string) {
 	// heartbeat goroutine writes it, and the upload path reads it strictly
 	// after <-hbDone.
 	curID := id
-	hbURL := fmt.Sprintf("%s/v1/workers/%s/jobs/%s/heartbeat", w.cfg.Coordinator, curID, job.ID)
+	hbURL := fmt.Sprintf("%s/v1/workers/%s/jobs/%s/heartbeat", cn.base, curID, job.ID)
 	hbDone := make(chan struct{})
 	go func() {
 		defer close(hbDone)
@@ -338,16 +536,16 @@ func (w *Worker) execute(ctx context.Context, job Job, id string) {
 					statsMu.Lock()
 					stats = append(batch, stats...)
 					statsMu.Unlock()
-					w.reregister(jobCtx, curID)
-					w.mu.Lock()
-					next := w.id
-					w.mu.Unlock()
+					w.reregister(jobCtx, cn, curID)
+					cn.mu.Lock()
+					next := cn.id
+					cn.mu.Unlock()
 					if next == "" || next == curID {
 						continue // re-registration interrupted; retry next beat
 					}
 					w.cfg.Logf("dispatch: job %.12s: re-attaching as %s (was %s)", job.ID, next, curID)
 					curID = next
-					hbURL = fmt.Sprintf("%s/v1/workers/%s/jobs/%s/heartbeat", w.cfg.Coordinator, curID, job.ID)
+					hbURL = fmt.Sprintf("%s/v1/workers/%s/jobs/%s/heartbeat", cn.base, curID, job.ID)
 					continue
 				}
 				if code == http.StatusGone {
@@ -397,7 +595,7 @@ func (w *Worker) execute(ctx context.Context, job Job, id string) {
 		upCtx, upCancel = context.WithTimeout(context.Background(), 10*time.Second)
 		defer upCancel()
 	}
-	resURL := fmt.Sprintf("%s/v1/workers/%s/jobs/%s/result", w.cfg.Coordinator, curID, job.ID)
+	resURL := fmt.Sprintf("%s/v1/workers/%s/jobs/%s/result", cn.base, curID, job.ID)
 	var ack resultResponse
 	for attempt := 0; attempt < 3; attempt++ {
 		code, uerr := w.postWire(upCtx, resURL, job.ID, resBody, &ack)

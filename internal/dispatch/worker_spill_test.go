@@ -1,0 +1,155 @@
+package dispatch
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// spillCoord is a coordinator serving the worker protocol plus the
+// /v1/shards depth snapshot a spill-capable worker probes — the minimal
+// shard-process surface, mounted by hand so these tests need not import
+// the shard package (which imports this one).
+func spillCoord(t *testing.T, probes *atomic.Int64) (*Coordinator, *httptest.Server) {
+	t.Helper()
+	c, err := NewCoordinator(CoordinatorConfig{Store: tstore(t), LeaseTTL: 5 * time.Second, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	c.Mount(mux)
+	mux.HandleFunc("GET /v1/shards", func(w http.ResponseWriter, _ *http.Request) {
+		if probes != nil {
+			probes.Add(1)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Self  int                `json:"self"`
+			Stats []CoordinatorStats `json:"stats"`
+		}{Self: 0, Stats: []CoordinatorStats{c.Stats()}})
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(func() { ts.Close(); c.Close() })
+	return c, ts
+}
+
+// startSpillWorker runs a worker joined to primary with the given spill
+// list.
+func startSpillWorker(t *testing.T, primary string, shards []string, pollWait time.Duration) {
+	t.Helper()
+	w, err := NewWorker(WorkerConfig{
+		Coordinator: primary,
+		Shards:      shards,
+		Runner:      echoRunner(nil),
+		PollWait:    pollWait,
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); w.Run(ctx) }()
+	t.Cleanup(func() {
+		cancel()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Error("worker never exited")
+		}
+	})
+}
+
+// TestJitterStaysWithinBounds pins the jitter envelope: every sample lands
+// in [0.8d, 1.2d) and the samples actually spread (a constant factor would
+// defeat the desynchronization it exists for).
+func TestJitterStaysWithinBounds(t *testing.T) {
+	d := time.Second
+	lo, hi := d, d
+	for i := 0; i < 1000; i++ {
+		j := jitter(d)
+		if j < 800*time.Millisecond || j >= 1200*time.Millisecond {
+			t.Fatalf("jitter(%v) = %v, outside [800ms, 1200ms)", d, j)
+		}
+		lo, hi = min(lo, j), max(hi, j)
+	}
+	if hi-lo < 100*time.Millisecond {
+		t.Fatalf("1000 jitter samples spread only [%v, %v]; expected a wide spread", lo, hi)
+	}
+}
+
+// TestWorkerSpillsToBackloggedShard parks a worker on an empty primary and
+// queues work only on a spill shard: the worker must register with the
+// spill shard lazily, drain its backlog, and the artifacts must land in
+// the spill shard's store.
+func TestWorkerSpillsToBackloggedShard(t *testing.T) {
+	primary, pts := spillCoord(t, nil)
+	spill, sts := spillCoord(t, nil)
+
+	startSpillWorker(t, pts.URL, []string{sts.URL, pts.URL}, 100*time.Millisecond)
+
+	const n = 6
+	handles := make([]Handle, 0, n)
+	for i := 0; i < n; i++ {
+		h, err := spill.Submit(testJob(i), SubmitOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	for _, h := range handles {
+		if _, err := waitDone(t, h); err != nil {
+			t.Fatalf("spilled job %.12s: %v", h.Job().ID, err)
+		}
+	}
+	if s := spill.Stats(); s.Workers != 1 || s.Pending != 0 || s.Leased != 0 {
+		t.Fatalf("spill shard stats after drain = %+v, want the borrowed worker registered and the queue empty", s)
+	}
+	if s := primary.Stats(); s.Workers != 1 {
+		t.Fatalf("primary stats = %+v, want the worker still registered there", s)
+	}
+}
+
+// TestWorkerDrainsPrimaryWithDeadSpillShard points the spill list at a
+// closed port: probes fail, nothing is borrowed, and the primary's own
+// queue still drains normally.
+func TestWorkerDrainsPrimaryWithDeadSpillShard(t *testing.T) {
+	primary, pts := spillCoord(t, nil)
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+
+	startSpillWorker(t, pts.URL, []string{dead.URL}, 100*time.Millisecond)
+
+	for i := 0; i < 4; i++ {
+		h, err := primary.Submit(testJob(i), SubmitOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := waitDone(t, h); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestWorkerDepthProbesAreCached idles a worker against an empty primary
+// and an empty spill shard: every empty poll wants a depth probe, but the
+// 1s snapshot cache must collapse them to ~one per second rather than one
+// per poll.
+func TestWorkerDepthProbesAreCached(t *testing.T) {
+	_, pts := spillCoord(t, nil)
+	var probes atomic.Int64
+	_, sts := spillCoord(t, &probes)
+
+	startSpillWorker(t, pts.URL, []string{sts.URL}, 50*time.Millisecond)
+
+	time.Sleep(1100 * time.Millisecond)
+	// ~20 empty polls happened; uncached that is ~20 probes. The cache
+	// admits one per second plus boot-time races — call it five.
+	if n := probes.Load(); n == 0 || n > 5 {
+		t.Fatalf("saw %d depth probes over 1.1s of idling with a 1s cache; want 1..5", n)
+	}
+}

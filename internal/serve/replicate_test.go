@@ -1,0 +1,53 @@
+package serve
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"fedwcm/internal/store"
+)
+
+// TestStatusReadsThroughReplicatedStore wires two independent servers the
+// way two shards are wired: B's store lists A as a replication peer. A run
+// computed on A must be servable from B — status answers "cached" with the
+// full history, nothing executes on B, and B's store now holds a local
+// copy byte-identical to A's.
+func TestStatusReadsThroughReplicatedStore(t *testing.T) {
+	var execsA, execsB atomic.Int64
+	_, tsA := newTestServer(t, Config{Runner: countingRunner(&execsA)})
+
+	stB, err := store.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stB.Replicate([]string{tsA.URL}, nil)
+	_, tsB := newTestServer(t, Config{Store: stB, Runner: countingRunner(&execsB)})
+
+	spec := tinySpec()
+	code, rr := postSpec(t, tsA, spec)
+	if code != 202 && code != 200 {
+		t.Fatalf("submit on A: HTTP %d", code)
+	}
+	id := rr.ID
+	if got := waitTerminal(t, tsA, id); got.Status == StatusFailed {
+		t.Fatalf("run on A failed: %s", got.Error)
+	}
+
+	code, rr = getStatus(t, tsB, id)
+	if code != 200 || rr.Status != StatusCached || rr.History == nil {
+		t.Fatalf("status on B = HTTP %d, %+v; want the peer's artifact served as cached", code, rr)
+	}
+	if n := execsB.Load(); n != 0 {
+		t.Fatalf("B executed %d runs; a read must never trigger compute", n)
+	}
+	if st := stB.Stats(); st.PeerHits != 1 {
+		t.Fatalf("B's store stats = %+v, want exactly one peer hit", st)
+	}
+	// The artifact is local now: a second read stays on B.
+	if code, rr = getStatus(t, tsB, id); code != 200 || rr.Status != StatusCached {
+		t.Fatalf("second status on B = HTTP %d, %+v", code, rr)
+	}
+	if st := stB.Stats(); st.PeerHits != 1 {
+		t.Fatalf("second read went back to the peer: %+v", st)
+	}
+}

@@ -78,6 +78,10 @@ type Config struct {
 	// gets a fresh cache of DefaultEnvCacheCap; ignored when Runner or
 	// Executor is overridden (the cache counters then stay zero).
 	Envs *sweep.EnvCache
+	// Admission bounds what the run/sweep submission endpoints accept
+	// (per-tenant rate limits, queue-depth backpressure). The zero value
+	// admits everything.
+	Admission AdmissionConfig
 	// Logf defaults to the unified slog route (obs.Logf("serve")).
 	Logf func(format string, args ...any)
 	// Metrics receives the server's series (HTTP, SSE, sweep cells, plus the
@@ -105,7 +109,8 @@ type Server struct {
 	wg        sync.WaitGroup // run watchers
 	feedWg    sync.WaitGroup // sweep feeders
 
-	sm serveMetrics
+	sm  serveMetrics
+	adm *admission // nil unless Config.Admission asks for limits
 }
 
 // New validates cfg, builds (or adopts) the dispatch backend and returns
@@ -177,14 +182,18 @@ func New(cfg Config) (*Server, error) {
 	handle := func(pattern, route string, h http.HandlerFunc) {
 		s.mux.Handle(pattern, s.sm.http.Wrap(route, h))
 	}
-	handle("POST /v1/runs", "/v1/runs", s.handleSubmit)
+	s.adm = newAdmission(cfg.Admission, s.execPending, cfg.Metrics)
+	handle("POST /v1/runs", "/v1/runs", s.admitted(s.handleSubmit))
 	handle("GET /v1/runs/{id}", "/v1/runs/{id}", s.handleStatus)
 	handle("GET /v1/runs/{id}/events", "/v1/runs/{id}/events", s.handleEvents)
-	handle("POST /v1/sweeps", "/v1/sweeps", s.handleSweepSubmit)
+	handle("POST /v1/sweeps", "/v1/sweeps", s.admitted(s.handleSweepSubmit))
 	handle("GET /v1/sweeps/{id}", "/v1/sweeps/{id}", s.handleSweepStatus)
 	handle("GET /v1/sweeps/{id}/result", "/v1/sweeps/{id}/result", s.handleSweepResult)
 	handle("GET /v1/sweeps/{id}/events", "/v1/sweeps/{id}/events", s.handleSweepEvents)
 	handle("GET /v1/experiments", "/v1/experiments", s.handleRegistry)
+	// Raw artifact bytes for store replication: every server (shard or not)
+	// exports what its store holds, so peers can read through to it.
+	handle("GET /v1/artifacts/{id}", "/v1/artifacts/{id}", cfg.Store.ArtifactHandler())
 	// A backend with worker-facing endpoints (the remote coordinator)
 	// serves them from this listener too.
 	if m, ok := s.exec.(interface{ Mount(*http.ServeMux) }); ok {
@@ -424,10 +433,12 @@ func (s *Server) dropRun(fp string, r *run) {
 }
 
 // lookup resolves a run id against in-process records first, then the
-// store. The bool reports whether the id is known at all; a malformed id
-// cannot name anything, so it is "not found" rather than an error (errors
-// mean the store itself failed and map to 500).
-func (s *Server) lookup(id string) (*run, *fl.History, bool, error) {
+// store — read-through: on a replicated store (shards pointing at each
+// other), an artifact computed by a peer is fetched, verified and served
+// as if it were local. The bool reports whether the id is known at all; a
+// malformed id cannot name anything, so it is "not found" rather than an
+// error (errors mean the store itself failed and map to 500).
+func (s *Server) lookup(ctx context.Context, id string) (*run, *fl.History, bool, error) {
 	if !store.ValidFingerprint(id) {
 		return nil, nil, false, nil
 	}
@@ -437,7 +448,7 @@ func (s *Server) lookup(id string) (*run, *fl.History, bool, error) {
 	if ok {
 		return r, nil, true, nil
 	}
-	hist, ok, err := s.cfg.Store.Get(id)
+	hist, ok, err := s.cfg.Store.Fetch(ctx, id)
 	if err != nil || !ok {
 		return nil, nil, false, err
 	}
@@ -446,7 +457,7 @@ func (s *Server) lookup(id string) (*run, *fl.History, bool, error) {
 
 func (s *Server) handleStatus(w http.ResponseWriter, req *http.Request) {
 	id := req.PathValue("id")
-	r, stored, ok, err := s.lookup(id)
+	r, stored, ok, err := s.lookup(req.Context(), id)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "%v", err)
 		return
@@ -471,7 +482,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, req *http.Request) {
 // then a terminal "done" event carrying the final status.
 func (s *Server) handleEvents(w http.ResponseWriter, req *http.Request) {
 	id := req.PathValue("id")
-	r, stored, ok, err := s.lookup(id)
+	r, stored, ok, err := s.lookup(req.Context(), id)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "%v", err)
 		return

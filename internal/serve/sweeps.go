@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -269,7 +270,7 @@ func (sw *sweepRun) summary(withCells bool) sweepSummary {
 // persists before a run reports done, so the store is the source of
 // truth). A computed cell whose persist failed rehydrates as a miss and is
 // excluded from aggregation; its status still counts.
-func (s *Server) sweepResult(sw *sweepRun) *sweep.Result {
+func (s *Server) sweepResult(ctx context.Context, sw *sweepRun) *sweep.Result {
 	sw.mu.Lock()
 	cells := make([]sweep.CellResult, len(sw.cells))
 	for i, st := range sw.states {
@@ -284,7 +285,7 @@ func (s *Server) sweepResult(sw *sweepRun) *sweep.Result {
 		if cells[i].Status == sweep.CellFailed {
 			continue
 		}
-		if hist, ok, err := s.cfg.Store.Get(cells[i].ID); err == nil && ok {
+		if hist, ok, err := s.cfg.Store.Fetch(ctx, cells[i].ID); err == nil && ok {
 			cells[i].Hist = hist
 		} else if err != nil {
 			s.cfg.Logf("serve: rehydrating sweep cell %s: %v", cells[i].ID, err)
@@ -410,7 +411,7 @@ func (s *Server) handleSweepResult(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, http.StatusAccepted, sw.summary(false))
 		return
 	}
-	res := s.sweepResult(sw)
+	res := s.sweepResult(req.Context(), sw)
 	title := sw.spec.Name
 	if title == "" {
 		title = "sweep " + sw.id[:12]

@@ -1,0 +1,187 @@
+package store
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// originServer opens a store, puts hist under fp, and serves its artifact
+// endpoint.
+func originServer(t *testing.T, fp string, seed float64) (*Store, *httptest.Server) {
+	t.Helper()
+	origin, err := Open(filepath.Join(t.TempDir(), "origin"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := origin.Put(fp, testHistory(seed)); err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	origin.Mount(mux)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return origin, ts
+}
+
+func TestArtifactEndpointServesRawBytesWithDigest(t *testing.T) {
+	fp := fpFor("artifact-endpoint")
+	origin, ts := originServer(t, fp, 1)
+
+	resp, err := http.Get(ts.URL + "/v1/artifacts/" + fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk, err := os.ReadFile(origin.Path(fp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body) != string(disk) {
+		t.Fatal("served bytes differ from the on-disk artifact")
+	}
+	if got, want := resp.Header.Get(ArtifactHashHeader), fpFor(string(body)); got != want {
+		t.Fatalf("digest header %q, want %q", got, want)
+	}
+
+	for _, bad := range []string{fp[:10], "no-such-route", fpFor("absent")} {
+		resp, err := http.Get(ts.URL + "/v1/artifacts/" + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET %q: HTTP %d, want 404", bad, resp.StatusCode)
+		}
+	}
+}
+
+// TestFetchReadsThroughPeerByteIdentically is the replication contract: a
+// local miss is served from the peer, the decoded history matches, and the
+// locally persisted file is byte-identical to the origin's (re-encoding on
+// receipt would silently fork the content address's meaning).
+func TestFetchReadsThroughPeerByteIdentically(t *testing.T) {
+	fp := fpFor("read-through")
+	origin, ts := originServer(t, fp, 2)
+
+	replica, err := Open(filepath.Join(t.TempDir(), "replica"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replica.Replicate([]string{ts.URL}, nil)
+
+	hist, ok, err := replica.Fetch(context.Background(), fp)
+	if err != nil || !ok {
+		t.Fatalf("Fetch = ok %v, err %v", ok, err)
+	}
+	if !reflect.DeepEqual(hist, testHistory(2)) {
+		t.Fatal("fetched history differs from the origin's")
+	}
+	want, _ := os.ReadFile(origin.Path(fp))
+	got, err := os.ReadFile(replica.Path(fp))
+	if err != nil {
+		t.Fatalf("replica kept no local copy: %v", err)
+	}
+	if string(got) != string(want) {
+		t.Fatal("replicated file is not byte-identical to the origin's")
+	}
+	if st := replica.Stats(); st.PeerHits != 1 || st.Misses != 1 {
+		t.Fatalf("stats after read-through = %+v, want one miss turned peer hit", st)
+	}
+
+	// A second Fetch is a local hit: no new peer traffic.
+	if _, ok, err := replica.Fetch(context.Background(), fp); err != nil || !ok {
+		t.Fatalf("re-Fetch = ok %v, err %v", ok, err)
+	}
+	if st := replica.Stats(); st.PeerHits != 1 {
+		t.Fatalf("re-Fetch went back to the peer: %+v", st)
+	}
+}
+
+// TestFetchSkipsBadPeers walks the peer list past a 404, a corrupting peer
+// and a dead one to reach the holder; the corrupt copy must never land on
+// disk.
+func TestFetchSkipsBadPeers(t *testing.T) {
+	fp := fpFor("peer-walk")
+	_, holder := originServer(t, fp, 3)
+
+	empty, err := Open(filepath.Join(t.TempDir(), "empty"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emptyMux := http.NewServeMux()
+	empty.Mount(emptyMux)
+	emptyTS := httptest.NewServer(emptyMux)
+	defer emptyTS.Close()
+
+	// Tampers with the payload after the digest header is computed — the
+	// transfer-integrity failure the verification exists to catch.
+	corrupt := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(ArtifactHashHeader, fpFor("claims-something-else"))
+		w.Write([]byte("{\"round\":1}\n"))
+	}))
+	defer corrupt.Close()
+
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+
+	replica, err := Open(filepath.Join(t.TempDir(), "replica"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replica.Replicate([]string{emptyTS.URL, corrupt.URL, dead.URL, holder.URL}, nil)
+
+	hist, ok, err := replica.Fetch(context.Background(), fp)
+	if err != nil || !ok {
+		t.Fatalf("Fetch = ok %v, err %v", ok, err)
+	}
+	if !reflect.DeepEqual(hist, testHistory(3)) {
+		t.Fatal("fetched history differs from the holder's")
+	}
+	st := replica.Stats()
+	if st.PeerMisses != 1 || st.PeerErrors != 2 || st.PeerHits != 1 {
+		t.Fatalf("stats = %+v, want 1 peer miss, 2 peer errors, 1 peer hit", st)
+	}
+
+	// All peers empty or broken → a clean miss, nothing persisted.
+	absent := fpFor("nowhere")
+	if _, ok, err := replica.Fetch(context.Background(), absent); ok || err != nil {
+		t.Fatalf("Fetch(absent) = ok %v, err %v, want clean miss", ok, err)
+	}
+	if _, err := os.Stat(replica.Path(absent)); !os.IsNotExist(err) {
+		t.Fatalf("miss left something on disk: %v", err)
+	}
+}
+
+// TestFetchWithoutPeersIsGet pins the zero-config behaviour: Fetch on an
+// unreplicated store is exactly Get.
+func TestFetchWithoutPeersIsGet(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := fpFor("solo")
+	if _, ok, err := s.Fetch(context.Background(), fp); ok || err != nil {
+		t.Fatalf("Fetch on empty solo store = ok %v, err %v", ok, err)
+	}
+	if err := s.Put(fp, testHistory(4)); err != nil {
+		t.Fatal(err)
+	}
+	hist, ok, err := s.Fetch(context.Background(), fp)
+	if err != nil || !ok || !reflect.DeepEqual(hist, testHistory(4)) {
+		t.Fatalf("Fetch after Put = %v, ok %v, err %v", hist, ok, err)
+	}
+}

@@ -13,8 +13,9 @@
 # plus BENCH_wire.json (or $5) with the binary transport codec's byte
 # reduction vs. the JSON bodies it replaced (cmd/wirebench), plus
 # BENCH_control_plane.json (or $6) with the coordinator load test
-# (cmd/ctlbench: submit throughput/latency, WAL recovery time and sustained
-# drain rate with worker crashes mid-sweep), so performance work lands as
+# (cmd/ctlbench: submit throughput/latency, WAL recovery time, sustained
+# drain rate with worker crashes mid-sweep, and a fingerprint-sharded
+# 2-coordinator topology vs the single-shard WAL), so performance work lands as
 # tracked numbers instead of claims. CI smoke-runs this with BENCHTIME=1x
 # to keep it executable; real numbers come from the default BENCHTIME (or a
 # longer one on quiet hardware):
@@ -115,21 +116,52 @@ wire_ratio=$(grep -o '"ratio": [0-9.]*' "$WIRE_OUT" | head -1 | grep -o '[0-9.]*
 awk -v r="$wire_ratio" 'BEGIN { exit !(r >= 5) }' \
   || { echo "bench.sh: wire result-upload reduction ${wire_ratio}x is below the 5x target"; exit 1; }
 
-# Control-plane load test: submit latency at depth, WAL crash recovery, and
-# sustained drain with workers killed and joining mid-sweep. The smoke
-# setting shrinks the queue; the gates are correctness-shaped either way —
-# every cell must complete in both modes, and the WAL run must replay the
-# full queue after its crash-restart.
+# Control-plane load test: submit latency at depth, WAL crash recovery,
+# sustained drain with workers killed and joining mid-sweep, and the
+# fingerprint-sharded topology (router + 2 WAL shards). The smoke setting
+# shrinks the queue; the correctness gates hold either way — every cell
+# must complete in all three modes, and the WAL run must replay the full
+# queue after its crash-restart.
+#
+# Perf gates on the same output:
+#   - WAL drain must stay within 5% of the memory-mode drain (the WAL
+#     rides the drain path via async group commit, so it must not slow
+#     draining down).
+#   - 2-shard aggregate submit vs single-shard WAL: sharding scales submit
+#     by splitting the coordinator's CPU across cores; with ≥2 CPUs the
+#     gate demands ≥1.7×. On a single-CPU host both topologies share one
+#     core and group commit already overlaps batch accumulation with the
+#     in-flight sync, so scale-out cannot exceed ~1×: the gate degrades to
+#     a no-regression bound (≥0.9×, routing must be ~free).
+# Both are timing-based and CI runners are noisy, so the perf gates get
+# up to 3 attempts (correctness gates must hold on every attempt).
 if [ "$BENCHTIME" = "1x" ]; then CTL_CELLS=1500; else CTL_CELLS=12000; fi
-go run ./cmd/ctlbench -cells "$CTL_CELLS" -out "$CTL_OUT"
-for mode in 0 1; do
-  completed=$(jq -r ".runs[$mode].drain.completed" "$CTL_OUT")
-  [ "$completed" = "$CTL_CELLS" ] \
-    || { echo "bench.sh: ctlbench run $mode completed $completed/$CTL_CELLS cells"; exit 1; }
+NCPU=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+if [ "$NCPU" -ge 2 ]; then SHARD_GATE=1.7; else SHARD_GATE=0.9; fi
+ctl_ok=""
+for attempt in 1 2 3; do
+  go run ./cmd/ctlbench -cells "$CTL_CELLS" -shards 2 -out "$CTL_OUT"
+  for mode in memory wal shards; do
+    completed=$(jq -r ".runs[] | select(.mode==\"$mode\") | .drain.completed" "$CTL_OUT")
+    [ "$completed" = "$CTL_CELLS" ] \
+      || { echo "bench.sh: ctlbench $mode run completed $completed/$CTL_CELLS cells"; exit 1; }
+  done
+  recovered=$(jq -r '.runs[] | select(.mode=="wal") | .recovery.recovered' "$CTL_OUT")
+  [ "$recovered" = "$CTL_CELLS" ] \
+    || { echo "bench.sh: WAL recovery replayed $recovered/$CTL_CELLS jobs"; exit 1; }
+  p99=$(jq -r '.runs[] | select(.mode=="wal") | .submit.p99_us' "$CTL_OUT")
+  awk -v p="$p99" 'BEGIN { exit !(p > 0) }' \
+    || { echo "bench.sh: WAL submit p99 missing from $CTL_OUT"; exit 1; }
+  mem_drain=$(jq -r '.runs[] | select(.mode=="memory") | .drain.cells_per_sec' "$CTL_OUT")
+  wal_drain=$(jq -r '.runs[] | select(.mode=="wal") | .drain.cells_per_sec' "$CTL_OUT")
+  wal_submit=$(jq -r '.runs[] | select(.mode=="wal") | .submit.per_sec' "$CTL_OUT")
+  shard_submit=$(jq -r '.runs[] | select(.mode=="shards") | .submit.per_sec' "$CTL_OUT")
+  if awk -v w="$wal_drain" -v m="$mem_drain" 'BEGIN { exit !(w >= 0.95 * m) }' \
+     && awk -v s="$shard_submit" -v w="$wal_submit" -v g="$SHARD_GATE" 'BEGIN { exit !(s >= g * w) }'; then
+    ctl_ok=1
+    break
+  fi
+  echo "bench.sh: control-plane perf gates missed on attempt $attempt (wal drain ${wal_drain} vs memory ${mem_drain}; 2-shard submit ${shard_submit} vs wal ${wal_submit}, need ${SHARD_GATE}x) — retrying"
 done
-recovered=$(jq -r '.runs[1].recovery.recovered' "$CTL_OUT")
-[ "$recovered" = "$CTL_CELLS" ] \
-  || { echo "bench.sh: WAL recovery replayed $recovered/$CTL_CELLS jobs"; exit 1; }
-p99=$(jq -r '.runs[1].submit.p99_us' "$CTL_OUT")
-awk -v p="$p99" 'BEGIN { exit !(p > 0) }' \
-  || { echo "bench.sh: WAL submit p99 missing from $CTL_OUT"; exit 1; }
+[ -n "$ctl_ok" ] \
+  || { echo "bench.sh: control-plane perf gates failed after 3 attempts"; exit 1; }
